@@ -1,0 +1,42 @@
+//! Criterion bench over the Fig. 4 page-table-scheme experiments at CI
+//! scale (the paper-scale tables come from the `fig4a`/`fig4b` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kindle_core::experiments::{run_fig4a, run_fig4b, Fig4aParams, Fig4bParams};
+use kindle_core::types::Cycles;
+
+fn tiny_fig4a() -> Fig4aParams {
+    Fig4aParams {
+        sizes_mb: vec![4],
+        interval: Cycles::from_millis(1),
+        list_op_instr: 2600,
+        read_rounds: 1,
+    }
+}
+
+fn tiny_fig4b() -> Fig4bParams {
+    Fig4bParams {
+        pages: 10,
+        access_ops: 100_000,
+        interval: Cycles::from_millis(1),
+        list_op_instr: 2600,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig4a_cell_4mib", |b| {
+        b.iter(|| black_box(run_fig4a(&tiny_fig4a()).unwrap()))
+    });
+    c.bench_function("fig4b_strides_100k_ops", |b| {
+        b.iter(|| black_box(run_fig4b(&tiny_fig4b()).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench over the SSP (Fig. 5) pipeline at CI scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kindle_bench::*;
+use kindle_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, 40_000, 42);
+    c.bench_function("fig5_baseline_40k_ops", |b| {
+        b.iter(|| {
+            black_box(
+                kindle
+                    .simulate(MachineConfig::table_i(), ReplayOptions::default())
+                    .unwrap()
+                    .0
+                    .cycles,
+            )
+        })
+    });
+    c.bench_function("fig5_ssp_5ms_40k_ops", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::table_i().with_ssp(SspConfig::default());
+            black_box(
+                kindle
+                    .simulate(cfg, ReplayOptions { fase: true, max_ops: None })
+                    .unwrap()
+                    .0
+                    .cycles,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench over the HSCC (Fig. 6) pipeline at CI scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kindle_bench::*;
+use kindle_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::GapbsPr, 40_000, 42);
+    for (label, os_mode) in [("fig6_hw_only_40k_ops", false), ("fig6_with_os_40k_ops", true)] {
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::table_i().with_hscc(
+                    HsccConfig { fetch_threshold: 5, ..Default::default() },
+                    os_mode,
+                );
+                black_box(kindle.simulate(cfg, ReplayOptions::default()).unwrap().0.cycles)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Host-performance benchmarks of the simulation substrates: how fast the
+//! simulator itself runs (simulated work per host second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kindle_bench::*;
+use kindle_core::cache::{Hierarchy, HierarchyConfig};
+use kindle_core::mem::{MemConfig, MemoryController};
+use kindle_core::tlb::{TwoLevelTlb, TwoLevelTlbConfig, TlbEntry};
+use kindle_core::types::{AccessKind, Cycles, MemKind, Pfn, PhysAddr, Vpn, PAGE_SIZE};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut h = Hierarchy::new(&HierarchyConfig::default());
+    let mut i = 0u64;
+    c.bench_function("cache_hierarchy_access", |b| {
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(h.access(PhysAddr::new(i * 64), AccessKind::Read))
+        })
+    });
+}
+
+fn bench_mc(c: &mut Criterion) {
+    let cfg = MemConfig::default();
+    let nvm = cfg.layout.range(MemKind::Nvm).base;
+    let mut m = MemoryController::new(&cfg);
+    let mut i = 0u64;
+    c.bench_function("nvm_device_access", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(m.access(nvm + (i % 4096) * 64, AccessKind::Write, Cycles::new(i * 100)))
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut t = TwoLevelTlb::new(&TwoLevelTlbConfig::default());
+    for v in 0..1024u64 {
+        t.install(TlbEntry::new(Vpn::new(v), Pfn::new(v), true, MemKind::Dram));
+    }
+    let mut i = 0u64;
+    c.bench_function("tlb_two_level_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % 2048;
+            let (lat, hit, _) = t.lookup(Vpn::new(i));
+            black_box((lat, hit.is_some()))
+        })
+    });
+}
+
+fn bench_machine_correct(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::small()).unwrap();
+    let pid = m.spawn_process().unwrap();
+    let va = m.mmap(pid, 4 << 20, Prot::RW, MapFlags::NVM).unwrap();
+    for i in 0..1024u64 {
+        m.access(pid, va + i * PAGE_SIZE as u64, AccessKind::Write).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("machine_replay_op", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(m.access(pid, va + (i % 1024) * PAGE_SIZE as u64, AccessKind::Read).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_mc, bench_tlb, bench_machine_correct
+}
+criterion_main!(benches);

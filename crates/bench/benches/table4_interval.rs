@@ -1,0 +1,30 @@
+//! Criterion bench over the Table IV interval sweep at CI scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kindle_core::experiments::{run_table4, Table4Params};
+use kindle_core::types::Cycles;
+
+fn tiny() -> Table4Params {
+    Table4Params {
+        base_mb: 16,
+        churn_mb: vec![4],
+        intervals: vec![Cycles::from_millis(1), Cycles::from_millis(10)],
+        access_rounds: 1,
+        list_op_instr: 2600,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table4_sweep_16mib", |b| {
+        b.iter(|| black_box(run_table4(&tiny()).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

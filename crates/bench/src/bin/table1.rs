@@ -1,0 +1,29 @@
+//! Prints the machine configuration — the paper's Table I.
+
+use kindle_bench::*;
+
+fn main() {
+    let cfg = MachineConfig::table_i();
+    println!("TABLE I: gem5-analog Memory Configuration");
+    rule(52);
+    println!("{:<28} {}", "Parameter", "Used Setting");
+    rule(52);
+    println!("{:<28} DDR4-2400 ({} banks)", "DRAM interface", cfg.mem.dram.banks);
+    println!("{:<28} PCM ({} ns rd / {} ns wr)", "NVM interface", cfg.mem.nvm.read_ns, cfg.mem.nvm.write_service_ns);
+    println!("{:<28} {}", "NVM Write buffer size", cfg.mem.nvm.write_buffer);
+    println!("{:<28} {}", "NVM Read buffer size", cfg.mem.nvm.read_buffer);
+    println!(
+        "{:<28} {} GB DRAM + {} GB NVM",
+        "Memory capacity",
+        cfg.mem.layout.total(MemKind::Dram) >> 30,
+        cfg.mem.layout.total(MemKind::Nvm) >> 30
+    );
+    println!(
+        "{:<28} {} KiB L1 / {} KiB L2 / {} MiB LLC",
+        "Caches",
+        cfg.caches.l1.size_bytes >> 10,
+        cfg.caches.l2.size_bytes >> 10,
+        cfg.caches.llc.size_bytes >> 20
+    );
+    println!("{:<28} 3 GHz in-order x86-64", "CPU");
+}

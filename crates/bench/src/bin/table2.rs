@@ -1,0 +1,31 @@
+//! Regenerates the paper's Table II: benchmark details, from the actual
+//! generated traces.
+
+use kindle_bench::*;
+use kindle_core::trace::WorkloadKind;
+use kindle_core::types::AccessKind;
+
+fn main() {
+    let ops = if quick_mode() { 200_000 } else { 10_000_000 };
+    println!("TABLE II: Benchmark Details (measured from generated traces, {ops} ops)");
+    rule(60);
+    println!("{:<12} | {:>10} | {:>7} | {:>8}", "Benchmark", "Total Ops", "read %", "write %");
+    rule(60);
+    for kind in WorkloadKind::ALL {
+        let mut reads = 0u64;
+        for r in kind.stream(ops, 42) {
+            if r.op == AccessKind::Read {
+                reads += 1;
+            }
+        }
+        println!(
+            "{:<12} | {:>10} | {:>6.0} | {:>7.0}",
+            kind.spec().name,
+            ops,
+            100.0 * reads as f64 / ops as f64,
+            100.0 * (ops - reads) as f64 / ops as f64
+        );
+    }
+    rule(60);
+    println!("paper: Gapbs_pr 77/23, G500_sssp 68/32, Ycsb_mem 71/29");
+}

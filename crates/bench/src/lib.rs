@@ -1,0 +1,52 @@
+//! Benchmark-harness support: experiment re-exports and table formatting
+//! shared by the `fig*`/`table*` binaries that regenerate the paper's
+//! evaluation artifacts.
+
+pub use kindle_core::*;
+
+/// True if `--quick` was passed (CI-scale parameters instead of the
+/// paper-scale defaults).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a rule line of width `w`.
+pub fn rule(w: usize) {
+    println!("{}", "-".repeat(w));
+}
+
+/// Formats milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+
+/// Writes rows as CSV when `--csv <path>` was passed.
+pub fn maybe_csv<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        if let Some(path) = args.get(i + 1) {
+            let data = kindle_core::experiments::to_csv(rows);
+            match std::fs::write(path, data) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(super::ms(12345.6), "12346");
+        assert_eq!(super::ms(45.67), "45.7");
+        assert_eq!(super::ms(1.2345), "1.234");
+    }
+}

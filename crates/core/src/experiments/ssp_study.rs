@@ -1,0 +1,171 @@
+//! SSP study: Fig. 5 plus the consolidation-interval ablation the paper
+//! calls out as an extension Kindle enables.
+
+use serde::{Deserialize, Serialize};
+
+use kindle_sim::{MachineConfig, ReplayOptions};
+use kindle_ssp::SspConfig;
+use kindle_trace::WorkloadKind;
+use kindle_types::{Cycles, Result};
+
+use crate::framework::Kindle;
+
+/// Parameters for Fig. 5.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig5Params {
+    /// Operations replayed per benchmark (paper: 10 M).
+    pub ops: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Consistency intervals in ms (paper: 1, 5, 10).
+    pub intervals_ms: Vec<u64>,
+    /// Consolidation-thread period in ms (paper fixes 1).
+    pub consolidation_ms: u64,
+    /// Benchmarks to run.
+    pub workloads: Vec<WorkloadKind>,
+}
+
+impl Fig5Params {
+    /// Paper scale.
+    pub fn paper() -> Self {
+        Fig5Params {
+            ops: 10_000_000,
+            seed: 42,
+            intervals_ms: vec![1, 5, 10],
+            consolidation_ms: 1,
+            workloads: WorkloadKind::ALL.to_vec(),
+        }
+    }
+
+    /// Quick scale.
+    pub fn quick() -> Self {
+        Fig5Params {
+            ops: 120_000,
+            workloads: vec![WorkloadKind::YcsbMem],
+            ..Self::paper()
+        }
+    }
+}
+
+/// One Fig. 5 bar.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Consistency interval (ms).
+    pub interval_ms: u64,
+    /// Execution time without memory consistency (ms).
+    pub baseline_ms: f64,
+    /// Execution time with SSP (ms).
+    pub ssp_ms: f64,
+    /// `ssp_ms / baseline_ms` — the figure's y-axis.
+    pub normalized: f64,
+    /// SSP overhead alone (`normalized - 1`).
+    pub overhead: f64,
+}
+
+/// Runs Fig. 5: SSP consistency-interval sweep, normalized to a run with
+/// no memory consistency.
+///
+/// # Errors
+///
+/// Propagates machine and replay failures.
+pub fn run_fig5(p: &Fig5Params) -> Result<Vec<Fig5Row>> {
+    let mut rows = Vec::new();
+    for &wl in &p.workloads {
+        let kindle = Kindle::prepare_streaming(wl, p.ops, p.seed);
+        // Baseline: no memory consistency.
+        let (base, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default())?;
+        let baseline_ms = base.cycles.as_millis_f64();
+        for &interval_ms in &p.intervals_ms {
+            let cfg = MachineConfig::table_i().with_ssp(SspConfig {
+                consistency_interval: Cycles::from_millis(interval_ms),
+                consolidation_interval: Cycles::from_millis(p.consolidation_ms),
+            });
+            let (run, _) =
+                kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
+            let ssp_ms = run.cycles.as_millis_f64();
+            rows.push(Fig5Row {
+                benchmark: wl.spec().name.to_string(),
+                interval_ms,
+                baseline_ms,
+                ssp_ms,
+                normalized: ssp_ms / baseline_ms,
+                overhead: ssp_ms / baseline_ms - 1.0,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// One row of the consolidation-interval ablation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConsolidationRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Consolidation-thread period (ms).
+    pub consolidation_ms: u64,
+    /// Normalized execution time (vs. no consistency).
+    pub normalized: f64,
+    /// Pages consolidated.
+    pub pages_consolidated: u64,
+}
+
+/// The study the paper says the original SSP work left unexplored: the
+/// influence of the consolidation-thread frequency, at a fixed 5 ms
+/// consistency interval.
+///
+/// # Errors
+///
+/// Propagates machine and replay failures.
+pub fn run_consolidation_sweep(
+    workload: WorkloadKind,
+    ops: u64,
+    seed: u64,
+    consolidation_ms: &[u64],
+) -> Result<Vec<ConsolidationRow>> {
+    let kindle = Kindle::prepare_streaming(workload, ops, seed);
+    let (base, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default())?;
+    let baseline = base.cycles.as_millis_f64();
+    let mut rows = Vec::new();
+    for &ms in consolidation_ms {
+        let cfg = MachineConfig::table_i().with_ssp(SspConfig {
+            consistency_interval: Cycles::from_millis(5),
+            consolidation_interval: Cycles::from_millis(ms),
+        });
+        let (run, report) = kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
+        rows.push(ConsolidationRow {
+            benchmark: workload.spec().name.to_string(),
+            consolidation_ms: ms,
+            normalized: run.cycles.as_millis_f64() / baseline,
+            pages_consolidated: report.ssp.map(|s| s.pages_consolidated).unwrap_or(0),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_quick_shapes() {
+        let rows = run_fig5(&Fig5Params::quick()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.normalized > 1.0,
+                "consistency must cost something: {} at {} ms",
+                r.normalized,
+                r.interval_ms
+            );
+        }
+        let at = |ms: u64| rows.iter().find(|r| r.interval_ms == ms).unwrap().overhead;
+        assert!(
+            at(1) > at(10),
+            "wider interval must reduce overhead: 1ms={} 10ms={}",
+            at(1),
+            at(10)
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The NVM↔DRAM lookup table (the paper's alternative to 96-bit PTEs).
+//!
+//! The forward table is indexed by NVM frame offset and holds the DRAM
+//! frame caching that page (or 0); the reverse table is indexed by DRAM
+//! pool slot and holds `(nvm_pfn, vpn)` so recycling a slot can restore the
+//! original mapping. Both live in DRAM frames allocated at initialisation,
+//! and every lookup touches the backing line, so table traffic is charged
+//! like any other memory traffic.
+
+use kindle_os::FramePools;
+use kindle_types::{MemKind, PhysAddr, PhysMem, Pfn, Result, Vpn, PAGE_SIZE};
+
+/// The lookup table pair. See the module docs.
+#[derive(Clone, Debug)]
+pub struct MappingTable {
+    fwd_base: PhysAddr,
+    nvm_start: Pfn,
+    nvm_frames: u64,
+    rev_base: PhysAddr,
+    pool_slots: u64,
+    /// Frames backing the tables (owned; freed on drop by the kernel's
+    /// teardown path, not tracked further here).
+    frames: Vec<Pfn>,
+}
+
+impl MappingTable {
+    /// Allocates backing DRAM frames for a table covering `nvm_frames`
+    /// frames starting at `nvm_start`, plus `pool_slots` reverse entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM pool exhaustion.
+    pub fn new(
+        mem: &mut dyn PhysMem,
+        pools: &mut FramePools,
+        nvm_start: Pfn,
+        nvm_frames: u64,
+        pool_slots: u64,
+    ) -> Result<Self> {
+        let fwd_bytes = nvm_frames * 8;
+        let rev_bytes = pool_slots * 16;
+        let total_frames = (fwd_bytes + rev_bytes).div_ceil(PAGE_SIZE as u64);
+        let mut frames = Vec::with_capacity(total_frames as usize);
+        for _ in 0..total_frames {
+            frames.push(pools.alloc(mem, MemKind::Dram)?);
+        }
+        // The allocator hands out contiguous frames on a fresh pool; assert
+        // contiguity so flat indexing is valid.
+        for w in frames.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "mapping table frames must be contiguous");
+        }
+        let fwd_base = frames[0].base();
+        let rev_base = fwd_base + fwd_bytes;
+        Ok(MappingTable { fwd_base, nvm_start, nvm_frames, rev_base, pool_slots, frames })
+    }
+
+    /// Frames backing the table.
+    pub fn backing_frames(&self) -> &[Pfn] {
+        &self.frames
+    }
+
+    fn fwd_pa(&self, nvm: Pfn) -> PhysAddr {
+        let off = nvm - self.nvm_start;
+        assert!(off < self.nvm_frames, "nvm pfn outside table coverage");
+        self.fwd_base + off * 8
+    }
+
+    /// DRAM frame caching `nvm`, if any (one charged read).
+    pub fn lookup(&self, mem: &mut dyn PhysMem, nvm: Pfn) -> Option<Pfn> {
+        match mem.read_u64(self.fwd_pa(nvm)) {
+            0 => None,
+            v => Some(Pfn::new(v)),
+        }
+    }
+
+    /// Sets or clears the forward mapping (one charged write).
+    pub fn set(&self, mem: &mut dyn PhysMem, nvm: Pfn, dram: Option<Pfn>) {
+        mem.write_u64(self.fwd_pa(nvm), dram.map_or(0, Pfn::as_u64));
+    }
+
+    fn rev_pa(&self, slot: u64) -> PhysAddr {
+        assert!(slot < self.pool_slots, "pool slot outside reverse table");
+        self.rev_base + slot * 16
+    }
+
+    /// Records which NVM page and virtual page occupy pool `slot`.
+    pub fn set_reverse(&self, mem: &mut dyn PhysMem, slot: u64, nvm: Pfn, vpn: Vpn) {
+        let pa = self.rev_pa(slot);
+        mem.write_u64(pa, nvm.as_u64());
+        mem.write_u64(pa + 8, vpn.as_u64());
+    }
+
+    /// Reads the reverse entry for pool `slot`.
+    pub fn reverse(&self, mem: &mut dyn PhysMem, slot: u64) -> (Pfn, Vpn) {
+        let pa = self.rev_pa(slot);
+        (Pfn::new(mem.read_u64(pa)), Vpn::new(mem.read_u64(pa + 8)))
+    }
+
+    /// Clears the reverse entry.
+    pub fn clear_reverse(&self, mem: &mut dyn PhysMem, slot: u64) {
+        let pa = self.rev_pa(slot);
+        mem.write_u64(pa, 0);
+        mem.write_u64(pa + 8, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_os::{FrameAllocator, PersistentFrameAllocator, Region};
+    use kindle_types::physmem::FlatMem;
+
+    fn setup() -> (FlatMem, FramePools, MappingTable) {
+        let mut mem = FlatMem::new(32 << 20);
+        let mut pools = FramePools {
+            dram: FrameAllocator::new("dram", Pfn::new(16), 2048),
+            nvm: PersistentFrameAllocator::new(
+                FrameAllocator::new("nvm", Pfn::new(4096), 1024),
+                Region { base: PhysAddr::new(0x1000), size: 0x1000 },
+            ),
+        };
+        let table =
+            MappingTable::new(&mut mem, &mut pools, Pfn::new(4096), 1024, 16).unwrap();
+        (mem, pools, table)
+    }
+
+    #[test]
+    fn forward_round_trip() {
+        let (mut mem, _pools, table) = setup();
+        let nvm = Pfn::new(4100);
+        assert_eq!(table.lookup(&mut mem, nvm), None);
+        table.set(&mut mem, nvm, Some(Pfn::new(33)));
+        assert_eq!(table.lookup(&mut mem, nvm), Some(Pfn::new(33)));
+        table.set(&mut mem, nvm, None);
+        assert_eq!(table.lookup(&mut mem, nvm), None);
+    }
+
+    #[test]
+    fn reverse_round_trip() {
+        let (mut mem, _pools, table) = setup();
+        table.set_reverse(&mut mem, 3, Pfn::new(5000), Vpn::new(0x40aaa));
+        assert_eq!(table.reverse(&mut mem, 3), (Pfn::new(5000), Vpn::new(0x40aaa)));
+        table.clear_reverse(&mut mem, 3);
+        assert_eq!(table.reverse(&mut mem, 3), (Pfn::new(0), Vpn::new(0)));
+    }
+
+    #[test]
+    fn distinct_entries_do_not_alias() {
+        let (mut mem, _pools, table) = setup();
+        table.set(&mut mem, Pfn::new(4096), Some(Pfn::new(1)));
+        table.set(&mut mem, Pfn::new(4097), Some(Pfn::new(2)));
+        assert_eq!(table.lookup(&mut mem, Pfn::new(4096)), Some(Pfn::new(1)));
+        assert_eq!(table.lookup(&mut mem, Pfn::new(4097)), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside table coverage")]
+    fn out_of_range_nvm_rejected() {
+        let (mut mem, _pools, table) = setup();
+        table.lookup(&mut mem, Pfn::new(99999));
+    }
+}

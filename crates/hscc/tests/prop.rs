@@ -1,0 +1,89 @@
+//! Property tests for HSCC's pool and mapping table.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kindle_hscc::{DramPool, ListKind, MappingTable};
+use kindle_os::{FrameAllocator, FramePools, PersistentFrameAllocator, Region};
+use kindle_types::physmem::FlatMem;
+use kindle_types::{PhysAddr, Pfn, Vpn};
+
+fn occ(n: u64) -> kindle_hscc::pool::Occupant {
+    kindle_hscc::pool::Occupant { nvm: Pfn::new(5000 + n), vpn: Vpn::new(0x40000 + n), pid: 1 }
+}
+
+proptest! {
+    /// Pool conservation: every take() hands out a slot at most once per
+    /// refresh cycle; occupancy and list sizes always balance.
+    #[test]
+    fn pool_take_never_duplicates(
+        rounds in prop::collection::vec(
+            (0usize..20, prop::collection::vec(any::<bool>(), 0..16)),
+            1..10
+        )
+    ) {
+        let mut pool = DramPool::new((0..16u64).map(|i| Pfn::new(100 + i)).collect());
+        let mut tag = 0u64;
+        for (takes, dirtiness) in rounds {
+            // Interval start: classify occupied slots pseudo-randomly.
+            pool.refresh(|slot, _| dirtiness.get(slot).copied().unwrap_or(false));
+            let snap = pool.snapshot();
+            prop_assert_eq!(snap.free + snap.clean + snap.dirty, 16);
+            let mut taken = std::collections::HashSet::new();
+            for _ in 0..takes {
+                match pool.take() {
+                    Some((slot, prev, kind)) => {
+                        prop_assert!(taken.insert(slot), "slot {slot} taken twice in one interval");
+                        match kind {
+                            ListKind::Free => prop_assert!(prev.is_none()),
+                            _ => prop_assert!(prev.is_some()),
+                        }
+                        tag += 1;
+                        pool.occupy(slot, occ(tag));
+                    }
+                    None => {
+                        prop_assert!(taken.len() >= 16, "take failed with slots remaining");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The mapping table is a partial bijection: forward and reverse stay
+    /// consistent under arbitrary set/clear sequences.
+    #[test]
+    fn mapping_table_bijective(ops in prop::collection::vec((0u64..128, 0u64..16, any::<bool>()), 1..100)) {
+        let mut mem = FlatMem::new(16 << 20);
+        let mut pools = FramePools {
+            dram: FrameAllocator::new("dram", Pfn::new(16), 512),
+            nvm: PersistentFrameAllocator::new(
+                FrameAllocator::new("nvm", Pfn::new(2048), 512),
+                Region { base: PhysAddr::new(0x1000), size: 0x1000 },
+            ),
+        };
+        let table = MappingTable::new(&mut mem, &mut pools, Pfn::new(2048), 128, 16).unwrap();
+        let mut fwd_model: HashMap<u64, u64> = HashMap::new();
+        for (nvm_off, slot, set) in ops {
+            let nvm = Pfn::new(2048 + nvm_off);
+            if set {
+                let dram = Pfn::new(900 + slot);
+                table.set(&mut mem, nvm, Some(dram));
+                table.set_reverse(&mut mem, slot, nvm, Vpn::new(0x999));
+                fwd_model.insert(nvm_off, 900 + slot);
+            } else {
+                table.set(&mut mem, nvm, None);
+                fwd_model.remove(&nvm_off);
+            }
+            // Forward lookups match the model for all touched entries.
+            for (&off, &dram) in &fwd_model {
+                prop_assert_eq!(
+                    table.lookup(&mut mem, Pfn::new(2048 + off)),
+                    Some(Pfn::new(dram))
+                );
+            }
+            prop_assert_eq!(table.lookup(&mut mem, nvm).is_some(), fwd_model.contains_key(&nvm_off));
+        }
+    }
+}

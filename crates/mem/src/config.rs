@@ -1,0 +1,161 @@
+//! Memory configuration, defaulting to the paper's Table I settings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::e820::E820Map;
+
+/// Gibibyte shorthand.
+pub const GIB: u64 = 1 << 30;
+
+/// DRAM device timing and geometry (DDR4-2400-ish).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Latency of an access that hits the open row of a bank, in ns.
+    pub row_hit_ns: u64,
+    /// Latency of an access that must open a new row, in ns.
+    pub row_miss_ns: u64,
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Row (page) size per bank in bytes.
+    pub row_bytes: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // DDR4-2400: CAS-limited hit ~ 25 ns, full ACT+CAS ~ 50 ns.
+        DramConfig {
+            row_hit_ns: 25,
+            row_miss_ns: 50,
+            banks: 16,
+            row_bytes: 8192,
+        }
+    }
+}
+
+/// NVM (PCM) device timing, based on the parameters of Song et al. that the
+/// paper cites for its gem5 PCM interface.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmConfig {
+    /// Array read latency in ns.
+    pub read_ns: u64,
+    /// Cell write (service) latency in ns — PCM writes are slow.
+    pub write_service_ns: u64,
+    /// Entries in the write buffer (Table I: 48).
+    pub write_buffer: usize,
+    /// Independent write banks draining the buffer in parallel (sustained
+    /// write throughput = banks / write_service_ns).
+    pub write_banks: usize,
+    /// Entries in the read buffer (Table I: 64).
+    pub read_buffer: usize,
+    /// Cost of inserting a write into a non-full buffer, in ns.
+    pub buffer_insert_ns: u64,
+    /// Latency of a read forwarded from a pending buffered write, in ns.
+    pub forward_ns: u64,
+}
+
+impl NvmConfig {
+    /// Phase-change memory — the paper's Table I configuration (timings
+    /// after Song et al.). This is the default.
+    pub fn pcm() -> Self {
+        NvmConfig {
+            read_ns: 150,
+            write_service_ns: 500,
+            write_buffer: 48,
+            write_banks: 8,
+            read_buffer: 64,
+            buffer_insert_ns: 10,
+            forward_ns: 30,
+        }
+    }
+
+    /// STT-MRAM: near-DRAM reads, moderately slow writes.
+    pub fn stt_mram() -> Self {
+        NvmConfig { read_ns: 35, write_service_ns: 100, ..Self::pcm() }
+    }
+
+    /// ReRAM: between PCM and STT-MRAM on both paths.
+    pub fn reram() -> Self {
+        NvmConfig { read_ns: 100, write_service_ns: 300, ..Self::pcm() }
+    }
+
+    /// Optane-DC-like: slow loaded reads, writes absorbed by a large
+    /// on-DIMM buffer draining fast.
+    pub fn optane_dc() -> Self {
+        NvmConfig {
+            read_ns: 300,
+            write_service_ns: 100,
+            write_buffer: 64,
+            write_banks: 8,
+            ..Self::pcm()
+        }
+    }
+
+    /// All named technology profiles with labels (for sweeps).
+    pub fn technologies() -> Vec<(&'static str, NvmConfig)> {
+        vec![
+            ("PCM", Self::pcm()),
+            ("STT-MRAM", Self::stt_mram()),
+            ("ReRAM", Self::reram()),
+            ("Optane-DC", Self::optane_dc()),
+        ]
+    }
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        Self::pcm()
+    }
+}
+
+/// Complete memory-system configuration: device timings plus the physical
+/// layout (which address ranges are DRAM vs. NVM).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// DRAM timing/geometry.
+    pub dram: DramConfig,
+    /// NVM timing/buffering.
+    pub nvm: NvmConfig,
+    /// Physical address layout.
+    pub layout: E820Map,
+}
+
+impl MemConfig {
+    /// Builds a config with the given capacities and default timings.
+    /// DRAM occupies `[0, dram_bytes)`, NVM follows contiguously — the same
+    /// flat-address-mode partitioning Kindle inserts into the gem5 e820 map.
+    pub fn with_capacities(dram_bytes: u64, nvm_bytes: u64) -> Self {
+        MemConfig {
+            dram: DramConfig::default(),
+            nvm: NvmConfig::default(),
+            layout: E820Map::flat(dram_bytes, nvm_bytes),
+        }
+    }
+}
+
+impl Default for MemConfig {
+    /// Table I: 3 GB DRAM + 2 GB NVM.
+    fn default() -> Self {
+        MemConfig::with_capacities(3 * GIB, 2 * GIB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_types::MemKind;
+
+    #[test]
+    fn default_matches_table_i() {
+        let cfg = MemConfig::default();
+        assert_eq!(cfg.nvm.write_buffer, 48);
+        assert_eq!(cfg.nvm.read_buffer, 64);
+        assert_eq!(cfg.layout.range(MemKind::Dram).size, 3 * GIB);
+        assert_eq!(cfg.layout.range(MemKind::Nvm).size, 2 * GIB);
+    }
+
+    #[test]
+    fn nvm_write_slower_than_read() {
+        let cfg = NvmConfig::default();
+        assert!(cfg.write_service_ns > cfg.read_ns);
+    }
+}

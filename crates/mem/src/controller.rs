@@ -1,0 +1,301 @@
+//! The memory controller: dispatch, data image, and crash durability.
+//!
+//! The controller owns two things:
+//!
+//! 1. **Timing**: it routes each cache-line access to the DRAM or NVM device
+//!    model according to the e820 layout and returns the latency.
+//! 2. **Data**: a sparse byte image of physical memory. Stores land in the
+//!    *volatile* image immediately (that is what subsequent loads see — it
+//!    stands in for data sitting in caches or memory). For NVM addresses the
+//!    controller snapshots the previous durable value of a line the first
+//!    time it is dirtied; [`commit_line`](MemoryController::commit_line)
+//!    (called on cache write-back or `clwb`) promotes the volatile value to
+//!    durable. On [`crash`](MemoryController::crash), un-committed NVM lines
+//!    revert and all DRAM contents are wiped — exactly the semantics the
+//!    paper's process-persistence machinery must survive.
+
+use std::collections::HashMap;
+
+use kindle_types::{
+    AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE,
+};
+
+use crate::config::MemConfig;
+use crate::dram::DramDevice;
+use crate::e820::E820Map;
+use crate::nvm::NvmDevice;
+use crate::stats::MemStats;
+
+type PageBox = Box<[u8; PAGE_SIZE]>;
+
+/// Hybrid DRAM + NVM memory controller. See the module docs.
+#[derive(Debug)]
+pub struct MemoryController {
+    layout: E820Map,
+    dram: DramDevice,
+    nvm: NvmDevice,
+    /// Sparse volatile image: what loads observe.
+    pages: HashMap<u64, PageBox>,
+    /// Durable snapshots for dirtied-but-not-committed NVM lines, keyed by
+    /// line base address.
+    nvm_undo: HashMap<u64, [u8; 64]>,
+    nvm_lines_committed: u64,
+    nvm_lines_lost_on_crash: u64,
+    crashes: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller for the given configuration, with all memory
+    /// reading as zero.
+    pub fn new(cfg: &MemConfig) -> Self {
+        MemoryController {
+            layout: cfg.layout.clone(),
+            dram: DramDevice::new(cfg.dram.clone()),
+            nvm: NvmDevice::new(cfg.nvm.clone()),
+            pages: HashMap::new(),
+            nvm_undo: HashMap::new(),
+            nvm_lines_committed: 0,
+            nvm_lines_lost_on_crash: 0,
+            crashes: 0,
+        }
+    }
+
+    /// The physical layout.
+    pub fn layout(&self) -> &E820Map {
+        &self.layout
+    }
+
+    /// Backing kind of `pa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KindleError::BadPhysAddr`] for addresses outside the map.
+    pub fn kind_of(&self, pa: PhysAddr) -> Result<MemKind> {
+        self.layout.kind_of(pa)
+    }
+
+    /// Services the timing of one cache-line access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is outside the memory map (simulation bug).
+    pub fn access(&mut self, pa: PhysAddr, kind: AccessKind, now: Cycles) -> Cycles {
+        match self.layout.kind_of(pa).expect("access within memory map") {
+            MemKind::Dram => self.dram.access(pa, kind, now),
+            MemKind::Nvm => self.nvm.access(pa, kind, now),
+        }
+    }
+
+    /// Latency of draining the NVM write buffer (durability barrier).
+    pub fn nvm_drain_latency(&mut self, now: Cycles) -> Cycles {
+        self.nvm.drain_latency(now)
+    }
+
+    // ---- data plane -----------------------------------------------------
+
+    fn page_mut(&mut self, pfn: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(pfn)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads bytes from the volatile image (zero-filled where untouched).
+    pub fn load_bytes(&self, pa: PhysAddr, buf: &mut [u8]) {
+        let mut addr = pa.as_u64();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pfn = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            match self.pages.get(&pfn) {
+                Some(p) => buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+            addr += chunk as u64;
+        }
+    }
+
+    /// Writes bytes to the volatile image, snapshotting NVM lines for crash
+    /// rollback the first time each line is dirtied.
+    pub fn store_bytes(&mut self, pa: PhysAddr, data: &[u8]) {
+        // Snapshot undo state for NVM lines before mutating.
+        if self.layout.kind_of(pa) == Ok(MemKind::Nvm) {
+            let first = pa.line_base().as_u64();
+            let last = (pa.as_u64() + data.len().max(1) as u64 - 1) & !63;
+            let mut line = first;
+            while line <= last {
+                if !self.nvm_undo.contains_key(&line) {
+                    let mut snap = [0u8; 64];
+                    self.load_bytes(PhysAddr::new(line), &mut snap);
+                    self.nvm_undo.insert(line, snap);
+                }
+                line += 64;
+            }
+        }
+        let mut addr = pa.as_u64();
+        let mut done = 0usize;
+        while done < data.len() {
+            let pfn = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+            let chunk = (PAGE_SIZE - off).min(data.len() - done);
+            self.page_mut(pfn)[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+            addr += chunk as u64;
+        }
+    }
+
+    /// Marks the cache line containing `pa` durable (write-back reached the
+    /// device). No-op for DRAM lines or lines never dirtied.
+    pub fn commit_line(&mut self, pa: PhysAddr) {
+        if self.nvm_undo.remove(&pa.line_base().as_u64()).is_some() {
+            self.nvm_lines_committed += 1;
+        }
+    }
+
+    /// Commits every outstanding NVM line (orderly shutdown / full flush).
+    pub fn commit_all(&mut self) {
+        self.nvm_lines_committed += self.nvm_undo.len() as u64;
+        self.nvm_undo.clear();
+    }
+
+    /// Number of NVM lines dirtied but not yet durable.
+    pub fn volatile_nvm_lines(&self) -> usize {
+        self.nvm_undo.len()
+    }
+
+    /// Simulates a power failure: un-committed NVM lines revert to their
+    /// durable contents, all DRAM contents are wiped, and device state is
+    /// reset. Caches/TLBs are the caller's responsibility.
+    pub fn crash(&mut self) {
+        self.crashes += 1;
+        self.nvm_lines_lost_on_crash = self.nvm_undo.len() as u64;
+        let undo: Vec<(u64, [u8; 64])> = self.nvm_undo.drain().collect();
+        for (line, snap) in undo {
+            // Restore bytes directly without creating new undo entries.
+            let pfn = line >> PAGE_SHIFT;
+            let off = (line & (PAGE_SIZE as u64 - 1)) as usize;
+            self.page_mut(pfn)[off..off + 64].copy_from_slice(&snap);
+        }
+        // Wipe DRAM pages.
+        let layout = self.layout.clone();
+        self.pages.retain(|&pfn, _| {
+            layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm)
+        });
+        self.dram.reset();
+        self.nvm.reset();
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            dram: self.dram.stats().clone(),
+            nvm: self.nvm.stats().clone(),
+            nvm_lines_committed: self.nvm_lines_committed,
+            nvm_lines_lost_on_crash: self.nvm_lines_lost_on_crash,
+            crashes: self.crashes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> (MemoryController, PhysAddr, PhysAddr) {
+        let cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+        let dram_pa = PhysAddr::new(0x1000);
+        let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x1000;
+        (MemoryController::new(&cfg), dram_pa, nvm_pa)
+    }
+
+    #[test]
+    fn dispatch_by_kind() {
+        let (mut m, dram_pa, nvm_pa) = mc();
+        assert_eq!(m.kind_of(dram_pa).unwrap(), MemKind::Dram);
+        assert_eq!(m.kind_of(nvm_pa).unwrap(), MemKind::Nvm);
+        let d = m.access(dram_pa, AccessKind::Read, Cycles::ZERO);
+        let n = m.access(nvm_pa, AccessKind::Read, Cycles::ZERO);
+        assert!(n > d, "nvm read ({n}) should exceed dram read ({d})");
+    }
+
+    #[test]
+    fn data_round_trip_across_pages() {
+        let (mut m, dram_pa, _) = mc();
+        let data: Vec<u8> = (0..9000).map(|i| (i % 251) as u8).collect();
+        m.store_bytes(dram_pa, &data);
+        let mut back = vec![0u8; data.len()];
+        m.load_bytes(dram_pa, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let (m, dram_pa, _) = mc();
+        let mut buf = [0xffu8; 32];
+        m.load_bytes(dram_pa, &mut buf);
+        assert_eq!(buf, [0u8; 32]);
+    }
+
+    #[test]
+    fn crash_wipes_dram() {
+        let (mut m, dram_pa, _) = mc();
+        m.store_bytes(dram_pa, b"volatile!");
+        m.crash();
+        let mut buf = [0u8; 9];
+        m.load_bytes(dram_pa, &mut buf);
+        assert_eq!(buf, [0u8; 9]);
+    }
+
+    #[test]
+    fn crash_reverts_uncommitted_nvm() {
+        let (mut m, _, nvm_pa) = mc();
+        m.store_bytes(nvm_pa, b"AAAA");
+        m.commit_line(nvm_pa); // durable now
+        m.store_bytes(nvm_pa, b"BBBB"); // dirty, not committed
+        m.crash();
+        let mut buf = [0u8; 4];
+        m.load_bytes(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"AAAA", "uncommitted write must roll back");
+        assert_eq!(m.stats().nvm_lines_lost_on_crash, 1);
+    }
+
+    #[test]
+    fn committed_nvm_survives_crash() {
+        let (mut m, _, nvm_pa) = mc();
+        m.store_bytes(nvm_pa, b"keepme");
+        m.commit_line(nvm_pa);
+        m.crash();
+        let mut buf = [0u8; 6];
+        m.load_bytes(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"keepme");
+    }
+
+    #[test]
+    fn commit_all_flushes_everything() {
+        let (mut m, _, nvm_pa) = mc();
+        for i in 0..10u64 {
+            m.store_bytes(nvm_pa + i * 64, &[i as u8; 8]);
+        }
+        assert_eq!(m.volatile_nvm_lines(), 10);
+        m.commit_all();
+        assert_eq!(m.volatile_nvm_lines(), 0);
+        m.crash();
+        let mut b = [0u8; 1];
+        m.load_bytes(nvm_pa + 9 * 64, &mut b);
+        assert_eq!(b[0], 9);
+    }
+
+    #[test]
+    fn undo_snapshot_taken_once_per_line() {
+        let (mut m, _, nvm_pa) = mc();
+        m.store_bytes(nvm_pa, b"first");
+        m.commit_line(nvm_pa);
+        m.store_bytes(nvm_pa, b"second");
+        m.store_bytes(nvm_pa, b"third!"); // same line, snapshot must stay "first"
+        m.crash();
+        let mut buf = [0u8; 5];
+        m.load_bytes(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"first");
+    }
+}

@@ -1,0 +1,213 @@
+//! PCM NVM timing model: asymmetric latencies and a draining write buffer.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use kindle_types::{AccessKind, Cycles, PhysAddr};
+
+use crate::config::NvmConfig;
+
+/// Per-device NVM statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmStats {
+    /// Array reads serviced.
+    pub reads: u64,
+    /// Reads forwarded from the write buffer.
+    pub forwarded_reads: u64,
+    /// Writes accepted.
+    pub writes: u64,
+    /// Writes that found the buffer full and stalled.
+    pub write_stalls: u64,
+    /// Cycles the requester spent stalled on a full write buffer.
+    pub stall_cycles: Cycles,
+    /// Total cycles of latency handed out.
+    pub busy_cycles: Cycles,
+}
+
+/// A PCM device.
+///
+/// Writes are absorbed by a write buffer of `cfg.write_buffer` entries and
+/// drained serially at the (slow) cell-write service latency; a write that
+/// finds the buffer full stalls the requester until the oldest entry drains.
+/// Reads check the write buffer first (forwarding), then pay the array read
+/// latency. This reproduces the behaviour that matters in the paper: bursts
+/// of NVM writes (checkpoints, logging, page-table updates in the
+/// *persistent* scheme) are cheap while short, then hit a drain-rate wall.
+#[derive(Clone, Debug)]
+pub struct NvmDevice {
+    cfg: NvmConfig,
+    /// Completion time of each in-flight buffered write, oldest first,
+    /// paired with the line address it targets.
+    write_queue: VecDeque<(Cycles, u64)>,
+    stats: NvmStats,
+}
+
+impl NvmDevice {
+    /// Creates an idle device.
+    pub fn new(cfg: NvmConfig) -> Self {
+        NvmDevice {
+            write_queue: VecDeque::with_capacity(cfg.write_buffer),
+            cfg,
+            stats: NvmStats::default(),
+        }
+    }
+
+    /// Drops completed writes from the queue head.
+    fn drain(&mut self, now: Cycles) {
+        while let Some(&(done, _)) = self.write_queue.front() {
+            if done <= now {
+                self.write_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Services one cache-line access and returns its latency.
+    pub fn access(&mut self, pa: PhysAddr, kind: AccessKind, now: Cycles) -> Cycles {
+        self.drain(now);
+        let line = pa.line_base().as_u64();
+        let lat = match kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                if self.write_queue.iter().any(|&(_, l)| l == line) {
+                    self.stats.forwarded_reads += 1;
+                    Cycles::from_nanos(self.cfg.forward_ns)
+                } else {
+                    Cycles::from_nanos(self.cfg.read_ns)
+                }
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                let mut lat = Cycles::from_nanos(self.cfg.buffer_insert_ns);
+                let mut effective_now = now;
+                if self.write_queue.len() >= self.cfg.write_buffer {
+                    // Stall until the oldest entry drains.
+                    let (oldest, _) = self.write_queue.pop_front().expect("non-empty queue");
+                    let stall = oldest.saturating_sub(now);
+                    self.stats.write_stalls += 1;
+                    self.stats.stall_cycles += stall;
+                    lat += stall;
+                    effective_now = effective_now.max(oldest);
+                }
+                // Banked drain: writes complete one inter-bank gap after the
+                // previous one (or a full service time from idle).
+                let gap = Cycles::from_nanos(
+                    (self.cfg.write_service_ns / self.cfg.write_banks.max(1) as u64).max(1),
+                );
+                let done = match self.write_queue.back() {
+                    Some(&(prev, _)) => prev.max(effective_now) + gap,
+                    None => effective_now + Cycles::from_nanos(self.cfg.write_service_ns),
+                };
+                self.write_queue.push_back((done, line));
+                lat
+            }
+        };
+        self.stats.busy_cycles += lat;
+        lat
+    }
+
+    /// Latency of waiting for the entire write buffer to drain (used by
+    /// fence-like operations that require durability of all prior writes).
+    pub fn drain_latency(&mut self, now: Cycles) -> Cycles {
+        self.drain(now);
+        let done = self
+            .write_queue
+            .back()
+            .map(|&(d, _)| d)
+            .unwrap_or(Cycles::ZERO);
+        let wait = done.saturating_sub(now);
+        self.write_queue.clear();
+        wait
+    }
+
+    /// Number of writes currently buffered (after draining completed ones).
+    pub fn pending_writes(&mut self, now: Cycles) -> usize {
+        self.drain(now);
+        self.write_queue.len()
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Power-cycle: in-flight buffered writes are lost (the controller's
+    /// durability image decides what data survived).
+    pub fn reset(&mut self) {
+        self.write_queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NvmDevice {
+        NvmDevice::new(NvmConfig::default())
+    }
+
+    #[test]
+    fn read_slower_than_buffered_write() {
+        let mut d = dev();
+        let w = d.access(PhysAddr::new(0), AccessKind::Write, Cycles::ZERO);
+        let r = d.access(PhysAddr::new(4096), AccessKind::Read, Cycles::ZERO);
+        assert!(w < r, "buffered write ({w}) should beat array read ({r})");
+    }
+
+    #[test]
+    fn read_forwards_from_write_buffer() {
+        let mut d = dev();
+        d.access(PhysAddr::new(128), AccessKind::Write, Cycles::ZERO);
+        let r = d.access(PhysAddr::new(128), AccessKind::Read, Cycles::ZERO);
+        assert_eq!(r, Cycles::from_nanos(NvmConfig::default().forward_ns));
+        assert_eq!(d.stats().forwarded_reads, 1);
+    }
+
+    #[test]
+    fn write_burst_stalls_when_buffer_full() {
+        let cfg = NvmConfig::default();
+        let mut d = NvmDevice::new(cfg.clone());
+        let now = Cycles::ZERO;
+        for i in 0..cfg.write_buffer {
+            let lat = d.access(PhysAddr::new(64 * i as u64), AccessKind::Write, now);
+            assert_eq!(lat, Cycles::from_nanos(cfg.buffer_insert_ns));
+        }
+        let lat = d.access(PhysAddr::new(1 << 20), AccessKind::Write, now);
+        assert!(
+            lat > Cycles::from_nanos(cfg.write_service_ns / 2),
+            "49th write at t=0 should stall on the drain: {lat}"
+        );
+        assert_eq!(d.stats().write_stalls, 1);
+    }
+
+    #[test]
+    fn buffer_drains_over_time() {
+        let cfg = NvmConfig::default();
+        let mut d = NvmDevice::new(cfg.clone());
+        for i in 0..cfg.write_buffer {
+            d.access(PhysAddr::new(64 * i as u64), AccessKind::Write, Cycles::ZERO);
+        }
+        assert_eq!(d.pending_writes(Cycles::ZERO), cfg.write_buffer);
+        let much_later = Cycles::from_millis(1);
+        assert_eq!(d.pending_writes(much_later), 0);
+        // After draining, a write is cheap again.
+        let lat = d.access(PhysAddr::new(0), AccessKind::Write, much_later);
+        assert_eq!(lat, Cycles::from_nanos(cfg.buffer_insert_ns));
+    }
+
+    #[test]
+    fn drain_latency_waits_for_all() {
+        let mut d = dev();
+        for i in 0..10u64 {
+            d.access(PhysAddr::new(64 * i), AccessKind::Write, Cycles::ZERO);
+        }
+        let cfg = NvmConfig::default();
+        let gap = cfg.write_service_ns / cfg.write_banks as u64;
+        let min_drain = cfg.write_service_ns + 9 * gap;
+        let wait = d.drain_latency(Cycles::ZERO);
+        assert!(wait >= Cycles::from_nanos(min_drain), "drain {wait} too short");
+        assert_eq!(d.pending_writes(Cycles::ZERO), 0);
+    }
+}

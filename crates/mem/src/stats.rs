@@ -1,0 +1,41 @@
+//! Aggregated memory-system statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dram::DramStats;
+use crate::nvm::NvmStats;
+
+/// Roll-up of DRAM and NVM device statistics plus controller counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// DRAM device stats.
+    pub dram: DramStats,
+    /// NVM device stats.
+    pub nvm: NvmStats,
+    /// Cache-line write-backs committed to the durable NVM image.
+    pub nvm_lines_committed: u64,
+    /// NVM lines reverted to their durable value on the last crash.
+    pub nvm_lines_lost_on_crash: u64,
+    /// Number of crash events.
+    pub crashes: u64,
+}
+
+impl MemStats {
+    /// Total accesses across both devices.
+    pub fn total_accesses(&self) -> u64 {
+        self.dram.reads + self.dram.writes + self.nvm.reads + self.nvm.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_both_devices() {
+        let mut s = MemStats::default();
+        s.dram.reads = 3;
+        s.nvm.writes = 4;
+        assert_eq!(s.total_accesses(), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the memory controller's data and durability planes.
+
+use proptest::prelude::*;
+
+use kindle_mem::{MemConfig, MemoryController};
+use kindle_types::{MemKind, PhysAddr};
+
+fn mc() -> (MemoryController, u64) {
+    let cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+    let nvm_base = cfg.layout.range(MemKind::Nvm).base.as_u64();
+    (MemoryController::new(&cfg), nvm_base)
+}
+
+proptest! {
+    /// Arbitrary stores at arbitrary offsets/lengths always read back.
+    #[test]
+    fn stores_read_back(
+        writes in prop::collection::vec((0u64..(8 << 20), prop::collection::vec(any::<u8>(), 1..200)), 1..20)
+    ) {
+        let (mut m, _) = mc();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        for (off, data) in &writes {
+            m.store_bytes(PhysAddr::new(*off), data);
+            for (i, b) in data.iter().enumerate() {
+                model.insert(off + i as u64, *b);
+            }
+        }
+        for (&addr, &expect) in &model {
+            let mut buf = [0u8; 1];
+            m.load_bytes(PhysAddr::new(addr), &mut buf);
+            prop_assert_eq!(buf[0], expect, "byte at {:#x}", addr);
+        }
+    }
+
+    /// Crash semantics: committed NVM lines keep their committed value,
+    /// uncommitted lines revert to it, DRAM is wiped — for arbitrary
+    /// interleavings of stores and commits.
+    #[test]
+    fn crash_durability_is_exact(
+        ops in prop::collection::vec((0u64..256, any::<u8>(), any::<bool>()), 1..120)
+    ) {
+        let (mut m, nvm_base) = mc();
+        // durable[line] and volatile[line] per-line values (one byte used).
+        let mut durable = std::collections::HashMap::<u64, u8>::new();
+        let mut volatile = std::collections::HashMap::<u64, u8>::new();
+        for (line, value, commit) in ops {
+            let pa = PhysAddr::new(nvm_base + line * 64);
+            m.store_bytes(pa, &[value]);
+            volatile.insert(line, value);
+            if commit {
+                m.commit_line(pa);
+                durable.insert(line, value);
+            }
+            // DRAM side store too.
+            m.store_bytes(PhysAddr::new(line * 64), &[value]);
+        }
+        m.crash();
+        for line in 0..256u64 {
+            let mut buf = [0u8; 1];
+            m.load_bytes(PhysAddr::new(nvm_base + line * 64), &mut buf);
+            prop_assert_eq!(
+                buf[0],
+                durable.get(&line).copied().unwrap_or(0),
+                "nvm line {} after crash", line
+            );
+            m.load_bytes(PhysAddr::new(line * 64), &mut buf);
+            prop_assert_eq!(buf[0], 0, "dram line {} must be wiped", line);
+        }
+        let _ = volatile;
+    }
+
+    /// The e820 map classifies every address into exactly one range.
+    #[test]
+    fn layout_dispatch_total(addr in 0u64..(32 << 20)) {
+        let (m, nvm_base) = mc();
+        let kind = m.kind_of(PhysAddr::new(addr)).unwrap();
+        if addr < nvm_base {
+            prop_assert_eq!(kind, MemKind::Dram);
+        } else {
+            prop_assert_eq!(kind, MemKind::Nvm);
+        }
+    }
+}

@@ -1,0 +1,804 @@
+//! The kernel: pools, processes, system calls and demand paging.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use kindle_mem::E820Map;
+use kindle_types::{
+    AccessKind, Cycles, KindleError, MapFlags, MemKind, PhysMem, Prot, Pte, Result,
+    VirtAddr, Vpn, PAGE_SIZE,
+};
+
+use crate::costs::KernelCosts;
+use crate::frame::{FrameAllocator, FramePools, PersistentFrameAllocator};
+use crate::layout::NvmLayout;
+use crate::meta::MetaRecord;
+use crate::pagetable::{vpn_va, AddressSpace, PtMode};
+use crate::process::{ProcState, Process};
+use crate::vma::{vma_from_request, Vma};
+
+/// Kernel construction parameters.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Physical memory map the BIOS hands over.
+    pub memory_map: E820Map,
+    /// Page-table maintenance scheme for new processes.
+    pub pt_mode: PtMode,
+    /// Instruction-cost table.
+    pub costs: KernelCosts,
+    /// DRAM frames reserved at the bottom for the kernel image.
+    pub dram_reserved_frames: u64,
+}
+
+impl KernelConfig {
+    /// Config over an existing memory map with default costs.
+    pub fn new(memory_map: E820Map, pt_mode: PtMode) -> Self {
+        KernelConfig {
+            memory_map,
+            pt_mode,
+            costs: KernelCosts::default(),
+            dram_reserved_frames: 256,
+        }
+    }
+
+    /// Small split-in-half map with cheap costs for unit tests.
+    pub fn for_test(total_bytes: u64) -> Self {
+        let half = (total_bytes / 2) & !(PAGE_SIZE as u64 - 1);
+        KernelConfig {
+            memory_map: E820Map::flat(half, half),
+            pt_mode: PtMode::Rebuild,
+            costs: KernelCosts::for_test(),
+            dram_reserved_frames: 16,
+        }
+    }
+}
+
+/// Counters of kernel activity.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// `mmap` calls served.
+    pub mmaps: u64,
+    /// `munmap` calls served.
+    pub munmaps: u64,
+    /// `mremap` calls served.
+    pub mremaps: u64,
+    /// `mprotect` calls served.
+    pub mprotects: u64,
+    /// Demand-paging faults handled.
+    pub page_faults: u64,
+    /// Pages given frames.
+    pub pages_mapped: u64,
+    /// Pages whose frames were reclaimed.
+    pub pages_unmapped: u64,
+}
+
+/// Result of an munmap/mremap: pages whose translations must be shot down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnmapOutcome {
+    /// Virtual pages that lost their mapping (TLB shootdown list).
+    pub unmapped: Vec<Vpn>,
+}
+
+/// The gemOS-analog kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    /// Instruction-cost table (public: experiments tune it).
+    pub costs: KernelCosts,
+    pt_mode: PtMode,
+    /// NVM reserved-region layout.
+    pub layout: NvmLayout,
+    /// Physical frame pools.
+    pub pools: FramePools,
+    procs: BTreeMap<u32, Process>,
+    next_pid: u32,
+    meta_records: Vec<MetaRecord>,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Boots the kernel: reads the memory map, carves the NVM layout and
+    /// builds the frame pools.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; returns `Result` for future BIOS
+    /// validation.
+    pub fn new(cfg: KernelConfig, _mem: &mut dyn PhysMem) -> Result<Self> {
+        let layout = NvmLayout::from_map(&cfg.memory_map);
+        let dram = cfg.memory_map.range(MemKind::Dram);
+        let dram_start = dram.base.page_number() + cfg.dram_reserved_frames;
+        let dram_frames = dram.frames() - cfg.dram_reserved_frames;
+        let nvm_start = layout.general.base.page_number();
+        let nvm_frames = layout.general.frames();
+        let pools = FramePools {
+            dram: FrameAllocator::new("dram", dram_start, dram_frames),
+            nvm: PersistentFrameAllocator::new(
+                FrameAllocator::new("nvm", nvm_start, nvm_frames),
+                layout.alloc_bitmap,
+            ),
+        };
+        Ok(Kernel {
+            costs: cfg.costs,
+            pt_mode: cfg.pt_mode,
+            layout,
+            pools,
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            meta_records: Vec::new(),
+            stats: KernelStats::default(),
+        })
+    }
+
+    /// Page-table scheme in force.
+    pub fn pt_mode(&self) -> PtMode {
+        self.pt_mode
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Live process ids.
+    pub fn pids(&self) -> Vec<u32> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Immutable process access.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::NoSuchProcess`] for unknown pids.
+    pub fn process(&self, pid: u32) -> Result<&Process> {
+        self.procs.get(&pid).ok_or(KindleError::NoSuchProcess(pid))
+    }
+
+    /// Mutable process access.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::NoSuchProcess`] for unknown pids.
+    pub fn process_mut(&mut self, pid: u32) -> Result<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))
+    }
+
+    /// Inserts an externally built process (crash recovery).
+    pub fn adopt_process(&mut self, proc: Process) {
+        self.next_pid = self.next_pid.max(proc.pid + 1);
+        self.procs.insert(proc.pid, proc);
+    }
+
+    /// Drains metadata modification records for the persistence redo log.
+    pub fn take_meta_records(&mut self) -> Vec<MetaRecord> {
+        std::mem::take(&mut self.meta_records)
+    }
+
+    /// Creates a process with an empty address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-pool exhaustion.
+    pub fn create_process(&mut self, mem: &mut dyn PhysMem) -> Result<u32> {
+        mem.advance(Cycles::new(self.costs.syscall_entry));
+        let pid = self.next_pid;
+        let aspace =
+            AddressSpace::new(mem, &mut self.pools, self.pt_mode, self.layout.pt_log)?;
+        self.procs.insert(pid, Process::new(pid, aspace));
+        self.next_pid += 1;
+        self.meta_records.push(MetaRecord::ProcessCreate { pid });
+        Ok(pid)
+    }
+
+    /// Destroys a process, reclaiming data and table frames.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::NoSuchProcess`] for unknown pids.
+    pub fn destroy_process(&mut self, mem: &mut dyn PhysMem, pid: u32) -> Result<()> {
+        let mut proc = self.procs.remove(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        // Free every mapped data frame.
+        let mut leaves = Vec::new();
+        proc.aspace.for_each_leaf(mem, |_, vpn, pte, _| leaves.push((vpn, pte.pfn())));
+        for (vpn, pfn) in leaves {
+            proc.aspace.unmap(mem, &mut self.pools, &self.costs, vpn_va(vpn))?;
+            self.pools.free(mem, pfn);
+        }
+        proc.aspace.destroy(mem, &mut self.pools);
+        Ok(())
+    }
+
+    /// The extended `mmap`: `MAP_NVM` directs the area to the NVM pool.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for zero length, [`KindleError::Overlap`] for FIXED
+    /// collisions, [`KindleError::NoVirtualSpace`] when out of addresses.
+    pub fn sys_mmap(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        hint: Option<VirtAddr>,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+    ) -> Result<VirtAddr> {
+        mem.advance(Cycles::new(self.costs.syscall_entry + self.costs.vma_op));
+        if len == 0 {
+            return Err(KindleError::InvalidArgument("mmap length must be non-zero"));
+        }
+        let len = round_up(len);
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let start = match (hint, flags.contains(MapFlags::FIXED)) {
+            (Some(va), true) => {
+                if !va.is_page_aligned() {
+                    return Err(KindleError::InvalidArgument("FIXED address must be aligned"));
+                }
+                va
+            }
+            (Some(va), false) if va.is_page_aligned() => {
+                // Honour the hint when free, else search.
+                let candidate = vma_from_request(va, len, prot, flags);
+                if proc.vmas.iter().all(|v| !v.overlaps(candidate.start, candidate.end)) {
+                    va
+                } else {
+                    proc.vmas.find_free(len)?
+                }
+            }
+            _ => proc.vmas.find_free(len)?,
+        };
+        let vma = vma_from_request(start, len, prot, flags);
+        proc.vmas.insert(vma)?;
+        self.meta_records.push(MetaRecord::VmaAdd {
+            pid,
+            start: vma.start,
+            end: vma.end,
+            prot,
+            kind: vma.kind,
+        });
+        self.stats.mmaps += 1;
+        if flags.contains(MapFlags::POPULATE) {
+            for i in 0..vma.pages() {
+                let va = vma.start + i * PAGE_SIZE as u64;
+                self.map_page(mem, pid, va)?;
+            }
+        }
+        Ok(start)
+    }
+
+    /// Demand-paging fault handler: allocates a frame from the VMA's pool
+    /// and installs the mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::Unmapped`] outside all VMAs,
+    /// [`KindleError::ProtectionFault`] on protection violation, or pool
+    /// exhaustion.
+    pub fn handle_fault(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<Pte> {
+        mem.advance(Cycles::new(self.costs.fault_entry));
+        let proc = self.procs.get(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let vma = *proc.vmas.find(va).ok_or(KindleError::Unmapped(va))?;
+        if !vma.prot.allows(kind) {
+            return Err(KindleError::ProtectionFault(va));
+        }
+        self.stats.page_faults += 1;
+        self.map_page(mem, pid, va)
+    }
+
+    /// Allocates and maps one page of the VMA covering `va`.
+    fn map_page(&mut self, mem: &mut dyn PhysMem, pid: u32, va: VirtAddr) -> Result<Pte> {
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let vma = *proc.vmas.find(va).ok_or(KindleError::Unmapped(va))?;
+        mem.advance(Cycles::new(self.costs.frame_op));
+        let pfn = self.pools.alloc(mem, vma.kind)?;
+        if self.costs.zero_new_frames {
+            mem.zero_page(pfn.base());
+        }
+        let mut flags = 0u64;
+        if vma.prot.allows(AccessKind::Write) {
+            flags |= Pte::WRITABLE;
+        }
+        if vma.kind == MemKind::Nvm {
+            flags |= Pte::NVM;
+        }
+        proc.aspace.map(mem, &mut self.pools, &self.costs, va.page_base(), pfn, flags)?;
+        self.stats.pages_mapped += 1;
+        self.meta_records.push(MetaRecord::PageMapped {
+            pid,
+            vpn: va.page_number(),
+            pfn,
+            kind: vma.kind,
+        });
+        Ok(Pte::new(pfn, Pte::PRESENT | flags))
+    }
+
+    /// `munmap`: removes the range, reclaims frames, reports the shootdown
+    /// list.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for misaligned or empty ranges.
+    pub fn sys_munmap(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<UnmapOutcome> {
+        mem.advance(Cycles::new(self.costs.syscall_entry + self.costs.vma_op));
+        if len == 0 || !addr.is_page_aligned() {
+            return Err(KindleError::InvalidArgument("munmap range must be aligned"));
+        }
+        let len = round_up(len);
+        let end = addr + len;
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let removed = proc.vmas.remove(addr, end);
+        let mut outcome = UnmapOutcome::default();
+        for vma in &removed {
+            for i in 0..vma.pages() {
+                let va = vma.start + i * PAGE_SIZE as u64;
+                match proc.aspace.unmap(mem, &mut self.pools, &self.costs, va) {
+                    Ok(pte) => {
+                        self.pools.free(mem, pte.pfn());
+                        self.stats.pages_unmapped += 1;
+                        outcome.unmapped.push(va.page_number());
+                        self.meta_records.push(MetaRecord::PageUnmapped {
+                            pid,
+                            vpn: va.page_number(),
+                            pfn: pte.pfn(),
+                        });
+                    }
+                    Err(KindleError::Unmapped(_)) => {} // never faulted in
+                    Err(e) => return Err(e),
+                }
+            }
+            self.meta_records.push(MetaRecord::VmaRemove {
+                pid,
+                start: vma.start,
+                end: vma.end,
+            });
+        }
+        self.stats.munmaps += 1;
+        Ok(outcome)
+    }
+
+    /// `mprotect`: updates VMA protection and the writable bit of existing
+    /// leaf PTEs in the range.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` for misaligned ranges.
+    pub fn sys_mprotect(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> Result<UnmapOutcome> {
+        mem.advance(Cycles::new(self.costs.syscall_entry + self.costs.vma_op));
+        if len == 0 || !addr.is_page_aligned() {
+            return Err(KindleError::InvalidArgument("mprotect range must be aligned"));
+        }
+        let len = round_up(len);
+        let end = addr + len;
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        proc.vmas.protect(addr, end, prot);
+        let writable = prot.allows(AccessKind::Write);
+        let mut outcome = UnmapOutcome::default();
+        let pages = len / PAGE_SIZE as u64;
+        for i in 0..pages {
+            let va = addr + i * PAGE_SIZE as u64;
+            let update = proc.aspace.update_leaf(mem, &self.costs, va, |p| {
+                if writable {
+                    p.with_flags(Pte::WRITABLE)
+                } else {
+                    p.without_flags(Pte::WRITABLE)
+                }
+            });
+            match update {
+                Ok(_) => outcome.unmapped.push(va.page_number()),
+                Err(KindleError::Unmapped(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.meta_records.push(MetaRecord::VmaProtect { pid, start: addr, end, prot });
+        self.stats.mprotects += 1;
+        Ok(outcome)
+    }
+
+    /// `mremap` (move semantics): relocates `[old, old+old_len)` to a new
+    /// region of `new_len` bytes, carrying existing frames over.
+    ///
+    /// # Errors
+    ///
+    /// `Unmapped` if the old range has no VMA; otherwise as `mmap`.
+    pub fn sys_mremap(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        old_addr: VirtAddr,
+        old_len: u64,
+        new_len: u64,
+    ) -> Result<(VirtAddr, UnmapOutcome)> {
+        mem.advance(Cycles::new(self.costs.syscall_entry + 2 * self.costs.vma_op));
+        let old_len = round_up(old_len);
+        let new_len = round_up(new_len);
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let old_vma = *proc.vmas.find(old_addr).ok_or(KindleError::Unmapped(old_addr))?;
+        let new_start = proc.vmas.find_free(new_len)?;
+        let new_vma = Vma {
+            start: new_start,
+            end: new_start + new_len,
+            prot: old_vma.prot,
+            kind: old_vma.kind,
+        };
+        proc.vmas.insert(new_vma)?;
+        // Move mapped frames across.
+        let move_pages = (old_len.min(new_len)) / PAGE_SIZE as u64;
+        let mut outcome = UnmapOutcome::default();
+        let mut flags = 0u64;
+        if old_vma.prot.allows(AccessKind::Write) {
+            flags |= Pte::WRITABLE;
+        }
+        if old_vma.kind == MemKind::Nvm {
+            flags |= Pte::NVM;
+        }
+        for i in 0..move_pages {
+            let src = old_addr + i * PAGE_SIZE as u64;
+            let dst = new_start + i * PAGE_SIZE as u64;
+            match proc.aspace.unmap(mem, &mut self.pools, &self.costs, src) {
+                Ok(pte) => {
+                    outcome.unmapped.push(src.page_number());
+                    proc.aspace.map(mem, &mut self.pools, &self.costs, dst, pte.pfn(), flags)?;
+                }
+                Err(KindleError::Unmapped(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        proc.vmas.remove(old_addr, old_addr + old_len);
+        self.meta_records.push(MetaRecord::VmaRemove {
+            pid,
+            start: old_addr,
+            end: old_addr + old_len,
+        });
+        self.meta_records.push(MetaRecord::VmaAdd {
+            pid,
+            start: new_vma.start,
+            end: new_vma.end,
+            prot: new_vma.prot,
+            kind: new_vma.kind,
+        });
+        self.stats.mremaps += 1;
+        Ok((new_start, outcome))
+    }
+
+    /// `fork`: duplicates a process — VMA layout, register file and every
+    /// mapped page (eager copy, no copy-on-write, as in gemOS). Returns the
+    /// child pid.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::NoSuchProcess`] for unknown pids; propagates pool
+    /// exhaustion (partially built children are torn down by the caller
+    /// destroying the pid).
+    pub fn sys_fork(&mut self, mem: &mut dyn PhysMem, parent: u32) -> Result<u32> {
+        mem.advance(Cycles::new(self.costs.syscall_entry * 2));
+        // Snapshot the parent's layout and mappings first.
+        let (regs, vmas, mappings) = {
+            let proc = self.procs.get(&parent).ok_or(KindleError::NoSuchProcess(parent))?;
+            let mut mappings: Vec<(Vpn, kindle_types::Pfn, Pte)> = Vec::new();
+            proc.aspace.for_each_leaf(mem, |_, vpn, pte, _| mappings.push((vpn, pte.pfn(), pte)));
+            (proc.regs, proc.vmas.clone(), mappings)
+        };
+        let child = self.create_process(mem)?;
+        self.procs.get_mut(&child).expect("just created").regs = regs;
+        self.procs.get_mut(&child).expect("just created").vmas = vmas.clone();
+        for vma in vmas.iter() {
+            self.meta_records.push(MetaRecord::VmaAdd {
+                pid: child,
+                start: vma.start,
+                end: vma.end,
+                prot: vma.prot,
+                kind: vma.kind,
+            });
+        }
+        // Copy every mapped page into a fresh frame of the same kind.
+        for (vpn, src_pfn, pte) in mappings {
+            let kind = self.pools.kind_of(src_pfn).ok_or(KindleError::Corrupted(
+                "parent page outside both pools",
+            ))?;
+            mem.advance(Cycles::new(self.costs.frame_op));
+            let dst = self.pools.alloc(mem, kind)?;
+            mem.copy_page(src_pfn.base(), dst.base());
+            let mut flags = 0u64;
+            if pte.is_writable() {
+                flags |= Pte::WRITABLE;
+            }
+            if kind == MemKind::Nvm {
+                flags |= Pte::NVM;
+            }
+            let proc = self.procs.get_mut(&child).expect("child exists");
+            proc.aspace.map(mem, &mut self.pools, &self.costs, vpn.base(), dst, flags)?;
+            self.stats.pages_mapped += 1;
+            self.meta_records.push(MetaRecord::PageMapped { pid: child, vpn, pfn: dst, kind });
+        }
+        Ok(child)
+    }
+
+    /// Software translation for a process (charges the walk).
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::NoSuchProcess`] for unknown pids.
+    pub fn translate(
+        &self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        va: VirtAddr,
+    ) -> Result<Option<Pte>> {
+        let proc = self.procs.get(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        Ok(proc.aspace.translate(mem, va))
+    }
+
+    /// Marks a process recovered (used by the persistence layer).
+    pub fn set_state(&mut self, pid: u32, state: ProcState) -> Result<()> {
+        self.process_mut(pid)?.state = state;
+        Ok(())
+    }
+}
+
+fn round_up(len: u64) -> u64 {
+    (len + PAGE_SIZE as u64 - 1) & !(PAGE_SIZE as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_types::physmem::FlatMem;
+
+    fn boot() -> (FlatMem, Kernel, u32) {
+        let mut mem = FlatMem::new(96 << 20);
+        let mut k = Kernel::new(KernelConfig::for_test(96 << 20), &mut mem).unwrap();
+        let pid = k.create_process(&mut mem).unwrap();
+        (mem, k, pid)
+    }
+
+    #[test]
+    fn mmap_fault_access_cycle() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(&mut mem, pid, None, 3 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)
+            .unwrap();
+        // Nothing mapped yet.
+        assert!(k.translate(&mut mem, pid, va).unwrap().is_none());
+        let pte = k.handle_fault(&mut mem, pid, va, AccessKind::Write).unwrap();
+        assert!(pte.is_present());
+        assert_eq!(pte.mem_kind(), MemKind::Nvm);
+        assert!(k.pools.nvm.is_allocated(pte.pfn()));
+        assert_eq!(k.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn nvm_flag_selects_pool() {
+        let (mut mem, mut k, pid) = boot();
+        let d = k.sys_mmap(&mut mem, pid, None, 4096, Prot::RW, MapFlags::EMPTY).unwrap();
+        let n = k.sys_mmap(&mut mem, pid, None, 4096, Prot::RW, MapFlags::NVM).unwrap();
+        let dp = k.handle_fault(&mut mem, pid, d, AccessKind::Write).unwrap();
+        let np = k.handle_fault(&mut mem, pid, n, AccessKind::Write).unwrap();
+        assert!(k.pools.dram.contains(dp.pfn()));
+        assert!(k.pools.nvm.inner().contains(np.pfn()));
+    }
+
+    #[test]
+    fn fault_outside_vma_is_unmapped_error() {
+        let (mut mem, mut k, pid) = boot();
+        let err = k
+            .handle_fault(&mut mem, pid, VirtAddr::new(0x1234_5000), AccessKind::Read)
+            .unwrap_err();
+        assert!(matches!(err, KindleError::Unmapped(_)));
+    }
+
+    #[test]
+    fn write_to_readonly_is_protection_fault() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(&mut mem, pid, None, 4096, Prot::READ, MapFlags::EMPTY)
+            .unwrap();
+        let err = k.handle_fault(&mut mem, pid, va, AccessKind::Write).unwrap_err();
+        assert!(matches!(err, KindleError::ProtectionFault(_)));
+        // Reads still work.
+        k.handle_fault(&mut mem, pid, va, AccessKind::Read).unwrap();
+    }
+
+    #[test]
+    fn munmap_reclaims_frames_and_reports_shootdowns() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                4 * PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        let used = k.pools.nvm.used();
+        assert_eq!(k.stats().pages_mapped, 4);
+        let out = k.sys_munmap(&mut mem, pid, va, 4 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(out.unmapped.len(), 4);
+        assert_eq!(k.pools.nvm.used(), used - 4);
+        assert!(k.translate(&mut mem, pid, va).unwrap().is_none());
+    }
+
+    #[test]
+    fn munmap_partial_splits_vma() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(&mut mem, pid, None, 4 * PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY)
+            .unwrap();
+        k.sys_munmap(&mut mem, pid, va + PAGE_SIZE as u64, PAGE_SIZE as u64).unwrap();
+        let proc = k.process(pid).unwrap();
+        assert_eq!(proc.vmas.len(), 2);
+        assert!(proc.vmas.find(va).is_some());
+        assert!(proc.vmas.find(va + PAGE_SIZE as u64).is_none());
+    }
+
+    #[test]
+    fn mprotect_flips_writable_bit() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::EMPTY | MapFlags::POPULATE,
+            )
+            .unwrap();
+        assert!(k.translate(&mut mem, pid, va).unwrap().unwrap().is_writable());
+        k.sys_mprotect(&mut mem, pid, va, PAGE_SIZE as u64, Prot::READ).unwrap();
+        assert!(!k.translate(&mut mem, pid, va).unwrap().unwrap().is_writable());
+        assert_eq!(k.process(pid).unwrap().vmas.find(va).unwrap().prot, Prot::READ);
+    }
+
+    #[test]
+    fn mremap_moves_frames() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                2 * PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        let old_pfn = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        let (new_va, out) = k
+            .sys_mremap(&mut mem, pid, va, 2 * PAGE_SIZE as u64, 4 * PAGE_SIZE as u64)
+            .unwrap();
+        assert_ne!(new_va, va);
+        assert_eq!(out.unmapped.len(), 2);
+        let new_pfn = k.translate(&mut mem, pid, new_va).unwrap().unwrap().pfn();
+        assert_eq!(new_pfn, old_pfn, "frames move with the mapping");
+        assert!(k.translate(&mut mem, pid, va).unwrap().is_none());
+    }
+
+    #[test]
+    fn fixed_mmap_at_exact_address() {
+        let (mut mem, mut k, pid) = boot();
+        let want = VirtAddr::new(0x7000_0000);
+        let got = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                Some(want),
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::FIXED,
+            )
+            .unwrap();
+        assert_eq!(got, want);
+        let err = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                Some(want),
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::FIXED,
+            )
+            .unwrap_err();
+        assert!(matches!(err, KindleError::Overlap(_)));
+    }
+
+    #[test]
+    fn meta_records_flow() {
+        let (mut mem, mut k, pid) = boot();
+        k.take_meta_records(); // drop boot records
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        k.sys_munmap(&mut mem, pid, va, PAGE_SIZE as u64).unwrap();
+        let recs = k.take_meta_records();
+        assert!(recs.iter().any(|r| matches!(r, MetaRecord::VmaAdd { .. })));
+        assert!(recs.iter().any(|r| matches!(r, MetaRecord::PageMapped { .. })));
+        assert!(recs.iter().any(|r| matches!(r, MetaRecord::PageUnmapped { .. })));
+        assert!(recs.iter().any(|r| matches!(r, MetaRecord::VmaRemove { .. })));
+        assert!(k.take_meta_records().is_empty());
+    }
+
+    #[test]
+    fn fork_duplicates_layout_and_pages() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                3 * PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        k.process_mut(pid).unwrap().regs.rip = 0x77;
+        // Plant data in the parent's first page.
+        let ppfn = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        mem.write_bytes(ppfn.base() + 10, b"inherit");
+
+        let child = k.sys_fork(&mut mem, pid).unwrap();
+        assert_ne!(child, pid);
+        let cp = k.process(child).unwrap();
+        assert_eq!(cp.regs.rip, 0x77);
+        assert_eq!(cp.vmas.len(), 1);
+        let cpfn = k.translate(&mut mem, child, va).unwrap().unwrap().pfn();
+        assert_ne!(cpfn, ppfn, "child gets its own frame");
+        let mut buf = [0u8; 7];
+        mem.read_bytes(cpfn.base() + 10, &mut buf);
+        assert_eq!(&buf, b"inherit", "page contents copied");
+        // Writes diverge after the fork.
+        mem.write_bytes(cpfn.base() + 10, b"childs!");
+        let mut pb = [0u8; 7];
+        mem.read_bytes(ppfn.base() + 10, &mut pb);
+        assert_eq!(&pb, b"inherit");
+    }
+
+    #[test]
+    fn destroy_process_reclaims_everything() {
+        let (mut mem, mut k, pid) = boot();
+        let dram_used = k.pools.dram.used();
+        let nvm_used = k.pools.nvm.used();
+        let pid2 = k.create_process(&mut mem).unwrap();
+        k.sys_mmap(
+            &mut mem,
+            pid2,
+            None,
+            8 * PAGE_SIZE as u64,
+            Prot::RW,
+            MapFlags::NVM | MapFlags::POPULATE,
+        )
+        .unwrap();
+        k.destroy_process(&mut mem, pid2).unwrap();
+        assert_eq!(k.pools.dram.used(), dram_used);
+        assert_eq!(k.pools.nvm.used(), nvm_used);
+        assert!(k.process(pid2).is_err());
+        let _ = pid;
+    }
+}

@@ -1,0 +1,250 @@
+//! Crash recovery: rebuilding processes from the saved-state area.
+//!
+//! The recovery procedure scans the saved-state slots and, for each one
+//! with a consistent copy, recreates the execution context: registers and
+//! VMA layout from the context copy, and the address space either by
+//! remapping every entry of the virtual→NVM-frame mapping list (*rebuild*
+//! scheme) or by restoring the PTBR (*persistent* scheme). DRAM-backed
+//! mappings are discarded — their frames were volatile.
+
+use serde::{Deserialize, Serialize};
+
+use kindle_cpu::RegisterFile;
+use kindle_os::{AddressSpace, Kernel, ProcState, Process, PtMode, VmaList};
+use kindle_types::{
+    AccessKind, Cycles, MemKind, PhysMem, Pte, Result, Vpn,
+};
+
+use crate::slot::SavedStateArea;
+
+/// Summary of a completed recovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Pids successfully recovered.
+    pub recovered_pids: Vec<u32>,
+    /// Pages remapped from mapping lists (rebuild scheme).
+    pub pages_remapped: u64,
+    /// Stale DRAM leaf entries dropped from NVM-resident tables
+    /// (persistent scheme).
+    pub dram_entries_dropped: u64,
+    /// Simulated time the recovery took.
+    pub cycles: Cycles,
+}
+
+/// Recovers every process with a consistent saved state into `kernel`.
+///
+/// `kernel` must be freshly booted (post-crash) with the same memory map;
+/// its NVM allocator is re-synchronised from the persisted bitmap first.
+///
+/// # Errors
+///
+/// Propagates pool exhaustion while rebuilding page tables.
+pub fn recover_all(
+    mem: &mut dyn PhysMem,
+    kernel: &mut Kernel,
+    area: &SavedStateArea,
+) -> Result<RecoveryReport> {
+    let start = mem.now();
+    let mut report = RecoveryReport::default();
+
+    // Re-synchronise NVM allocation state from the persisted bitmap.
+    kernel.pools.nvm.recover(mem);
+
+    for idx in area.occupied(mem) {
+        let slot = area.slot(idx);
+        let Some(valid) = slot.valid_copy(mem) else {
+            // Crashed before the first checkpoint: the process is lost.
+            continue;
+        };
+        let pid = slot.pid(mem) as u32;
+        let ctx = slot.read_context(mem, valid);
+
+        let mut vmas = VmaList::new();
+        for vma in &ctx.vmas {
+            vmas.insert(*vma)?;
+        }
+
+        let aspace = match kernel.pt_mode() {
+            PtMode::Persistent => {
+                let mut aspace = AddressSpace::adopt_persistent(
+                    ctx.root,
+                    kernel.layout.pt_log,
+                    ctx.mapped_pages,
+                );
+                // Drop leaf entries whose frames lived in volatile DRAM.
+                let mut stale: Vec<Vpn> = Vec::new();
+                aspace.for_each_leaf(mem, |_, vpn, pte: Pte, _| {
+                    if pte.mem_kind() == MemKind::Dram {
+                        stale.push(vpn);
+                    }
+                });
+                for vpn in stale {
+                    aspace.unmap(mem, &mut kernel.pools, &kernel.costs, vpn.base())?;
+                    report.dram_entries_dropped += 1;
+                }
+                aspace
+            }
+            PtMode::Rebuild => {
+                let mut aspace = AddressSpace::new(
+                    mem,
+                    &mut kernel.pools,
+                    PtMode::Rebuild,
+                    kernel.layout.pt_log,
+                )?;
+                let list = slot.read_mapping_list(mem, valid);
+                for (vpn, pfn) in list {
+                    let va = vpn.base();
+                    let writable = vmas
+                        .find(va)
+                        .map(|v| v.prot.allows(AccessKind::Write))
+                        .unwrap_or(false);
+                    let mut flags = Pte::NVM;
+                    if writable {
+                        flags |= Pte::WRITABLE;
+                    }
+                    aspace.map(mem, &mut kernel.pools, &kernel.costs, va, pfn, flags)?;
+                    report.pages_remapped += 1;
+                }
+                aspace
+            }
+        };
+
+        let mut proc = Process::new(pid, aspace);
+        proc.regs = RegisterFile::from(ctx.regs);
+        proc.vmas = vmas;
+        proc.state = ProcState::Recovered;
+        kernel.adopt_process(proc);
+        report.recovered_pids.push(pid);
+    }
+
+    report.cycles = mem.now() - start;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CheckpointEngine, CheckpointScheme};
+    use kindle_os::KernelConfig;
+    use kindle_types::physmem::FlatMem;
+    use kindle_types::{MapFlags, Prot, VirtAddr, PAGE_SIZE};
+
+    /// FlatMem cannot lose data, so these tests exercise the *logic* of
+    /// recovery (bitmap resync, list replay, PTBR adoption); true crash
+    /// semantics are integration-tested against the full machine in `sim`.
+    fn run_scheme(scheme: CheckpointScheme) -> (FlatMem, Kernel, SavedStateArea, u32, VirtAddr) {
+        let mut mem = FlatMem::new(128 << 20);
+        let mut cfg = KernelConfig::for_test(128 << 20);
+        cfg.pt_mode = scheme;
+        let mut kernel = Kernel::new(cfg, &mut mem).unwrap();
+        let layout = kernel.layout;
+        let mut engine = CheckpointEngine::new(&layout, scheme, Cycles::from_millis(10), 4);
+        let pid = kernel.create_process(&mut mem).unwrap();
+        let va = kernel
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                6 * PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        kernel.process_mut(pid).unwrap().regs.rip = 0xabcd;
+        let recs = kernel.take_meta_records();
+        engine.on_meta_records(&mut mem, &mut kernel, recs).unwrap();
+        engine.checkpoint(&mut mem, &mut kernel).unwrap();
+        let area = *engine.area();
+        (mem, kernel, area, pid, va)
+    }
+
+    fn reboot(scheme: CheckpointScheme, mem: &mut FlatMem) -> Kernel {
+        let mut cfg = KernelConfig::for_test(128 << 20);
+        cfg.pt_mode = scheme;
+        Kernel::new(cfg, mem).unwrap()
+    }
+
+    #[test]
+    fn rebuild_recovery_replays_mapping_list() {
+        let (mut mem, old_kernel, area, pid, va) = run_scheme(CheckpointScheme::Rebuild);
+        let old_pfn = old_kernel.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        drop(old_kernel);
+
+        let mut kernel = reboot(CheckpointScheme::Rebuild, &mut mem);
+        let report = recover_all(&mut mem, &mut kernel, &area).unwrap();
+        assert_eq!(report.recovered_pids, vec![pid]);
+        assert_eq!(report.pages_remapped, 6);
+
+        let proc = kernel.process(pid).unwrap();
+        assert_eq!(proc.state, ProcState::Recovered);
+        assert_eq!(proc.regs.rip, 0xabcd);
+        assert_eq!(proc.vmas.len(), 1);
+        let pte = kernel.translate(&mut mem, pid, va).unwrap().unwrap();
+        assert_eq!(pte.pfn(), old_pfn, "rebuilt table maps the same NVM frame");
+        assert!(pte.is_writable());
+        assert!(kernel.pools.nvm.is_allocated(old_pfn), "bitmap recovery keeps frame");
+    }
+
+    #[test]
+    fn persistent_recovery_restores_ptbr() {
+        let (mut mem, old_kernel, area, pid, va) = run_scheme(CheckpointScheme::Persistent);
+        let old_root = old_kernel.process(pid).unwrap().aspace.root();
+        let old_pfn = old_kernel.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        drop(old_kernel);
+
+        let mut kernel = reboot(CheckpointScheme::Persistent, &mut mem);
+        let report = recover_all(&mut mem, &mut kernel, &area).unwrap();
+        assert_eq!(report.recovered_pids, vec![pid]);
+        assert_eq!(report.pages_remapped, 0, "persistent scheme remaps nothing");
+
+        let proc = kernel.process(pid).unwrap();
+        assert_eq!(proc.aspace.root(), old_root, "PTBR simply restored");
+        let pte = kernel.translate(&mut mem, pid, va).unwrap().unwrap();
+        assert_eq!(pte.pfn(), old_pfn);
+    }
+
+    #[test]
+    fn persistent_recovery_drops_dram_mappings() {
+        let mut mem = FlatMem::new(128 << 20);
+        let mut cfg = KernelConfig::for_test(128 << 20);
+        cfg.pt_mode = CheckpointScheme::Persistent;
+        let mut kernel = Kernel::new(cfg, &mut mem).unwrap();
+        let layout = kernel.layout;
+        let mut engine =
+            CheckpointEngine::new(&layout, CheckpointScheme::Persistent, Cycles::from_millis(10), 4);
+        let pid = kernel.create_process(&mut mem).unwrap();
+        // One NVM area + one DRAM area.
+        let nva = kernel
+            .sys_mmap(&mut mem, pid, None, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM | MapFlags::POPULATE)
+            .unwrap();
+        let dva = kernel
+            .sys_mmap(&mut mem, pid, None, PAGE_SIZE as u64, Prot::RW, MapFlags::POPULATE)
+            .unwrap();
+        engine.checkpoint(&mut mem, &mut kernel).unwrap();
+        let area = *engine.area();
+        drop(kernel);
+
+        let mut kernel = reboot(CheckpointScheme::Persistent, &mut mem);
+        let report = recover_all(&mut mem, &mut kernel, &area).unwrap();
+        assert_eq!(report.dram_entries_dropped, 1);
+        assert!(kernel.translate(&mut mem, pid, nva).unwrap().is_some());
+        assert!(
+            kernel.translate(&mut mem, pid, dva).unwrap().is_none(),
+            "volatile DRAM mapping must be dropped"
+        );
+    }
+
+    #[test]
+    fn unclean_slot_without_valid_copy_is_skipped() {
+        let mut mem = FlatMem::new(128 << 20);
+        let cfg = KernelConfig::for_test(128 << 20);
+        let mut kernel = Kernel::new(cfg, &mut mem).unwrap();
+        let layout = kernel.layout;
+        let area = SavedStateArea::new(layout.saved_state, 4);
+        // Slot claimed but never checkpointed.
+        area.find_or_alloc(&mut mem, 42).unwrap();
+        let report = recover_all(&mut mem, &mut kernel, &area).unwrap();
+        assert!(report.recovered_pids.is_empty());
+        assert!(kernel.process(42).is_err());
+    }
+}

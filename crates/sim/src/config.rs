@@ -1,0 +1,137 @@
+//! Machine configuration (Table I defaults).
+
+use serde::{Deserialize, Serialize};
+
+use kindle_cache::HierarchyConfig;
+use kindle_hscc::HsccConfig;
+use kindle_mem::MemConfig;
+use kindle_os::{KernelCosts, PtMode};
+use kindle_ssp::SspConfig;
+use kindle_tlb::TwoLevelTlbConfig;
+use kindle_types::Cycles;
+
+/// Process-persistence (checkpoint engine) setup.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointSetup {
+    /// Checkpoint interval (paper default 10 ms, after Aurora).
+    pub interval: Cycles,
+    /// Saved-state slots to carve.
+    pub max_procs: usize,
+}
+
+impl Default for CheckpointSetup {
+    fn default() -> Self {
+        CheckpointSetup { interval: Cycles::from_millis(10), max_procs: 8 }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Memory devices and physical layout (Table I).
+    pub mem: MemConfig,
+    /// Cache hierarchy (32K/512K/2M per the paper's gem5 setup).
+    pub caches: HierarchyConfig,
+    /// TLB stack.
+    pub tlb: TwoLevelTlbConfig,
+    /// Page-table maintenance scheme.
+    pub pt_mode: PtMode,
+    /// Kernel instruction-cost table.
+    pub costs: KernelCosts,
+    /// Enable periodic execution-context checkpointing.
+    pub checkpoint: Option<CheckpointSetup>,
+    /// Enable the SSP prototype.
+    pub ssp: Option<SspConfig>,
+    /// Enable the HSCC prototype.
+    pub hscc: Option<HsccConfig>,
+    /// Charge HSCC's OS-mode migration work (false = the paper's
+    /// "hardware migration activities only" baseline).
+    pub hscc_os_mode: bool,
+}
+
+impl MachineConfig {
+    /// Full-size machine: 3 GB DRAM + 2 GB NVM, no prototype engines.
+    pub fn table_i() -> Self {
+        MachineConfig {
+            mem: MemConfig::default(),
+            caches: HierarchyConfig::default(),
+            tlb: TwoLevelTlbConfig::default(),
+            pt_mode: PtMode::Rebuild,
+            costs: KernelCosts::default(),
+            checkpoint: None,
+            ssp: None,
+            hscc: None,
+            hscc_os_mode: true,
+        }
+    }
+
+    /// Small machine (128 MiB + 128 MiB) for tests: full behaviour, less
+    /// host memory.
+    pub fn small() -> Self {
+        MachineConfig {
+            mem: MemConfig::with_capacities(128 << 20, 128 << 20),
+            ..Self::table_i()
+        }
+    }
+
+    /// Sets the page-table scheme.
+    pub fn with_pt_mode(mut self, mode: PtMode) -> Self {
+        self.pt_mode = mode;
+        self
+    }
+
+    /// Enables checkpointing at `interval`.
+    pub fn with_checkpointing(mut self, interval: Cycles) -> Self {
+        self.checkpoint = Some(CheckpointSetup { interval, ..Default::default() });
+        self
+    }
+
+    /// Enables SSP.
+    pub fn with_ssp(mut self, ssp: SspConfig) -> Self {
+        self.ssp = Some(ssp);
+        self
+    }
+
+    /// Enables HSCC.
+    pub fn with_hscc(mut self, hscc: HsccConfig, os_mode: bool) -> Self {
+        self.hscc = Some(hscc);
+        self.hscc_os_mode = os_mode;
+        self
+    }
+
+    /// Swaps the NVM technology (paper §V-D: "we can use Kindle to study
+    /// other NVM technologies by changing NVM interface parameters").
+    pub fn with_nvm_technology(mut self, nvm: kindle_mem::NvmConfig) -> Self {
+        self.mem.nvm = nvm;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_types::MemKind;
+
+    #[test]
+    fn table_i_capacities() {
+        let c = MachineConfig::table_i();
+        assert_eq!(c.mem.layout.total(MemKind::Dram), 3 << 30);
+        assert_eq!(c.mem.layout.total(MemKind::Nvm), 2 << 30);
+        assert!(c.checkpoint.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MachineConfig::small()
+            .with_pt_mode(PtMode::Persistent)
+            .with_checkpointing(Cycles::from_millis(100));
+        assert_eq!(c.pt_mode, PtMode::Persistent);
+        assert_eq!(c.checkpoint.unwrap().interval, Cycles::from_millis(100));
+    }
+}

@@ -1,0 +1,765 @@
+//! The full simulated machine.
+
+use serde::{Deserialize, Serialize};
+
+use kindle_cpu::Activity;
+use kindle_hscc::HsccEngine;
+use kindle_os::{Kernel, KernelConfig, UnmapOutcome};
+use kindle_persist::{recover_all, CheckpointEngine, RecoveryReport};
+use kindle_ssp::SspEngine;
+use kindle_tlb::{MsrFile, PageWalker, TlbEntry, TwoLevelTlb};
+use kindle_trace::ReplayProgram;
+use kindle_types::{
+    AccessKind, Cycles, KindleError, MapFlags, MemKind, PhysMem, Pfn, PhysAddr, Prot, Pte,
+    Result, VirtAddr, CACHE_LINE,
+};
+
+use crate::config::MachineConfig;
+use crate::hw::Hw;
+use crate::report::SimReport;
+
+/// Options for a trace replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayOptions {
+    /// Wrap the replay in an SSP failure-atomic section
+    /// (`checkpoint_start` / `checkpoint_end`).
+    pub fase: bool,
+    /// Cap on replayed operations (`None` = whole trace).
+    pub max_ops: Option<u64>,
+}
+
+/// Summary of one replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Operations replayed.
+    pub ops: u64,
+    /// Simulated time from first to last operation.
+    pub cycles: Cycles,
+    /// Demand-paging faults taken during the replay.
+    pub faults: u64,
+    /// Base address chosen for each trace area.
+    pub area_bases: Vec<VirtAddr>,
+}
+
+/// Snapshot of the translation used by one access.
+#[derive(Clone, Copy, Debug)]
+struct EntryInfo {
+    pfn: Pfn,
+    writable: bool,
+    mem_kind: MemKind,
+    dirty: bool,
+    ssp: Option<kindle_tlb::SspTlbExt>,
+    pte_pa: PhysAddr,
+}
+
+/// The machine: hardware + OS + optional prototype engines.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    /// Timing hardware (clock, caches, memory).
+    pub hw: Hw,
+    /// Two-level TLB.
+    pub tlb: TwoLevelTlb,
+    /// Hardware page-table walker.
+    pub walker: PageWalker,
+    /// Model-specific registers (SSP/HSCC hardware configuration).
+    pub msr: MsrFile,
+    /// The gemOS-analog kernel.
+    pub kernel: Kernel,
+    /// Process-persistence checkpoint engine.
+    pub persist: Option<CheckpointEngine>,
+    /// SSP prototype engine.
+    pub ssp: Option<SspEngine>,
+    /// HSCC prototype engine.
+    pub hscc: Option<HsccEngine>,
+    tlb_shootdowns: u64,
+    /// Process whose translations currently occupy the TLB (no ASIDs, as
+    /// in gemOS: a context switch flushes).
+    active_pid: Option<u32>,
+}
+
+impl Machine {
+    /// Boots a machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/engine construction failures.
+    pub fn new(cfg: MachineConfig) -> Result<Self> {
+        let mut hw = Hw::new(&cfg);
+        let kcfg = KernelConfig {
+            memory_map: cfg.mem.layout.clone(),
+            pt_mode: cfg.pt_mode,
+            costs: cfg.costs.clone(),
+            dram_reserved_frames: 256,
+        };
+        let mut kernel = Kernel::new(kcfg, &mut hw)?;
+        let persist = cfg.checkpoint.as_ref().map(|s| {
+            CheckpointEngine::new(&kernel.layout, cfg.pt_mode, s.interval, s.max_procs)
+        });
+        let ssp = cfg.ssp.as_ref().map(|s| SspEngine::new(&kernel.layout, s.clone()));
+        let hscc = match &cfg.hscc {
+            Some(h) => Some(HsccEngine::new(&mut hw, &mut kernel, h.clone())?),
+            None => None,
+        };
+        Ok(Machine {
+            hw,
+            tlb: TwoLevelTlb::new(&cfg.tlb),
+            walker: PageWalker::new(),
+            msr: MsrFile::new(),
+            kernel,
+            persist,
+            ssp,
+            hscc,
+            cfg,
+            tlb_shootdowns: 0,
+            active_pid: None,
+        })
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.hw.now()
+    }
+
+    /// TLB shootdowns performed so far.
+    pub fn tlb_shootdowns(&self) -> u64 {
+        self.tlb_shootdowns
+    }
+
+    /// Creates a process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool exhaustion.
+    pub fn spawn_process(&mut self) -> Result<u32> {
+        let prev = self.hw.set_activity(Activity::Os);
+        let pid = self.kernel.create_process(&mut self.hw);
+        self.hw.set_activity(prev);
+        let pid = pid?;
+        self.drain_meta()?;
+        Ok(pid)
+    }
+
+    fn drain_meta(&mut self) -> Result<()> {
+        if let Some(engine) = self.persist.as_mut() {
+            let recs = self.kernel.take_meta_records();
+            if !recs.is_empty() {
+                let prev = self.hw.set_activity(Activity::Os);
+                let r = engine.on_meta_records(&mut self.hw, &mut self.kernel, recs);
+                self.hw.set_activity(prev);
+                r?;
+            }
+        } else {
+            self.kernel.take_meta_records();
+        }
+        Ok(())
+    }
+
+    fn shootdown(&mut self, outcome: &UnmapOutcome, pid: u32) -> Result<()> {
+        for vpn in &outcome.unmapped {
+            self.hw.advance(Cycles::new(20));
+            if let Some(entry) = self.tlb.invalidate(*vpn) {
+                self.tlb_shootdowns += 1;
+                self.on_tlb_dropped(pid, entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `mmap` without a placement hint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::sys_mmap`].
+    pub fn mmap(&mut self, pid: u32, len: u64, prot: Prot, flags: MapFlags) -> Result<VirtAddr> {
+        self.mmap_at(pid, None, len, prot, flags)
+    }
+
+    /// `mmap` with an optional hint / FIXED placement.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::sys_mmap`].
+    pub fn mmap_at(
+        &mut self,
+        pid: u32,
+        hint: Option<VirtAddr>,
+        len: u64,
+        prot: Prot,
+        flags: MapFlags,
+    ) -> Result<VirtAddr> {
+        let prev = self.hw.set_activity(Activity::Os);
+        let r = self.kernel.sys_mmap(&mut self.hw, pid, hint, len, prot, flags);
+        self.hw.set_activity(prev);
+        let va = r?;
+        self.drain_meta()?;
+        self.poll_timers(pid)?;
+        Ok(va)
+    }
+
+    /// `munmap`, with TLB shootdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::sys_munmap`].
+    pub fn munmap(&mut self, pid: u32, addr: VirtAddr, len: u64) -> Result<()> {
+        let prev = self.hw.set_activity(Activity::Os);
+        let r = self.kernel.sys_munmap(&mut self.hw, pid, addr, len);
+        self.hw.set_activity(prev);
+        let outcome = r?;
+        self.shootdown(&outcome, pid)?;
+        self.drain_meta()?;
+        self.poll_timers(pid)?;
+        Ok(())
+    }
+
+    /// `mprotect`, with TLB shootdown on affected pages.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::sys_mprotect`].
+    pub fn mprotect(&mut self, pid: u32, addr: VirtAddr, len: u64, prot: Prot) -> Result<()> {
+        let prev = self.hw.set_activity(Activity::Os);
+        let r = self.kernel.sys_mprotect(&mut self.hw, pid, addr, len, prot);
+        self.hw.set_activity(prev);
+        let outcome = r?;
+        self.shootdown(&outcome, pid)?;
+        self.drain_meta()?;
+        self.poll_timers(pid)?;
+        Ok(())
+    }
+
+    /// `mremap` (move semantics), with TLB shootdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::sys_mremap`].
+    pub fn mremap(
+        &mut self,
+        pid: u32,
+        old_addr: VirtAddr,
+        old_len: u64,
+        new_len: u64,
+    ) -> Result<VirtAddr> {
+        let prev = self.hw.set_activity(Activity::Os);
+        let r = self.kernel.sys_mremap(&mut self.hw, pid, old_addr, old_len, new_len);
+        self.hw.set_activity(prev);
+        let (va, outcome) = r?;
+        self.shootdown(&outcome, pid)?;
+        self.drain_meta()?;
+        self.poll_timers(pid)?;
+        Ok(va)
+    }
+
+    /// `fork`: duplicates a process (eager page copy, as in gemOS).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::sys_fork`].
+    pub fn fork(&mut self, parent: u32) -> Result<u32> {
+        let prev = self.hw.set_activity(Activity::Os);
+        let r = self.kernel.sys_fork(&mut self.hw, parent);
+        self.hw.set_activity(prev);
+        let child = r?;
+        self.drain_meta()?;
+        self.poll_timers(parent)?;
+        Ok(child)
+    }
+
+    /// One 8-byte access.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::Unmapped`]/[`KindleError::ProtectionFault`] for
+    /// invalid accesses.
+    pub fn access(&mut self, pid: u32, va: VirtAddr, kind: AccessKind) -> Result<Cycles> {
+        self.access_sized(pid, va, 8, kind)
+    }
+
+    /// An access spanning `size` bytes (split into line-sized pieces).
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::access`].
+    pub fn access_sized(
+        &mut self,
+        pid: u32,
+        va: VirtAddr,
+        size: u32,
+        kind: AccessKind,
+    ) -> Result<Cycles> {
+        let mut total = Cycles::ZERO;
+        let mut cur = va;
+        let end = va + size.max(1) as u64;
+        while cur < end {
+            total += self.access_line(pid, cur, kind)?;
+            cur = cur.line_base() + CACHE_LINE as u64;
+        }
+        self.poll_timers(pid)?;
+        Ok(total)
+    }
+
+    /// Core per-line access path: TLB → (walk → fault) → routing → caches.
+    fn access_line(&mut self, pid: u32, va: VirtAddr, kind: AccessKind) -> Result<Cycles> {
+        self.hw.core.count_mem_op();
+        // No ASIDs: switching processes flushes the TLB (context switch).
+        if self.active_pid != Some(pid) {
+            if let Some(prev) = self.active_pid {
+                let dropped = self.tlb.flush_all();
+                for entry in dropped {
+                    self.on_tlb_dropped(prev, entry)?;
+                }
+                self.hw.advance(Cycles::new(self.kernel.costs.kthread_switch));
+            }
+            self.active_pid = Some(pid);
+        }
+        let vpn = va.page_number();
+        let start = self.hw.now();
+
+        // 1. TLB.
+        let (tlb_lat, hit, dropped) = self.tlb.lookup(vpn);
+        self.hw.advance(tlb_lat);
+        let mut info = hit.map(|e| EntryInfo {
+            pfn: e.pfn,
+            writable: e.writable,
+            mem_kind: e.mem_kind,
+            dirty: e.dirty,
+            ssp: e.ssp,
+            pte_pa: e.pte_pa,
+        });
+        if let Some(entry) = dropped {
+            self.on_tlb_dropped(pid, entry)?;
+        }
+
+        // 2. Miss: hardware walk, faulting into the kernel if needed.
+        let info = match info.take() {
+            Some(i) => i,
+            None => self.fill_tlb(pid, va, kind)?,
+        };
+
+        if kind.is_write() && !info.writable {
+            return Err(KindleError::ProtectionFault(va));
+        }
+
+        // 3. First write to a clean page: hardware sets the PTE dirty bit.
+        if kind.is_write() && !info.dirty {
+            let pte = Pte::from_bits(self.hw.read_u64(info.pte_pa));
+            self.hw.write_u64(info.pte_pa, pte.with_flags(Pte::DIRTY).bits());
+            if let Some(e) = self.tlb.peek_mut(vpn) {
+                e.dirty = true;
+            }
+        }
+
+        // 4. SSP routing: writes inside a FASE go to the non-current page.
+        let line_idx = va.line_in_page();
+        let target_pfn = match info.ssp {
+            Some(ext) if kind.is_write() => ext.write_target(info.pfn, line_idx),
+            Some(ext) => ext.read_target(info.pfn, line_idx),
+            None => info.pfn,
+        };
+        let line_pa = target_pfn.base() + (line_idx * CACHE_LINE) as u64;
+        let out = self.hw.access_line(line_pa, kind);
+
+        // 5. SSP bookkeeping for routed writes.
+        if info.ssp.is_some() && kind.is_write() {
+            if let Some(e) = self.tlb.peek_mut(vpn) {
+                if let Some(ext) = e.ssp.as_mut() {
+                    ext.updated |= 1 << line_idx;
+                }
+            }
+            if let Some(engine) = self.ssp.as_mut() {
+                engine.on_write(line_pa);
+            }
+        }
+
+        // 6. HSCC access counting on LLC misses to NVM pages.
+        if self.hscc.is_some() && out.llc_miss && info.mem_kind == MemKind::Nvm {
+            let mut writeout: Option<(PhysAddr, u64)> = None;
+            if let Some(e) = self.tlb.peek_mut(vpn) {
+                e.access_count = e.access_count.saturating_add(1);
+                if !e.count_written_this_interval {
+                    e.count_written_this_interval = true;
+                    writeout = Some((e.pte_pa, e.access_count as u64));
+                    e.access_count = 0;
+                }
+            }
+            if let Some((pte_pa, count)) = writeout {
+                // Once-per-interval hardware RMW of the PTE count.
+                let pte = Pte::from_bits(self.hw.read_u64(pte_pa));
+                self.hw
+                    .write_u64(pte_pa, pte.with_access_count(pte.access_count() + count).bits());
+            }
+        }
+
+        Ok(self.hw.now() - start)
+    }
+
+    /// Hardware walk (fault on demand) and TLB fill.
+    fn fill_tlb(&mut self, pid: u32, va: VirtAddr, kind: AccessKind) -> Result<EntryInfo> {
+        let vpn = va.page_number();
+        let root = self.kernel.process(pid)?.aspace.root();
+        let mut walker = std::mem::take(&mut self.walker);
+        let first = walker.walk_and_mark(&mut self.hw, root, va, kind.is_write());
+        self.walker = walker;
+
+        let outcome = match first {
+            Ok(o) => o,
+            Err(_) => {
+                // Page fault into the kernel.
+                let prev = self.hw.set_activity(Activity::Os);
+                let fault = self.kernel.handle_fault(&mut self.hw, pid, va, kind);
+                self.hw.set_activity(prev);
+                fault?;
+                self.drain_meta()?;
+                let root = self.kernel.process(pid)?.aspace.root();
+                let mut walker = std::mem::take(&mut self.walker);
+                let second = walker.walk_and_mark(&mut self.hw, root, va, kind.is_write());
+                self.walker = walker;
+                second.map_err(|_| KindleError::Corrupted("fault handler did not map page"))?
+            }
+        };
+
+        let pte = outcome.pte;
+        let mut entry = TlbEntry::new(vpn, pte.pfn(), pte.is_writable(), pte.mem_kind())
+            .with_pte_pa(outcome.pte_pa);
+        entry.dirty = pte.is_dirty();
+
+        // SSP: register NVM pages touched inside a FASE.
+        if pte.mem_kind() == MemKind::Nvm && self.msr.in_nvm_range(va) {
+            if let Some(engine) = self.ssp.as_mut() {
+                if engine.in_fase() {
+                    let ext =
+                        engine.register_page(&mut self.hw, &mut self.kernel.pools, vpn, pte.pfn())?;
+                    entry.ssp = Some(ext);
+                }
+            }
+        }
+
+        let info = EntryInfo {
+            pfn: entry.pfn,
+            writable: entry.writable,
+            mem_kind: entry.mem_kind,
+            dirty: entry.dirty,
+            ssp: entry.ssp,
+            pte_pa: entry.pte_pa,
+        };
+        if let Some(droppped) = self.tlb.install(entry) {
+            self.on_tlb_dropped(pid, droppped)?;
+        }
+        Ok(info)
+    }
+
+    /// Hardware-side handling of an entry leaving the TLB hierarchy.
+    fn on_tlb_dropped(&mut self, pid: u32, entry: TlbEntry) -> Result<()> {
+        if entry.ssp.is_some() {
+            if let Some(engine) = self.ssp.as_mut() {
+                engine.on_tlb_evict(&mut self.hw, &entry);
+            }
+        }
+        if entry.access_count > 0 {
+            if let Some(engine) = self.hscc.as_mut() {
+                engine.on_tlb_evict(&mut self.hw, &mut self.kernel, pid, &entry);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fires every engine whose deadline passed. Called after each access
+    /// and syscall.
+    fn poll_timers(&mut self, pid: u32) -> Result<()> {
+        loop {
+            let now = self.hw.now();
+            let mut fired = false;
+
+            if let Some(engine) = self.persist.as_mut() {
+                if engine.due(now) {
+                    let prev = self.hw.set_activity(Activity::Checkpoint);
+                    let r = engine.tick(&mut self.hw, &mut self.kernel);
+                    self.hw.set_activity(prev);
+                    r?;
+                    fired = true;
+                }
+            }
+
+            if let Some(engine) = self.ssp.as_mut() {
+                if engine.consolidation_due(now) {
+                    let prev = self.hw.set_activity(Activity::Consolidation);
+                    engine.consolidate(&mut self.hw, &self.kernel.costs);
+                    self.hw.set_activity(prev);
+                    fired = true;
+                }
+                if engine.interval_due(self.hw.now()) {
+                    let prev = self.hw.set_activity(Activity::SspInterval);
+                    engine.end_interval(&mut self.hw, &mut self.tlb, &self.kernel.costs);
+                    self.hw.set_activity(prev);
+                    fired = true;
+                }
+            }
+
+            if let Some(engine) = self.hscc.as_mut() {
+                if engine.due(now) {
+                    let prev = self.hw.set_activity(Activity::MigrationScan);
+                    let was_free = if self.cfg.hscc_os_mode {
+                        self.hw.free_mode()
+                    } else {
+                        // Hardware-only baseline: migrations happen with no
+                        // OS time charged.
+                        self.hw.set_free_mode(true)
+                    };
+                    let r = engine.migrate(&mut self.hw, &mut self.kernel, &mut self.tlb, pid);
+                    if !self.cfg.hscc_os_mode {
+                        self.hw.set_free_mode(was_free);
+                    }
+                    self.hw.set_activity(prev);
+                    r?;
+                    fired = true;
+                }
+            }
+
+            if !fired {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Runs the generated template program: mmaps its areas (NVM-tagged
+    /// ones with `MAP_NVM`), optionally opens a FASE, and replays every
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and access failures.
+    pub fn run_replay(
+        &mut self,
+        pid: u32,
+        program: &ReplayProgram,
+        opts: ReplayOptions,
+    ) -> Result<ReplayReport> {
+        let mut bases = Vec::with_capacity(program.layout().areas().len());
+        let mut nvm_lo = VirtAddr::new(u64::MAX);
+        let mut nvm_hi = VirtAddr::new(0);
+        for area in program.layout().areas() {
+            let flags = if area.nvm { MapFlags::NVM } else { MapFlags::EMPTY };
+            let va = self.mmap(pid, area.size, Prot::RW, flags)?;
+            if area.nvm {
+                nvm_lo = nvm_lo.min(va);
+                nvm_hi = nvm_hi.max(va + area.size);
+            }
+            bases.push(va);
+        }
+        if opts.fase && nvm_lo < nvm_hi {
+            self.msr.nvm_range = Some((nvm_lo, nvm_hi));
+            let now = self.hw.now();
+            if let Some(engine) = self.ssp.as_mut() {
+                engine.fase_begin(now);
+            }
+        }
+
+        let faults_before = self.kernel.stats().page_faults;
+        let t0 = self.hw.now();
+        let mut ops = 0u64;
+        for rec in program.records() {
+            if let Some(cap) = opts.max_ops {
+                if ops >= cap {
+                    break;
+                }
+            }
+            let va = bases[rec.area.0 as usize] + rec.offset;
+            self.access_sized(pid, va, rec.size.max(8), rec.op)?;
+            ops += 1;
+        }
+
+        if opts.fase {
+            if let Some(engine) = self.ssp.as_mut() {
+                let prev = self.hw.set_activity(Activity::SspInterval);
+                engine.end_interval(&mut self.hw, &mut self.tlb, &self.kernel.costs);
+                engine.fase_end();
+                self.hw.set_activity(prev);
+            }
+            self.msr.nvm_range = None;
+        }
+
+        Ok(ReplayReport {
+            ops,
+            cycles: self.hw.now() - t0,
+            faults: self.kernel.stats().page_faults - faults_before,
+            area_bases: bases,
+        })
+    }
+
+    /// Simulates a power failure and reboot: hardware state is lost, NVM
+    /// durable contents survive, and a fresh kernel boots (the prototype
+    /// engines are re-created over the persistent regions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reboot failures.
+    pub fn crash(&mut self) -> Result<()> {
+        self.hw.crash();
+        let _ = self.tlb.flush_all();
+        self.active_pid = None;
+        self.msr = MsrFile::new();
+        let kcfg = KernelConfig {
+            memory_map: self.cfg.mem.layout.clone(),
+            pt_mode: self.cfg.pt_mode,
+            costs: self.cfg.costs.clone(),
+            dram_reserved_frames: 256,
+        };
+        self.kernel = Kernel::new(kcfg, &mut self.hw)?;
+        if let Some(setup) = self.cfg.checkpoint.clone() {
+            self.persist = Some(CheckpointEngine::new(
+                &self.kernel.layout,
+                self.cfg.pt_mode,
+                setup.interval,
+                setup.max_procs,
+            ));
+        }
+        if let Some(ssp_cfg) = self.cfg.ssp.clone() {
+            self.ssp = Some(SspEngine::new(&self.kernel.layout, ssp_cfg));
+        }
+        if let Some(hscc_cfg) = self.cfg.hscc.clone() {
+            self.hscc = Some(HsccEngine::new(&mut self.hw, &mut self.kernel, hscc_cfg)?);
+        }
+        Ok(())
+    }
+
+    /// Runs the paper's recovery procedure over the saved-state area.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` if checkpointing is not enabled; otherwise
+    /// propagates recovery failures.
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        let engine = self
+            .persist
+            .as_ref()
+            .ok_or(KindleError::InvalidArgument("checkpointing not enabled"))?;
+        let area = *engine.area();
+        let prev = self.hw.set_activity(Activity::Recovery);
+        let report = recover_all(&mut self.hw, &mut self.kernel, &area);
+        self.hw.set_activity(prev);
+        report
+    }
+
+    /// Forces a checkpoint immediately (outside the periodic schedule).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` if checkpointing is not enabled.
+    pub fn checkpoint_now(&mut self) -> Result<()> {
+        let engine = self
+            .persist
+            .as_mut()
+            .ok_or(KindleError::InvalidArgument("checkpointing not enabled"))?;
+        let prev = self.hw.set_activity(Activity::Checkpoint);
+        let r = engine.checkpoint(&mut self.hw, &mut self.kernel);
+        self.hw.set_activity(prev);
+        r
+    }
+
+    /// Gathers a full statistics snapshot.
+    pub fn report(&self) -> SimReport {
+        SimReport::collect(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_types::PAGE_SIZE;
+
+    fn machine() -> (Machine, u32) {
+        let mut m = Machine::new(MachineConfig::small()).unwrap();
+        let pid = m.spawn_process().unwrap();
+        (m, pid)
+    }
+
+    #[test]
+    fn demand_paging_and_caching() {
+        let (mut m, pid) = machine();
+        let va = m.mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
+        let cold = m.access(pid, va, AccessKind::Write).unwrap();
+        let warm = m.access(pid, va, AccessKind::Write).unwrap();
+        assert!(cold > warm, "fault+walk+fill ({cold}) vs cached hit ({warm})");
+        assert_eq!(m.kernel.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn unmapped_access_errors() {
+        let (mut m, pid) = machine();
+        let err = m.access(pid, VirtAddr::new(0x6666_0000), AccessKind::Read).unwrap_err();
+        assert!(matches!(err, KindleError::Unmapped(_)));
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let (mut m, pid) = machine();
+        let va = m.mmap(pid, PAGE_SIZE as u64, Prot::READ, MapFlags::EMPTY).unwrap();
+        m.access(pid, va, AccessKind::Read).unwrap();
+        let err = m.access(pid, va, AccessKind::Write).unwrap_err();
+        assert!(matches!(err, KindleError::ProtectionFault(_)));
+    }
+
+    #[test]
+    fn munmap_shoots_down_tlb() {
+        let (mut m, pid) = machine();
+        let va = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
+        m.access(pid, va, AccessKind::Write).unwrap();
+        m.munmap(pid, va, PAGE_SIZE as u64).unwrap();
+        assert_eq!(m.tlb_shootdowns(), 1);
+        assert!(matches!(
+            m.access(pid, va, AccessKind::Read).unwrap_err(),
+            KindleError::Unmapped(_)
+        ));
+    }
+
+    #[test]
+    fn nvm_access_slower_than_dram() {
+        let (mut m, pid) = machine();
+        let nva = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
+        let dva = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY).unwrap();
+        // Fault both in, then drop the caches so the reads fill from the
+        // devices.
+        m.access(pid, nva, AccessKind::Read).unwrap();
+        m.access(pid, dva, AccessKind::Read).unwrap();
+        m.hw.caches.invalidate_all();
+        let n = m.access(pid, nva + 1024, AccessKind::Read).unwrap();
+        m.hw.caches.invalidate_all();
+        let d = m.access(pid, dva + 1024, AccessKind::Read).unwrap();
+        assert!(n > d, "nvm line fill {n} vs dram {d}");
+    }
+
+    #[test]
+    fn sized_access_touches_every_line() {
+        let (mut m, pid) = machine();
+        let va = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY).unwrap();
+        m.access_sized(pid, va, 256, AccessKind::Write).unwrap();
+        let stats = m.hw.caches.stats();
+        assert!(stats.l1.hits + stats.l1.misses >= 4, "256B = 4 lines");
+    }
+
+    #[test]
+    fn periodic_checkpoint_fires_during_execution() {
+        let cfg = MachineConfig::small().with_checkpointing(Cycles::from_millis(1));
+        let mut m = Machine::new(cfg).unwrap();
+        let pid = m.spawn_process().unwrap();
+        let va = m.mmap(pid, 64 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
+        // Touch pages until well past several intervals.
+        let mut i = 0u64;
+        while m.now() < Cycles::from_millis(5) {
+            m.access(pid, va + (i % 64) * PAGE_SIZE as u64, AccessKind::Write).unwrap();
+            i += 1;
+        }
+        let ckpt = m.persist.as_ref().unwrap().stats().checkpoints;
+        assert!(ckpt >= 3, "expected several checkpoints, got {ckpt}");
+        assert!(
+            m.hw.core.breakdown().get(Activity::Checkpoint) > Cycles::ZERO,
+            "checkpoint time attributed"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The SSP metadata cache: one 64-byte entry per shadowed page, in NVM.
+//!
+//! Entry layout (one cache line, so a metadata update is one `clwb`):
+//!
+//! ```text
+//!  0  vpn
+//!  8  original pfn
+//! 16  shadow pfn
+//! 24  current bitmap  (per line: 0 = committed copy on original, 1 = shadow)
+//! 32  updated bitmap  (lines written in the open interval)
+//! 40  flags           (bit 0: TLB-evicted, pending consolidation)
+//! 48  reserved
+//! ```
+
+use std::collections::HashMap;
+
+use kindle_os::Region;
+use kindle_types::{KindleError, PhysAddr, PhysMem, Pfn, Result, Vpn};
+
+/// Size of one metadata entry.
+pub const ENTRY_BYTES: u64 = 64;
+
+const FLAG_EVICTED: u64 = 1;
+
+/// A decoded metadata entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SspCacheEntry {
+    /// Shadowed virtual page.
+    pub vpn: Vpn,
+    /// Original physical frame.
+    pub orig: Pfn,
+    /// Shadow physical frame.
+    pub shadow: Pfn,
+    /// Committed-side bitmap.
+    pub current: u64,
+    /// Written-this-interval bitmap.
+    pub updated: u64,
+    /// Pending consolidation after TLB eviction.
+    pub evicted: bool,
+}
+
+/// The metadata region plus a host-side index (standing in for the
+/// hardware's direct-mapped lookup; every access still touches the NVM
+/// line so the timing is honest).
+#[derive(Clone, Debug)]
+pub struct SspCache {
+    region: Region,
+    index: HashMap<Vpn, u64>,
+    next: u64,
+    capacity: u64,
+}
+
+impl SspCache {
+    /// Wraps the reserved NVM region.
+    pub fn new(region: Region) -> Self {
+        let capacity = region.size / ENTRY_BYTES;
+        SspCache { region, index: HashMap::new(), next: 0, capacity }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Registered entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no pages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Physical address of entry `idx`.
+    pub fn entry_pa(&self, idx: u64) -> PhysAddr {
+        self.region.base + idx * ENTRY_BYTES
+    }
+
+    /// Index of the entry for `vpn`, if registered.
+    pub fn lookup(&self, vpn: Vpn) -> Option<u64> {
+        self.index.get(&vpn).copied()
+    }
+
+    /// Registers a page pair, writing the entry durably.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::RegionFull`] when the metadata region is exhausted.
+    pub fn register(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        vpn: Vpn,
+        orig: Pfn,
+        shadow: Pfn,
+    ) -> Result<u64> {
+        if let Some(idx) = self.lookup(vpn) {
+            return Ok(idx);
+        }
+        if self.next >= self.capacity {
+            return Err(KindleError::RegionFull("ssp cache"));
+        }
+        let idx = self.next;
+        self.next += 1;
+        self.index.insert(vpn, idx);
+        self.write(
+            mem,
+            idx,
+            &SspCacheEntry { vpn, orig, shadow, current: 0, updated: 0, evicted: false },
+        );
+        Ok(idx)
+    }
+
+    /// Reads entry `idx` (charged reads).
+    pub fn read(&self, mem: &mut dyn PhysMem, idx: u64) -> SspCacheEntry {
+        let pa = self.entry_pa(idx);
+        SspCacheEntry {
+            vpn: Vpn::new(mem.read_u64(pa)),
+            orig: Pfn::new(mem.read_u64(pa + 8)),
+            shadow: Pfn::new(mem.read_u64(pa + 16)),
+            current: mem.read_u64(pa + 24),
+            updated: mem.read_u64(pa + 32),
+            evicted: mem.read_u64(pa + 40) & FLAG_EVICTED != 0,
+        }
+    }
+
+    /// Writes entry `idx` durably (one line + clwb + fence).
+    pub fn write(&self, mem: &mut dyn PhysMem, idx: u64, e: &SspCacheEntry) {
+        let pa = self.entry_pa(idx);
+        mem.write_u64(pa, e.vpn.as_u64());
+        mem.write_u64(pa + 8, e.orig.as_u64());
+        mem.write_u64(pa + 16, e.shadow.as_u64());
+        mem.write_u64(pa + 24, e.current);
+        mem.write_u64(pa + 32, e.updated);
+        mem.write_u64(pa + 40, e.evicted as u64 * FLAG_EVICTED);
+        mem.clwb(pa);
+        mem.sfence();
+    }
+
+    /// Iterates all registered (vpn, idx) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, u64)> + '_ {
+        self.index.iter().map(|(&v, &i)| (v, i))
+    }
+
+    /// Indices of entries currently flagged evicted (reads each entry's
+    /// flag word — charged).
+    pub fn evicted_entries(&self, mem: &mut dyn PhysMem) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .index
+            .values()
+            .copied()
+            .filter(|&idx| mem.read_u64(self.entry_pa(idx) + 40) & FLAG_EVICTED != 0)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_types::physmem::FlatMem;
+
+    fn cache() -> (FlatMem, SspCache) {
+        let mem = FlatMem::new(1 << 20);
+        let region = Region { base: PhysAddr::new(0x10000), size: 64 * 100 };
+        (mem, SspCache::new(region))
+    }
+
+    #[test]
+    fn register_and_round_trip() {
+        let (mut mem, mut c) = cache();
+        let idx = c.register(&mut mem, Vpn::new(5), Pfn::new(10), Pfn::new(11)).unwrap();
+        let e = c.read(&mut mem, idx);
+        assert_eq!(e.vpn, Vpn::new(5));
+        assert_eq!(e.orig, Pfn::new(10));
+        assert_eq!(e.shadow, Pfn::new(11));
+        assert_eq!(e.current, 0);
+        assert!(!e.evicted);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let (mut mem, mut c) = cache();
+        let a = c.register(&mut mem, Vpn::new(5), Pfn::new(10), Pfn::new(11)).unwrap();
+        let b = c.register(&mut mem, Vpn::new(5), Pfn::new(99), Pfn::new(98)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+        // Original registration wins.
+        assert_eq!(c.read(&mut mem, a).orig, Pfn::new(10));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mem = FlatMem::new(1 << 20);
+        let region = Region { base: PhysAddr::new(0), size: 2 * ENTRY_BYTES };
+        let mut c = SspCache::new(region);
+        let mut mem = mem;
+        c.register(&mut mem, Vpn::new(1), Pfn::new(1), Pfn::new(2)).unwrap();
+        c.register(&mut mem, Vpn::new(2), Pfn::new(3), Pfn::new(4)).unwrap();
+        assert!(matches!(
+            c.register(&mut mem, Vpn::new(3), Pfn::new(5), Pfn::new(6)),
+            Err(KindleError::RegionFull(_))
+        ));
+    }
+
+    #[test]
+    fn evicted_flag_round_trip() {
+        let (mut mem, mut c) = cache();
+        let i1 = c.register(&mut mem, Vpn::new(1), Pfn::new(1), Pfn::new(2)).unwrap();
+        let i2 = c.register(&mut mem, Vpn::new(2), Pfn::new(3), Pfn::new(4)).unwrap();
+        let mut e = c.read(&mut mem, i2);
+        e.evicted = true;
+        e.current = 0xff;
+        c.write(&mut mem, i2, &e);
+        assert_eq!(c.evicted_entries(&mut mem), vec![i2]);
+        let back = c.read(&mut mem, i2);
+        assert!(back.evicted);
+        assert_eq!(back.current, 0xff);
+        assert!(!c.read(&mut mem, i1).evicted);
+    }
+}

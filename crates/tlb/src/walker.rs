@@ -1,0 +1,183 @@
+//! Hardware page-table walker.
+//!
+//! Walks the 4-level x86-64 page table by issuing real loads through a
+//! [`PhysMem`], so every walk is charged the latency of wherever the tables
+//! physically live (DRAM or NVM) — including cache hits on hot table lines.
+
+use kindle_types::{PhysMem, Pfn, PhysAddr, Pte, VirtAddr};
+
+pub use kindle_types::pte::pte_addr;
+
+/// A successful walk: the leaf PTE and where it lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// The leaf (level-1) entry.
+    pub pte: Pte,
+    /// Physical address of the leaf entry (so the walker or prototypes can
+    /// write back accessed/dirty bits or HSCC counters).
+    pub pte_pa: PhysAddr,
+}
+
+/// A failed walk: which level had the non-present entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkError {
+    /// Level (4..=1) whose entry was not present.
+    pub level: u8,
+    /// Physical address of the non-present entry.
+    pub pte_pa: PhysAddr,
+}
+
+/// The page-table walker. Stateless apart from statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PageWalker {
+    /// Completed walks.
+    pub walks: u64,
+    /// Walks that faulted (non-present entry).
+    pub faults: u64,
+    /// Total PTE loads issued.
+    pub pte_loads: u64,
+}
+
+impl PageWalker {
+    /// Creates a walker with zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Performs a 4-level walk from the root table `ptbr` for `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkError`] naming the level whose entry was non-present;
+    /// the OS turns this into a page fault.
+    pub fn walk(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        ptbr: Pfn,
+        va: VirtAddr,
+    ) -> Result<WalkOutcome, WalkError> {
+        self.walks += 1;
+        let mut table = ptbr;
+        for level in (1..=4u8).rev() {
+            let pa = pte_addr(table, va, level);
+            self.pte_loads += 1;
+            let pte = Pte::from_bits(mem.read_u64(pa));
+            if !pte.is_present() {
+                self.faults += 1;
+                return Err(WalkError { level, pte_pa: pa });
+            }
+            if level == 1 {
+                return Ok(WalkOutcome { pte, pte_pa: pa });
+            }
+            table = pte.pfn();
+        }
+        unreachable!("loop covers levels 4..=1")
+    }
+
+    /// Walks and sets the accessed (and, for writes, dirty) bits in the leaf
+    /// entry, charging the extra PTE store when bits change, as the hardware
+    /// walker does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalkError`] from [`PageWalker::walk`].
+    pub fn walk_and_mark(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        ptbr: Pfn,
+        va: VirtAddr,
+        write: bool,
+    ) -> Result<WalkOutcome, WalkError> {
+        let out = self.walk(mem, ptbr, va)?;
+        let mut bits = Pte::ACCESSED;
+        if write {
+            bits |= Pte::DIRTY;
+        }
+        let marked = out.pte.with_flags(bits);
+        if marked != out.pte {
+            mem.write_u64(out.pte_pa, marked.bits());
+        }
+        Ok(WalkOutcome { pte: marked, pte_pa: out.pte_pa })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kindle_types::physmem::FlatMem;
+    use kindle_types::PAGE_SIZE;
+
+    /// Hand-builds a 4-level mapping va -> leaf_pfn inside a FlatMem, using
+    /// frames 1..=3 for the intermediate tables and `root` as frame 0.
+    fn build_mapping(mem: &mut FlatMem, root: Pfn, va: VirtAddr, leaf: Pfn) {
+        let mut table = root;
+        for level in (2..=4u8).rev() {
+            let next = Pfn::new(5 - level as u64); // frames 1,2,3
+            let pa = pte_addr(table, va, level);
+            let existing = Pte::from_bits(mem.read_u64(pa));
+            let next = if existing.is_present() { existing.pfn() } else { next };
+            mem.write_u64(pa, Pte::new(next, Pte::WRITABLE).bits());
+            table = next;
+        }
+        let pa = pte_addr(table, va, 1);
+        mem.write_u64(pa, Pte::new(leaf, Pte::WRITABLE).bits());
+    }
+
+    #[test]
+    fn walk_finds_leaf() {
+        let mut mem = FlatMem::new(64 * PAGE_SIZE);
+        let root = Pfn::new(0);
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        build_mapping(&mut mem, root, va, Pfn::new(42));
+        let mut w = PageWalker::new();
+        let out = w.walk(&mut mem, root, va).unwrap();
+        assert_eq!(out.pte.pfn(), Pfn::new(42));
+        assert_eq!(w.walks, 1);
+        assert_eq!(w.pte_loads, 4);
+    }
+
+    #[test]
+    fn walk_faults_on_missing_level() {
+        let mut mem = FlatMem::new(64 * PAGE_SIZE);
+        let mut w = PageWalker::new();
+        let err = w.walk(&mut mem, Pfn::new(0), VirtAddr::new(0x1000)).unwrap_err();
+        assert_eq!(err.level, 4);
+        assert_eq!(w.faults, 1);
+    }
+
+    #[test]
+    fn walk_and_mark_sets_bits_once() {
+        let mut mem = FlatMem::new(64 * PAGE_SIZE);
+        let root = Pfn::new(0);
+        let va = VirtAddr::new(0x4000_0000);
+        build_mapping(&mut mem, root, va, Pfn::new(9));
+        let mut w = PageWalker::new();
+
+        let out = w.walk_and_mark(&mut mem, root, va, true).unwrap();
+        assert!(out.pte.is_accessed() && out.pte.is_dirty());
+        // The stored PTE was updated.
+        let stored = Pte::from_bits(mem.read_u64(out.pte_pa));
+        assert!(stored.is_dirty());
+
+        // Second identical walk must not rewrite the entry.
+        let before = mem.now();
+        let loads_before = w.pte_loads;
+        w.walk_and_mark(&mut mem, root, va, true).unwrap();
+        let elapsed = (mem.now() - before).as_u64();
+        assert_eq!(w.pte_loads - loads_before, 4);
+        assert_eq!(elapsed, 4, "4 loads, no store on second walk");
+    }
+
+    #[test]
+    fn distinct_vas_share_tables_when_close() {
+        let mut mem = FlatMem::new(64 * PAGE_SIZE);
+        let root = Pfn::new(0);
+        let a = VirtAddr::new(0x1000);
+        let b = VirtAddr::new(0x2000);
+        build_mapping(&mut mem, root, a, Pfn::new(50));
+        build_mapping(&mut mem, root, b, Pfn::new(51));
+        let mut w = PageWalker::new();
+        assert_eq!(w.walk(&mut mem, root, a).unwrap().pte.pfn(), Pfn::new(50));
+        assert_eq!(w.walk(&mut mem, root, b).unwrap().pte.pfn(), Pfn::new(51));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: TLB residency model and walker agreement.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kindle_tlb::{pte_addr, PageWalker, Tlb, TlbConfig, TlbEntry, TwoLevelTlb, TwoLevelTlbConfig};
+use kindle_types::physmem::FlatMem;
+use kindle_types::{MemKind, PhysMem, Pfn, Pte, VirtAddr, Vpn, PAGE_SIZE};
+
+proptest! {
+    /// Occupancy never exceeds capacity; entries leave only by eviction or
+    /// invalidation; an installed entry is immediately findable.
+    #[test]
+    fn tlb_residency_model(vpns in prop::collection::vec(0u64..64, 1..200)) {
+        let mut t = Tlb::new(TlbConfig { entries: 16, assoc: 4, hit_cycles: 1 });
+        let mut resident: HashMap<u64, u64> = HashMap::new(); // vpn -> pfn
+        for (i, v) in vpns.iter().enumerate() {
+            let e = TlbEntry::new(Vpn::new(*v), Pfn::new(1000 + i as u64), true, MemKind::Dram);
+            if let Some(ev) = t.insert(e) {
+                let removed = resident.remove(&ev.vpn.as_u64());
+                prop_assert!(removed.is_some(), "evicted entry was not resident");
+            }
+            resident.insert(*v, 1000 + i as u64);
+            prop_assert!(t.occupancy() <= 16);
+            prop_assert_eq!(t.occupancy(), resident.len());
+            prop_assert_eq!(
+                t.peek(Vpn::new(*v)).map(|e| e.pfn.as_u64()),
+                Some(1000 + i as u64)
+            );
+        }
+        // Everything the model holds must be found.
+        for (&v, &p) in &resident {
+            prop_assert_eq!(t.lookup(Vpn::new(v)).map(|e| e.pfn.as_u64()), Some(p));
+        }
+    }
+
+    /// The two-level stack never loses an entry silently: any install's
+    /// return value accounts for the only way entries disappear (other
+    /// than invalidate/flush).
+    #[test]
+    fn two_level_conservation(vpns in prop::collection::vec(0u64..4096, 1..300)) {
+        let cfg = TwoLevelTlbConfig {
+            l1: TlbConfig { entries: 8, assoc: 2, hit_cycles: 1 },
+            l2: TlbConfig { entries: 32, assoc: 4, hit_cycles: 7 },
+        };
+        let mut t = TwoLevelTlb::new(&cfg);
+        let mut resident: HashMap<u64, ()> = HashMap::new();
+        for v in vpns {
+            let e = TlbEntry::new(Vpn::new(v), Pfn::new(v + 7), true, MemKind::Nvm);
+            if let Some(out) = t.install(e) {
+                resident.remove(&out.vpn.as_u64());
+            }
+            resident.insert(v, ());
+            prop_assert_eq!(t.occupancy(), resident.len());
+        }
+        // Lookups promote L2 hits into L1, which may cascade an entry out
+        // of the hierarchy; any such drop must be reported, never silent.
+        let keys: Vec<u64> = resident.keys().copied().collect();
+        for v in keys {
+            if !resident.contains_key(&v) {
+                continue; // dropped by an earlier promotion cascade
+            }
+            let (_, hit, dropped) = t.lookup(Vpn::new(v));
+            prop_assert!(hit.is_some(), "resident vpn {v} not found");
+            if let Some(out) = dropped {
+                let removed = resident.remove(&out.vpn.as_u64());
+                prop_assert!(removed.is_some(), "dropped entry was not resident");
+            }
+            prop_assert_eq!(t.occupancy(), resident.len());
+        }
+    }
+
+    /// The hardware walker agrees with a software model for arbitrary
+    /// 4-level layouts built from random virtual pages.
+    #[test]
+    fn walker_matches_model(vpns in prop::collection::vec(0u64..(1u64 << 36), 1..24)) {
+        let mut mem = FlatMem::new(512 * PAGE_SIZE);
+        let root = Pfn::new(0);
+        let mut next_table = 1u64;
+        let mut model: HashMap<u64, Pfn> = HashMap::new();
+        for (i, vpn) in vpns.iter().enumerate() {
+            let va = VirtAddr::new(vpn << 12);
+            let leaf = Pfn::new(0x4_0000 + i as u64);
+            // Software build: walk levels 4..2, allocating tables.
+            let mut table = root;
+            for level in (2..=4u8).rev() {
+                let pa = pte_addr(table, va, level);
+                let pte = Pte::from_bits(mem.read_u64(pa));
+                table = if pte.is_present() {
+                    pte.pfn()
+                } else {
+                    let t = Pfn::new(next_table);
+                    next_table += 1;
+                    mem.write_u64(pa, Pte::new(t, Pte::WRITABLE).bits());
+                    t
+                };
+            }
+            mem.write_u64(pte_addr(table, va, 1), Pte::new(leaf, Pte::WRITABLE).bits());
+            model.insert(*vpn, leaf);
+        }
+        let mut w = PageWalker::new();
+        for (&vpn, &leaf) in &model {
+            let out = w.walk(&mut mem, root, VirtAddr::new(vpn << 12)).unwrap();
+            prop_assert_eq!(out.pte.pfn(), leaf, "vpn {:#x}", vpn);
+        }
+        // A vpn never inserted must fault (pick one outside the set).
+        let missing = (1u64 << 36) + 1;
+        prop_assert!(w.walk(&mut mem, root, VirtAddr::new(missing << 12)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! The tracing driver — the Pin-coordinator substitute.
+//!
+//! The paper's driver forks the application under Intel Pin, captures its
+//! memory layout from `/proc/pid/maps` (SniP for thread stacks) and feeds
+//! the trace to the image generator. Offline, this driver runs the
+//! synthetic workload generator instead and produces the same artefacts:
+//! a [`MemoryLayout`] and a [`TraceImage`].
+
+use crate::image::TraceImage;
+use crate::layout::MemoryLayout;
+use crate::workloads::WorkloadKind;
+
+/// The trace-capture driver.
+#[derive(Clone, Copy, Debug)]
+pub struct Driver {
+    seed: u64,
+}
+
+impl Driver {
+    /// Creates a driver with a fixed RNG seed (reproducible traces).
+    pub fn new(seed: u64) -> Self {
+        Driver { seed }
+    }
+
+    /// The seed in use.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// "Runs" `kind` for `ops` operations under the tracer, returning the
+    /// captured layout and the generated disk image.
+    pub fn trace(&self, kind: WorkloadKind, ops: u64) -> (MemoryLayout, TraceImage) {
+        let layout = kind.layout();
+        let records = kind.stream(ops, self.seed).collect();
+        (layout.clone(), TraceImage::new(layout, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_produces_consistent_artifacts() {
+        let (layout, image) = Driver::new(1).trace(WorkloadKind::GapbsPr, 1234);
+        assert_eq!(image.records().len(), 1234);
+        assert_eq!(layout, *image.layout());
+        crate::image::validate(&layout, image.records()).unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let (_, a) = Driver::new(5).trace(WorkloadKind::YcsbMem, 100);
+        let (_, b) = Driver::new(5).trace(WorkloadKind::YcsbMem, 100);
+        assert_eq!(a, b);
+    }
+}

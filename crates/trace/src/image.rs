@@ -1,0 +1,177 @@
+//! The disk image consumed by the simulation component.
+//!
+//! Mirrors the paper's image-generator output: the area table followed by
+//! the packed `(period, offset, operation, size, area)` records.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use kindle_types::{KindleError, Result};
+
+use crate::layout::{Area, AreaKind, MemoryLayout};
+use crate::record::{AreaId, TraceRecord};
+
+const MAGIC: u64 = 0x4b49_4e44_4c45_0001; // "KINDLE" v1
+
+/// A fully materialised trace: layout plus records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceImage {
+    layout: MemoryLayout,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceImage {
+    /// Builds an image from parts.
+    pub fn new(layout: MemoryLayout, records: Vec<TraceRecord>) -> Self {
+        TraceImage { layout, records }
+    }
+
+    /// The captured memory layout.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The record stream.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Serialises into the on-disk format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.records.len() * TraceRecord::BYTES);
+        buf.put_u64_le(MAGIC);
+        buf.put_u32_le(self.layout.areas().len() as u32);
+        buf.put_u64_le(self.records.len() as u64);
+        for a in self.layout.areas() {
+            buf.put_u16_le(a.name.len() as u16);
+            buf.put_slice(a.name.as_bytes());
+            buf.put_u8(matches!(a.kind, AreaKind::Stack) as u8);
+            buf.put_u64_le(a.size);
+            buf.put_u8(a.nvm as u8);
+        }
+        for r in &self.records {
+            buf.put_slice(&r.to_bytes());
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises from the on-disk format.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::Corrupted`] on bad magic or truncated input.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self> {
+        let corrupt = || KindleError::Corrupted("trace image");
+        if data.remaining() < 20 || data.get_u64_le() != MAGIC {
+            return Err(corrupt());
+        }
+        let areas = data.get_u32_le() as usize;
+        let records = data.get_u64_le() as usize;
+        let mut layout = MemoryLayout::new();
+        for _ in 0..areas {
+            if data.remaining() < 2 {
+                return Err(corrupt());
+            }
+            let name_len = data.get_u16_le() as usize;
+            if data.remaining() < name_len + 10 {
+                return Err(corrupt());
+            }
+            let name_bytes = data.copy_to_bytes(name_len);
+            let name =
+                std::str::from_utf8(&name_bytes).map_err(|_| corrupt())?.to_string();
+            let kind = if data.get_u8() == 1 { AreaKind::Stack } else { AreaKind::Heap };
+            let size = data.get_u64_le();
+            let nvm = data.get_u8() == 1;
+            layout.add(&name, kind, size, nvm);
+        }
+        if data.remaining() < records * TraceRecord::BYTES {
+            return Err(corrupt());
+        }
+        let mut recs = Vec::with_capacity(records);
+        for _ in 0..records {
+            let mut raw = [0u8; TraceRecord::BYTES];
+            data.copy_to_slice(&mut raw);
+            let r = TraceRecord::from_bytes(&raw);
+            if r.area.0 as usize >= layout.areas().len() {
+                return Err(corrupt());
+            }
+            recs.push(r);
+        }
+        Ok(TraceImage { layout, records: recs })
+    }
+
+    /// Per-area operation counts (for Table II-style summaries).
+    pub fn area_op_counts(&self) -> Vec<(Area, u64)> {
+        let mut counts = vec![0u64; self.layout.areas().len()];
+        for r in &self.records {
+            counts[r.area.0 as usize] += 1;
+        }
+        self.layout
+            .areas()
+            .iter()
+            .cloned()
+            .zip(counts)
+            .collect()
+    }
+}
+
+/// Convenience: record referencing area ids beyond `layout` is invalid.
+pub fn validate(layout: &MemoryLayout, records: &[TraceRecord]) -> Result<()> {
+    for r in records {
+        if r.area.0 as usize >= layout.areas().len() {
+            return Err(KindleError::Corrupted("record references unknown area"));
+        }
+        let area = layout.area(AreaId(r.area.0));
+        if r.offset + r.size as u64 > area.size {
+            return Err(KindleError::Corrupted("record escapes its area"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::WorkloadKind;
+
+    #[test]
+    fn serialize_round_trip() {
+        let kind = WorkloadKind::GapbsPr;
+        let img = TraceImage::new(kind.layout(), kind.stream(5000, 11).collect());
+        let bytes = img.to_bytes();
+        let back = TraceImage::from_bytes(bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = TraceImage::from_bytes(Bytes::from_static(&[0u8; 32])).unwrap_err();
+        assert_eq!(err, KindleError::Corrupted("trace image"));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let kind = WorkloadKind::YcsbMem;
+        let img = TraceImage::new(kind.layout(), kind.stream(100, 1).collect());
+        let bytes = img.to_bytes();
+        let cut = bytes.slice(0..bytes.len() - 5);
+        assert!(TraceImage::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn validation_catches_escapes() {
+        let kind = WorkloadKind::YcsbMem;
+        let layout = kind.layout();
+        let mut records: Vec<TraceRecord> = kind.stream(10, 1).collect();
+        validate(&layout, &records).unwrap();
+        records[0].offset = layout.area(AreaId(0)).size;
+        assert!(validate(&layout, &records).is_err());
+    }
+
+    #[test]
+    fn area_op_counts_sum_to_total() {
+        let kind = WorkloadKind::G500Sssp;
+        let img = TraceImage::new(kind.layout(), kind.stream(2000, 4).collect());
+        let total: u64 = img.area_op_counts().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 2000);
+    }
+}

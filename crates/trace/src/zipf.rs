@@ -1,0 +1,98 @@
+//! A deterministic Zipf(s) sampler over `1..=n`.
+//!
+//! Uses a precomputed CDF with binary search: exact, O(log n) per sample,
+//! and bit-for-bit reproducible across runs for a fixed seed — which the
+//! whole evaluation pipeline depends on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-distributed index sampler.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `s` and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n` (0 is the hottest).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Zipf::new(1000, 0.99, 7);
+        let mut b = Zipf::new(1000, 0.99, 7);
+        let xs: Vec<_> = (0..100).map(|_| a.sample()).collect();
+        let ys: Vec<_> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn skewed_towards_low_ranks() {
+        let mut z = Zipf::new(10_000, 1.2, 1);
+        let mut head = 0usize;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample() < 100 {
+                head += 1;
+            }
+        }
+        // With s = 1.2 the top 1% of ranks should draw well over a third
+        // of the mass.
+        assert!(head as f64 / samples as f64 > 0.35, "head mass {head}/{samples}");
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let mut z = Zipf::new(100, 0.0, 3);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample()] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "s=0 must be near-uniform (min {min}, max {max})");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipf::new(5, 2.0, 9);
+        for _ in 0..1000 {
+            assert!(z.sample() < 5);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the preparation component.
+
+use proptest::prelude::*;
+
+use kindle_trace::{Driver, TraceImage, TraceRecord, WorkloadKind, Zipf};
+use kindle_types::AccessKind;
+
+fn arb_kind() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        Just(WorkloadKind::GapbsPr),
+        Just(WorkloadKind::G500Sssp),
+        Just(WorkloadKind::YcsbMem),
+    ]
+}
+
+proptest! {
+    /// Every generated record stays inside its declared area and matches
+    /// Table II's read fraction within tolerance — for arbitrary seeds.
+    #[test]
+    fn streams_well_formed(kind in arb_kind(), seed in any::<u64>()) {
+        let layout = kind.layout();
+        let ops = 20_000u64;
+        let mut reads = 0u64;
+        for r in kind.stream(ops, seed) {
+            let area = layout.area(r.area);
+            prop_assert!(r.offset + r.size as u64 <= area.size);
+            if r.op == AccessKind::Read {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / ops as f64;
+        let want = kind.spec().read_pct as f64 / 100.0;
+        prop_assert!((frac - want).abs() < 0.03, "{kind}: {frac} vs {want}");
+    }
+
+    /// Image serialisation round-trips for arbitrary traces.
+    #[test]
+    fn image_round_trips(kind in arb_kind(), seed in any::<u64>(), ops in 1u64..3000) {
+        let (_, image) = Driver::new(seed).trace(kind, ops);
+        let restored = TraceImage::from_bytes(image.to_bytes()).unwrap();
+        prop_assert_eq!(&restored, &image);
+        prop_assert_eq!(restored.records().len() as u64, ops);
+    }
+
+    /// Record packing round-trips arbitrary field values.
+    #[test]
+    fn record_round_trips(
+        period in any::<u64>(),
+        offset in any::<u64>(),
+        size in any::<u32>(),
+        write in any::<bool>(),
+        area in any::<u16>(),
+    ) {
+        let r = TraceRecord {
+            period,
+            offset,
+            size,
+            op: if write { AccessKind::Write } else { AccessKind::Read },
+            area: kindle_trace::AreaId(area),
+        };
+        prop_assert_eq!(TraceRecord::from_bytes(&r.to_bytes()), r);
+    }
+
+    /// Zipf samples stay in range and lower ranks are (weakly) more likely
+    /// for any exponent.
+    #[test]
+    fn zipf_in_range_and_skewed(n in 2usize..5000, s in 0.0f64..2.5, seed in any::<u64>()) {
+        let mut z = Zipf::new(n, s, seed);
+        let mut head = 0u64;
+        let samples = 2000;
+        for _ in 0..samples {
+            let x = z.sample();
+            prop_assert!(x < n);
+            if x < n / 2 {
+                head += 1;
+            }
+        }
+        // The first half must receive at least its uniform share (minus
+        // statistical slack).
+        prop_assert!(head as f64 >= samples as f64 * 0.40, "head {head}/{samples}");
+    }
+}

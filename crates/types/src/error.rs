@@ -1,0 +1,88 @@
+//! Error types shared across the Kindle crates.
+
+use core::fmt;
+
+use crate::{PhysAddr, VirtAddr};
+
+/// Result alias using [`KindleError`].
+pub type Result<T> = core::result::Result<T, KindleError>;
+
+/// Errors produced by the Kindle simulation stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KindleError {
+    /// A physical pool (DRAM or NVM) has no free frames left.
+    OutOfMemory {
+        /// Pool that was exhausted.
+        pool: &'static str,
+    },
+    /// A virtual address is not covered by any VMA.
+    Unmapped(VirtAddr),
+    /// The access violated the VMA protection.
+    ProtectionFault(VirtAddr),
+    /// A physical address fell outside every configured memory range.
+    BadPhysAddr(PhysAddr),
+    /// Address-space layout request could not be satisfied.
+    NoVirtualSpace {
+        /// Requested length in bytes.
+        len: u64,
+    },
+    /// The requested region overlaps an existing VMA and `FIXED` was not set.
+    Overlap(VirtAddr),
+    /// Invalid argument to a system call or component API.
+    InvalidArgument(&'static str),
+    /// Referenced process does not exist.
+    NoSuchProcess(u32),
+    /// A persistent structure failed its integrity check during recovery.
+    Corrupted(&'static str),
+    /// A reserved persistent region is too small for the requested use.
+    RegionFull(&'static str),
+}
+
+impl fmt::Display for KindleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KindleError::OutOfMemory { pool } => write!(f, "out of {pool} frames"),
+            KindleError::Unmapped(va) => write!(f, "virtual address {va} is not mapped"),
+            KindleError::ProtectionFault(va) => {
+                write!(f, "access to {va} violates page protection")
+            }
+            KindleError::BadPhysAddr(pa) => {
+                write!(f, "physical address {pa} is outside all memory ranges")
+            }
+            KindleError::NoVirtualSpace { len } => {
+                write!(f, "no free virtual region of {len} bytes")
+            }
+            KindleError::Overlap(va) => {
+                write!(f, "mapping at {va} overlaps an existing region")
+            }
+            KindleError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            KindleError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            KindleError::Corrupted(what) => {
+                write!(f, "persistent structure corrupted: {what}")
+            }
+            KindleError::RegionFull(what) => write!(f, "persistent region full: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KindleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_prose() {
+        let e = KindleError::OutOfMemory { pool: "nvm" };
+        assert_eq!(e.to_string(), "out of nvm frames");
+        let e = KindleError::Unmapped(VirtAddr::new(0x1000));
+        assert_eq!(e.to_string(), "virtual address 0x1000 is not mapped");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<KindleError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the shared vocabulary types.
+
+use proptest::prelude::*;
+
+use kindle_types::pte::pte_addr;
+use kindle_types::{physmem::touched_lines, Cycles, Pfn, PhysAddr, Pte, VirtAddr};
+
+proptest! {
+    #[test]
+    fn page_decomposition_reconstructs(addr in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(addr);
+        prop_assert_eq!(
+            va.page_base().as_u64() + va.page_offset(),
+            addr,
+            "base + offset must equal the address"
+        );
+        prop_assert_eq!(va.page_number().base(), va.page_base());
+    }
+
+    #[test]
+    fn line_decomposition_reconstructs(addr in 0u64..(1 << 48)) {
+        let pa = PhysAddr::new(addr);
+        prop_assert!(pa.line_base() <= pa);
+        prop_assert!(pa - pa.line_base() < 64);
+        prop_assert_eq!(pa.line_in_page(), ((addr % 4096) / 64) as usize);
+    }
+
+    #[test]
+    fn pt_indices_reconstruct_vpn(addr in 0u64..(1 << 48)) {
+        let va = VirtAddr::new(addr);
+        let rebuilt = (((((va.pt_index(4) as u64) << 9 | va.pt_index(3) as u64) << 9)
+            | va.pt_index(2) as u64) << 9)
+            | va.pt_index(1) as u64;
+        prop_assert_eq!(rebuilt, va.page_number().as_u64());
+    }
+
+    #[test]
+    fn cycles_nanos_round_trip(ns in 0u64..(1 << 40)) {
+        prop_assert_eq!(Cycles::from_nanos(ns).as_nanos(), ns);
+    }
+
+    #[test]
+    fn pte_fields_are_independent(
+        pfn in 0u64..(1 << 40),
+        count in 0u64..1024,
+        flags in 0u64..4,
+    ) {
+        let flag_bits = (flags & 1) * Pte::WRITABLE | ((flags >> 1) & 1) * Pte::NVM;
+        let pte = Pte::new(Pfn::new(pfn), flag_bits).with_access_count(count);
+        prop_assert_eq!(pte.pfn(), Pfn::new(pfn));
+        prop_assert_eq!(pte.access_count(), count);
+        prop_assert_eq!(pte.is_writable(), flags & 1 == 1);
+        prop_assert!(pte.is_present());
+        // Changing the count never disturbs the pfn and vice versa.
+        let pte2 = pte.with_access_count(1023 - count).with_pfn(Pfn::new(pfn ^ 1));
+        prop_assert_eq!(pte2.access_count(), 1023 - count);
+        prop_assert_eq!(pte2.pfn(), Pfn::new(pfn ^ 1));
+        prop_assert_eq!(pte2.is_writable(), flags & 1 == 1);
+    }
+
+    #[test]
+    fn touched_lines_matches_naive(start in 0u64..100_000, len in 0usize..4096) {
+        let pa = PhysAddr::new(start);
+        let naive: std::collections::HashSet<u64> =
+            (start..start + len as u64).map(|a| a / 64).collect();
+        prop_assert_eq!(touched_lines(pa, len), naive.len());
+    }
+
+    #[test]
+    fn pte_addr_stays_inside_table(table in 0u64..(1 << 30), addr in 0u64..(1 << 48), level in 1u8..=4) {
+        let pa = pte_addr(Pfn::new(table), VirtAddr::new(addr), level);
+        let base = Pfn::new(table).base();
+        prop_assert!(pa >= base);
+        prop_assert!(pa - base < 4096);
+        prop_assert_eq!((pa - base) % 8, 0, "entries are 8-byte aligned");
+    }
+}

@@ -1,0 +1,37 @@
+use kindle::prelude::*;
+use kindle::types::PAGE_SIZE;
+
+fn main() {
+    let cfg = MachineConfig::small()
+        .with_pt_mode(PtMode::Rebuild)
+        .with_checkpointing(Cycles::from_millis(5));
+    let mut m = Machine::new(cfg).unwrap();
+    let mut procs = Vec::new();
+    for n in 0..3u64 {
+        let pid = m.spawn_process().unwrap();
+        let pages = 4 + 2 * n;
+        let va = m.mmap(pid, pages * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
+        for i in 0..pages {
+            m.access(pid, va + i * PAGE_SIZE as u64, AccessKind::Write).unwrap();
+        }
+        procs.push((pid, va, pages));
+    }
+    for &(pid, va, pages) in &procs {
+        for i in 0..pages {
+            let pte = m.kernel.translate(&mut m.hw, pid, va + i*PAGE_SIZE as u64).unwrap().unwrap();
+            println!("pre pid={pid} page{i} pfn={} alloc={}", pte.pfn(), m.kernel.pools.nvm.is_allocated(pte.pfn()));
+        }
+    }
+    m.checkpoint_now().unwrap();
+    m.crash().unwrap();
+    let r = m.recover().unwrap();
+    println!("recovered {:?} remapped {}", r.recovered_pids, r.pages_remapped);
+    for &(pid, va, pages) in &procs {
+        for i in 0..pages {
+            match m.kernel.translate(&mut m.hw, pid, va + i*PAGE_SIZE as u64).unwrap() {
+                Some(pte) => println!("post pid={pid} page{i} pfn={} alloc={}", pte.pfn(), m.kernel.pools.nvm.is_allocated(pte.pfn())),
+                None => println!("post pid={pid} page{i} UNMAPPED"),
+            }
+        }
+    }
+}

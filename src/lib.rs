@@ -1,0 +1,23 @@
+//! Kindle — a comprehensive framework for exploring OS–architecture
+//! interplay in hybrid memory systems (Rust reproduction).
+//!
+//! This is the workspace umbrella crate: it re-exports `kindle_core` (the
+//! framework façade) and hosts the runnable examples under `examples/` and
+//! the cross-crate integration tests under `tests/`.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! use kindle::prelude::*;
+//!
+//! let mut machine = Machine::new(MachineConfig::small())?;
+//! let pid = machine.spawn_process()?;
+//! let va = machine.mmap(pid, 4096, Prot::RW, MapFlags::NVM)?;
+//! machine.access(pid, va, AccessKind::Write)?;
+//! # Ok::<(), KindleError>(())
+//! ```
+
+pub use kindle_core::*;

@@ -1,0 +1,105 @@
+//! End-to-end framework tests: preparation → simulation for every
+//! benchmark, with and without the prototype engines.
+
+use kindle::prelude::*;
+
+const OPS: u64 = 30_000;
+
+#[test]
+fn all_benchmarks_replay_end_to_end() {
+    for wl in [WorkloadKind::GapbsPr, WorkloadKind::G500Sssp, WorkloadKind::YcsbMem] {
+        let kindle = Kindle::prepare_streaming(wl, OPS, 3);
+        let (replay, report) = kindle
+            .simulate(MachineConfig::table_i(), ReplayOptions::default())
+            .unwrap_or_else(|e| panic!("{wl}: {e}"));
+        assert_eq!(replay.ops, OPS, "{wl}");
+        assert!(replay.faults > 0, "{wl}: demand paging must happen");
+        assert!(
+            report.mem.nvm.reads + report.mem.nvm.writes > 0,
+            "{wl}: NVM-tagged areas must reach the NVM device"
+        );
+        assert!(report.total_cycles > Cycles::ZERO);
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::G500Sssp, OPS, 9);
+    let (a, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default()).unwrap();
+    let (b, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default()).unwrap();
+    assert_eq!(a.cycles, b.cycles, "same trace, same machine, same time");
+    assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn ssp_fase_produces_consistency_activity() {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, OPS, 5);
+    let cfg = MachineConfig::table_i().with_ssp(SspConfig::default());
+    let (run, report) = kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None }).unwrap();
+    let ssp = report.ssp.expect("ssp enabled");
+    assert!(ssp.pages_registered > 0, "NVM pages must get shadow pairs");
+    assert!(ssp.intervals >= 1, "at least the final interval commits");
+    assert!(ssp.data_lines_flushed > 0);
+    assert!(run.cycles > Cycles::ZERO);
+    // Every registered page allocated one extra NVM frame.
+    assert!(report.kernel.pages_mapped >= ssp.pages_registered);
+}
+
+#[test]
+fn ssp_costs_more_than_baseline() {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, OPS, 5);
+    let (base, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default()).unwrap();
+    let cfg = MachineConfig::table_i().with_ssp(SspConfig::default());
+    let (ssp, _) = kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None }).unwrap();
+    assert!(
+        ssp.cycles > base.cycles,
+        "consistency cannot be free: {} vs {}",
+        ssp.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn hscc_migrates_and_speeds_up_hot_accesses() {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::GapbsPr, 100_000, 5);
+    let hscc = HsccConfig { fetch_threshold: 5, ..Default::default() };
+    // Hardware-only baseline vs no HSCC at all: migrations should *help*
+    // (hot pages serve from DRAM) when the OS tax is off.
+    let (plain, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default()).unwrap();
+    let (hw_only, rep) = kindle
+        .simulate(MachineConfig::table_i().with_hscc(hscc, false), ReplayOptions::default())
+        .unwrap();
+    let stats = rep.hscc.expect("hscc enabled");
+    assert!(stats.pages_migrated > 0, "hot pages must migrate");
+    assert!(
+        hw_only.cycles < plain.cycles,
+        "free migrations must help: {} vs plain {}",
+        hw_only.cycles,
+        plain.cycles
+    );
+}
+
+#[test]
+fn max_ops_caps_replay() {
+    let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, OPS, 1);
+    let (run, _) = kindle
+        .simulate(
+            MachineConfig::table_i(),
+            ReplayOptions { fase: false, max_ops: Some(1000) },
+        )
+        .unwrap();
+    assert_eq!(run.ops, 1000);
+}
+
+#[test]
+fn materialised_image_round_trips_through_bytes() {
+    use kindle::trace::{Driver, ReplayProgram, TraceImage};
+    let (_, image) = Driver::new(4).trace(WorkloadKind::GapbsPr, 5_000);
+    let bytes = image.to_bytes();
+    let restored = TraceImage::from_bytes(bytes).unwrap();
+    let program = ReplayProgram::from_image(restored);
+    let mut machine = Machine::new(MachineConfig::table_i()).unwrap();
+    let pid = machine.spawn_process().unwrap();
+    let report = machine.run_replay(pid, &program, ReplayOptions::default()).unwrap();
+    assert_eq!(report.ops, 5_000);
+}

@@ -23,11 +23,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let cfg = MachineConfig::table_i().with_ssp(SspConfig::default());
             black_box(
-                kindle
-                    .simulate(cfg, ReplayOptions { fase: true, max_ops: None })
-                    .unwrap()
-                    .0
-                    .cycles,
+                kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None }).unwrap().0.cycles,
             )
         })
     });

@@ -11,10 +11,8 @@ fn bench(c: &mut Criterion) {
     for (label, os_mode) in [("fig6_hw_only_40k_ops", false), ("fig6_with_os_40k_ops", true)] {
         c.bench_function(label, |b| {
             b.iter(|| {
-                let cfg = MachineConfig::table_i().with_hscc(
-                    HsccConfig { fetch_threshold: 5, ..Default::default() },
-                    os_mode,
-                );
+                let cfg = MachineConfig::table_i()
+                    .with_hscc(HsccConfig { fetch_threshold: 5, ..Default::default() }, os_mode);
                 black_box(kindle.simulate(cfg, ReplayOptions::default()).unwrap().0.cycles)
             })
         });

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use kindle_bench::*;
 use kindle_core::cache::{Hierarchy, HierarchyConfig};
 use kindle_core::mem::{MemConfig, MemoryController};
-use kindle_core::tlb::{TwoLevelTlb, TwoLevelTlbConfig, TlbEntry};
+use kindle_core::tlb::{TlbEntry, TwoLevelTlb, TwoLevelTlbConfig};
 use kindle_core::types::{AccessKind, Cycles, MemKind, Pfn, PhysAddr, Vpn, PAGE_SIZE};
 
 fn bench_cache(c: &mut Criterion) {

@@ -17,9 +17,7 @@ fn tiny() -> Table4Params {
 }
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("table4_sweep_16mib", |b| {
-        b.iter(|| black_box(run_table4(&tiny()).unwrap()))
-    });
+    c.bench_function("table4_sweep_16mib", |b| b.iter(|| black_box(run_table4(&tiny()).unwrap())));
 }
 
 criterion_group! {

@@ -6,16 +6,25 @@ use kindle_core::experiments::{run_fig4a, Fig4aParams};
 
 fn main() -> Result<()> {
     let p = if quick_mode() { Fig4aParams::quick() } else { Fig4aParams::paper() };
-    println!("FIGURE 4a: sequential alloc+access, checkpoint interval {} ms", p.interval.as_millis_f64());
+    println!(
+        "FIGURE 4a: sequential alloc+access, checkpoint interval {} ms",
+        p.interval.as_millis_f64()
+    );
     rule(66);
-    println!("{:>8} | {:>12} | {:>14} | {:>9}", "size MiB", "rebuild ms", "persistent ms", "overhead");
+    println!(
+        "{:>8} | {:>12} | {:>14} | {:>9}",
+        "size MiB", "rebuild ms", "persistent ms", "overhead"
+    );
     rule(66);
     let rows = run_fig4a(&p)?;
     maybe_csv(&rows);
     for r in &rows {
         println!(
             "{:>8} | {:>12} | {:>14} | {:>8.2}x",
-            r.size_mb, ms(r.rebuild_ms), ms(r.persistent_ms), r.overhead()
+            r.size_mb,
+            ms(r.rebuild_ms),
+            ms(r.persistent_ms),
+            r.overhead()
         );
     }
     rule(66);

@@ -20,21 +20,23 @@ fn main() -> Result<()> {
     for r in &rows {
         println!(
             "{:<12} | {:>5} ms | {:>12} | {:>10} | {:>9.3}x | {:>8.1}%",
-            r.benchmark, r.interval_ms, ms(r.baseline_ms), ms(r.ssp_ms), r.normalized,
+            r.benchmark,
+            r.interval_ms,
+            ms(r.baseline_ms),
+            ms(r.ssp_ms),
+            r.normalized,
             r.overhead * 100.0
         );
     }
     rule(78);
     // Average overhead reduction 1 ms -> 10 ms across benchmarks.
     let avg = |ms_i: u64| {
-        let v: Vec<f64> = rows.iter().filter(|r| r.interval_ms == ms_i).map(|r| r.overhead).collect();
+        let v: Vec<f64> =
+            rows.iter().filter(|r| r.interval_ms == ms_i).map(|r| r.overhead).collect();
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
     if rows.iter().any(|r| r.interval_ms == 1) && rows.iter().any(|r| r.interval_ms == 10) {
-        println!(
-            "overhead reduction 1 ms -> 10 ms: {:.2}x (paper: ~3x average)",
-            avg(1) / avg(10)
-        );
+        println!("overhead reduction 1 ms -> 10 ms: {:.2}x (paper: ~3x average)", avg(1) / avg(10));
     }
     Ok(())
 }

@@ -18,8 +18,14 @@ fn main() -> Result<()> {
     for r in &rows {
         println!(
             "{:<12} | {:>4} | {:>11} | {:>11} | {:>9.3}x | {:>9} | {:>7.2} | {:>7.2}",
-            r.benchmark, r.threshold, ms(r.hw_only_ms), ms(r.with_os_ms), r.normalized,
-            r.pages_migrated, r.selection_pct, r.copy_pct
+            r.benchmark,
+            r.threshold,
+            ms(r.hw_only_ms),
+            ms(r.with_os_ms),
+            r.normalized,
+            r.pages_migrated,
+            r.selection_pct,
+            r.copy_pct
         );
     }
     rule(96);

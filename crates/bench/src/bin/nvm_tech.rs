@@ -37,7 +37,10 @@ fn main() -> Result<()> {
     println!();
     println!("(a) page-table schemes, 128 MiB sequential benchmark, 10 ms checkpoints");
     rule(66);
-    println!("{:<10} | {:>12} | {:>14} | {:>9}", "technology", "rebuild ms", "persistent ms", "reb/pers");
+    println!(
+        "{:<10} | {:>12} | {:>14} | {:>9}",
+        "technology", "rebuild ms", "persistent ms", "reb/pers"
+    );
     rule(66);
     for (name, nvm) in NvmConfig::technologies() {
         let reb = persistence_cell(nvm.clone(), PtMode::Rebuild)?;

@@ -10,7 +10,10 @@ fn main() -> Result<()> {
     let sweeps = [1u64, 2, 5, 10];
     println!("ABLATION: SSP consolidation-thread interval (5 ms consistency interval, {ops} ops)");
     rule(70);
-    println!("{:<12} | {:>14} | {:>10} | {:>14}", "benchmark", "consolidation", "normalized", "consolidated");
+    println!(
+        "{:<12} | {:>14} | {:>10} | {:>14}",
+        "benchmark", "consolidation", "normalized", "consolidated"
+    );
     rule(70);
     for rows in [run_consolidation_sweep(WorkloadKind::YcsbMem, ops, 42, &sweeps)?] {
         for r in rows {

@@ -9,7 +9,10 @@ fn main() {
     println!("{:<28} {}", "Parameter", "Used Setting");
     rule(52);
     println!("{:<28} DDR4-2400 ({} banks)", "DRAM interface", cfg.mem.dram.banks);
-    println!("{:<28} PCM ({} ns rd / {} ns wr)", "NVM interface", cfg.mem.nvm.read_ns, cfg.mem.nvm.write_service_ns);
+    println!(
+        "{:<28} PCM ({} ns rd / {} ns wr)",
+        "NVM interface", cfg.mem.nvm.read_ns, cfg.mem.nvm.write_service_ns
+    );
     println!("{:<28} {}", "NVM Write buffer size", cfg.mem.nvm.write_buffer);
     println!("{:<28} {}", "NVM Read buffer size", cfg.mem.nvm.read_buffer);
     println!(

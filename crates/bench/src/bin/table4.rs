@@ -22,7 +22,10 @@ fn main() -> Result<()> {
         };
         println!(
             "{:>12} MiB | {:>9} | {:>16} | {:>12}",
-            r.churn_mb, interval, ms(r.persistent_ms), ms(r.rebuild_ms)
+            r.churn_mb,
+            interval,
+            ms(r.persistent_ms),
+            ms(r.rebuild_ms)
         );
     }
     rule(70);

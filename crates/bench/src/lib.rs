@@ -26,7 +26,6 @@ pub fn ms(v: f64) -> String {
     }
 }
 
-
 /// Writes rows as CSV when `--csv <path>` was passed.
 pub fn maybe_csv<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
     let args: Vec<String> = std::env::args().collect();

@@ -1,11 +1,10 @@
 //! A single set-associative, write-back cache with LRU replacement.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{AccessKind, PhysAddr, CACHE_LINE_SHIFT};
 
 /// Geometry and timing of one cache level.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Human-readable level name ("L1D", "L2", "LLC").
     pub name: String,
@@ -41,7 +40,8 @@ pub struct Eviction {
 }
 
 /// Hit/miss counters for one level.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -144,15 +144,9 @@ impl Cache {
             *way = Way { tag, valid: true, dirty, stamp: tick };
             return None;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.stamp)
-            .expect("associativity >= 1");
+        let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("associativity >= 1");
         let evicted_line = ((victim.tag << set_bits) | set as u64) << CACHE_LINE_SHIFT;
-        let ev = Eviction {
-            line: PhysAddr::new(evicted_line),
-            dirty: victim.dirty,
-        };
+        let ev = Eviction { line: PhysAddr::new(evicted_line), dirty: victim.dirty };
         if ev.dirty {
             self.stats.dirty_evictions += 1;
         }
@@ -222,10 +216,7 @@ impl Cache {
 
     /// Number of valid lines currently held.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.valid).count())
-            .sum()
+        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count()).sum()
     }
 }
 

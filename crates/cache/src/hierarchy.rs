@@ -1,14 +1,13 @@
 //! Three-level cache hierarchy (L1D → L2 → LLC).
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{AccessKind, Cycles, PhysAddr};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 
 /// Configuration of the three levels, defaulting to the paper's gem5 setup
 /// (32 KiB L1, 512 KiB L2, 2 MiB LLC per core).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchyConfig {
     /// L1 data cache.
     pub l1: CacheConfig,
@@ -45,7 +44,8 @@ pub struct AccessResult {
 }
 
 /// Per-level statistics snapshot.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchyStats {
     /// L1 counters.
     pub l1: CacheStats,

@@ -1,0 +1,40 @@
+//! Diagnostic records produced by the lint rules.
+
+use std::fmt;
+
+/// One finding: a rule violated at a file:line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Rule id, e.g. `KD002`.
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(path: &str, line: usize, rule: &'static str, message: &str) -> Self {
+        Diagnostic { path: path.to_string(), line, rule, message: message.to_string() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {} {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::new("crates/os/src/x.rs", 7, "KD004", "no unwrap");
+        assert_eq!(d.to_string(), "crates/os/src/x.rs:7: KD004 no unwrap");
+    }
+}

@@ -1,0 +1,153 @@
+//! `kindle-check` — the workspace's domain lint.
+//!
+//! Walks every Rust source file and `Cargo.toml` in the workspace and
+//! enforces the determinism / persistence rules described in `rules` and
+//! `manifest` (KD001–KD005). Violations print as `path:line: KDnnn message`
+//! and make the process exit non-zero; suppressions go through the two
+//! mechanisms in `allow` (inline `// check:allow KDnnn: reason` comments
+//! and the root `check-allowlist.txt`).
+//!
+//! Usage: `cargo run -p kindle-check` (optionally pass an explicit
+//! workspace root as the first argument).
+
+mod allow;
+mod diag;
+mod manifest;
+mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use diag::Diagnostic;
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Recursively collects `.rs` files and `Cargo.toml` manifests, sorted so
+/// output order is stable across filesystems.
+fn walk(dir: &Path, rs: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, rs, manifests);
+            }
+        } else if name.ends_with(".rs") {
+            rs.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Crate directory name for files under `crates/<name>/...`.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // crates/check/ -> crates/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("kindle-check: {} does not look like a workspace root", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+    walk(&root, &mut rs_files, &mut manifests);
+
+    // Raw findings, already filtered by inline allow comments; remember the
+    // flagged line text so allowlist entries can match on substrings.
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut line_text: BTreeMap<(String, usize), String> = BTreeMap::new();
+    let mut record = |found: Vec<Diagnostic>, source: &str| {
+        for d in found {
+            if allow::inline_allowed(&d, source) {
+                continue;
+            }
+            let text = source.lines().nth(d.line.saturating_sub(1)).unwrap_or("");
+            line_text.insert((d.path.clone(), d.line), text.to_string());
+            diags.push(d);
+        }
+    };
+
+    for path in &rs_files {
+        let rel = rel_of(&root, path);
+        let Ok(source) = fs::read_to_string(path) else {
+            eprintln!("kindle-check: unreadable file {rel}");
+            return ExitCode::FAILURE;
+        };
+        record(rules::check_source(&rel, crate_of(&rel), &source), &source);
+    }
+    for path in &manifests {
+        let rel = rel_of(&root, path);
+        let Ok(source) = fs::read_to_string(path) else {
+            eprintln!("kindle-check: unreadable file {rel}");
+            return ExitCode::FAILURE;
+        };
+        record(manifest::check_manifest(&rel, &source), &source);
+    }
+
+    // Allowlist file is optional; malformed entries are hard errors so the
+    // list can't silently rot.
+    let allowlist_path = root.join("check-allowlist.txt");
+    let (entries, parse_errors) = match fs::read_to_string(&allowlist_path) {
+        Ok(body) => allow::parse_allowlist(&body),
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+    for err in &parse_errors {
+        eprintln!("kindle-check: {err}");
+    }
+
+    let (kept, suppressed, stale) = allow::apply_allowlist(diags, &entries, |d| {
+        line_text.get(&(d.path.clone(), d.line)).cloned()
+    });
+    for entry in &stale {
+        eprintln!("kindle-check: warning: stale allowlist entry: {entry}");
+    }
+
+    for d in &kept {
+        println!("{d}");
+    }
+    eprintln!(
+        "kindle-check: scanned {} source files, {} manifests; {} violation(s), {} suppressed",
+        rs_files.len(),
+        manifests.len(),
+        kept.len(),
+        suppressed.len()
+    );
+    if kept.is_empty() && parse_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,227 @@
+//! The domain lint rules, applied line by line to Rust sources.
+//!
+//! | Rule  | What it bans                                                     |
+//! |-------|------------------------------------------------------------------|
+//! | KD001 | `std::time::{SystemTime, Instant}` in simulation crates          |
+//! | KD002 | `HashMap`/`HashSet` in simulation crates (use `BTreeMap`/`BTreeSet`) |
+//! | KD003 | truncating `as u8/u16/u32` casts on address/cycle values outside `crates/types` |
+//! | KD004 | `unwrap()`/`expect()` in non-test `crates/os` / `crates/persist` code |
+//!
+//! (KD005, the external-dependency rule, lives in [`crate::manifest`].)
+//!
+//! Everything from the first `#[cfg(test)]` to end of file is treated as
+//! test code, as are files under a `tests/` directory; comment lines are
+//! always skipped. See [`crate::allow`] for the two suppression mechanisms.
+
+use crate::diag::Diagnostic;
+
+/// Crates whose state must be deterministic and free of wall-clock time.
+/// `check` (this tool) and `bench` (host-side measurement harnesses) are
+/// deliberately outside the simulation.
+pub fn is_sim_crate(krate: &str) -> bool {
+    !matches!(krate, "check" | "bench")
+}
+
+/// Crates held to the no-panic discipline (KD004).
+pub fn is_no_panic_crate(krate: &str) -> bool {
+    matches!(krate, "os" | "persist")
+}
+
+/// True if `word` occurs in `line` delimited by non-identifier characters.
+pub fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + word.len();
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Identifiers that mark a line as handling addresses or simulated time.
+const ADDR_CYCLE_WORDS: &[&str] =
+    &["addr", "pa", "pfn", "vpn", "va", "cycle", "cycles", "line", "offset", "as_u64"];
+
+/// Truncating integer casts KD003 looks for.
+const TRUNCATING_CASTS: &[&str] = &["as u8", "as u16", "as u32"];
+
+fn line_mentions_addr_or_cycle(line: &str) -> bool {
+    let lower = line.to_ascii_lowercase();
+    ADDR_CYCLE_WORDS.iter().any(|w| contains_word(&lower, w))
+}
+
+fn line_has_truncating_cast(line: &str) -> bool {
+    TRUNCATING_CASTS.iter().any(|c| contains_word(line, c))
+}
+
+/// Byte offset at which test code starts (first `#[cfg(test)]`), if any.
+fn test_cut(source: &str) -> Option<usize> {
+    source.find("#[cfg(test)]")
+}
+
+/// Runs KD001–KD004 over one Rust source file.
+///
+/// `rel_path` is the workspace-relative path (used for scoping and in
+/// diagnostics); `krate` is the crate directory name under `crates/`, or
+/// `None` for workspace-root sources (examples, integration tests).
+pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let in_tests_dir = rel_path.split('/').any(|c| c == "tests");
+    let cut_line = test_cut(source).map(|off| source[..off].lines().count());
+
+    let sim = krate.map(is_sim_crate).unwrap_or(false);
+    let no_panic = krate.map(is_no_panic_crate).unwrap_or(false);
+    let types_crate = krate == Some("types");
+
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        if in_tests_dir || cut_line.is_some_and(|c| idx >= c) {
+            break;
+        }
+        let code = line.trim_start();
+        if code.starts_with("//") {
+            continue;
+        }
+
+        if sim
+            && (line.contains("std::time::")
+                || contains_word(line, "SystemTime")
+                || contains_word(line, "Instant"))
+        {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD001",
+                "wall-clock time in a simulation crate; all time must come from the \
+                 simulated clock (kindle_types::Cycles)",
+            ));
+        }
+
+        if sim && (contains_word(line, "HashMap") || contains_word(line, "HashSet")) {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD002",
+                "hash-ordered collection in a simulation crate; iteration order is \
+                 nondeterministic — use BTreeMap/BTreeSet",
+            ));
+        }
+
+        if !types_crate && line_has_truncating_cast(line) && line_mentions_addr_or_cycle(line) {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD003",
+                "truncating cast on an address/cycle value outside crates/types; \
+                 widths are owned by the newtypes",
+            ));
+        }
+
+        if no_panic && (line.contains(".unwrap()") || line.contains(".expect(")) {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD004",
+                "unwrap/expect in kernel or persistence code; return a KindleError \
+                 so simulated faults stay recoverable",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("let m: HashMap<u64, u32>;", "HashMap"));
+        assert!(!contains_word("let m = MyHashMapLike::new();", "HashMap"));
+        assert!(!contains_word("pfn_base", "pfn"));
+        assert!(contains_word("pa.as_u64()", "pa"));
+        assert!(contains_word("x as u32;", "as u32"));
+        assert!(!contains_word("x as u327", "as u32"));
+    }
+
+    #[test]
+    fn kd001_flags_wall_clock() {
+        let d = check_source("crates/sim/src/x.rs", Some("sim"), "let t = Instant::now();\n");
+        assert_eq!(rules_of(&d), ["KD001"]);
+        let d = check_source("crates/mem/src/x.rs", Some("mem"), "use std::time::SystemTime;\n");
+        assert_eq!(rules_of(&d), ["KD001"]);
+    }
+
+    #[test]
+    fn kd001_skips_non_sim_crates() {
+        let d = check_source("crates/bench/src/x.rs", Some("bench"), "let t = Instant::now();\n");
+        assert!(d.is_empty());
+        let d = check_source("crates/check/src/x.rs", Some("check"), "Instant::now();\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn kd002_flags_hash_collections() {
+        let src = "use std::collections::HashMap;\nlet s: HashSet<u64>;\n";
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert_eq!(rules_of(&d), ["KD002", "KD002"]);
+    }
+
+    #[test]
+    fn kd003_needs_both_cast_and_identifier() {
+        let d = check_source("crates/os/src/x.rs", Some("os"), "let x = pfn as u32;\n");
+        assert_eq!(rules_of(&d), ["KD003"]);
+        // A cast with no address/cycle identifier nearby is fine.
+        let d = check_source("crates/os/src/x.rs", Some("os"), "let pid = words[1] as u32;\n");
+        assert!(d.is_empty());
+        // crates/types owns the widths.
+        let d = check_source("crates/types/src/x.rs", Some("types"), "let x = pfn as u32;\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn kd004_scoped_to_os_and_persist() {
+        let d = check_source("crates/persist/src/x.rs", Some("persist"), "x.unwrap();\n");
+        assert_eq!(rules_of(&d), ["KD004"]);
+        let d = check_source("crates/os/src/x.rs", Some("os"), "y.expect(\"m\");\n");
+        assert_eq!(rules_of(&d), ["KD004"]);
+        let d = check_source("crates/mem/src/x.rs", Some("mem"), "x.unwrap();\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert!(d.is_empty());
+        let d = check_source("crates/os/tests/it.rs", Some("os"), "x.unwrap();\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn comments_are_exempt() {
+        let src = "// a HashMap would be wrong here\n//! call .unwrap() freely in docs\n";
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_position() {
+        let d = check_source("crates/os/src/x.rs", Some("os"), "fn f() {}\nx.unwrap();\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].path, "crates/os/src/x.rs");
+    }
+}

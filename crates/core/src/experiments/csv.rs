@@ -43,7 +43,10 @@ impl CsvRow for Fig4bRow {
         "stride,stride_bytes,rebuild_ms,persistent_ms"
     }
     fn csv_row(&self) -> String {
-        format!("{},{},{:.3},{:.3}", self.stride, self.stride_bytes, self.rebuild_ms, self.persistent_ms)
+        format!(
+            "{},{},{:.3},{:.3}",
+            self.stride, self.stride_bytes, self.rebuild_ms, self.persistent_ms
+        )
     }
 }
 
@@ -75,7 +78,11 @@ impl CsvRow for Fig5Row {
     fn csv_row(&self) -> String {
         format!(
             "{},{},{:.3},{:.3},{:.4},{:.4}",
-            self.benchmark, self.interval_ms, self.baseline_ms, self.ssp_ms, self.normalized,
+            self.benchmark,
+            self.interval_ms,
+            self.baseline_ms,
+            self.ssp_ms,
+            self.normalized,
             self.overhead
         )
     }

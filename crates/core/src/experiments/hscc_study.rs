@@ -2,8 +2,6 @@
 //! migrated) and VI (page-selection vs. page-copy split), all from the
 //! same sweep.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_hscc::HsccConfig;
 use kindle_sim::{MachineConfig, ReplayOptions};
 use kindle_trace::WorkloadKind;
@@ -12,7 +10,8 @@ use kindle_types::Result;
 use crate::framework::Kindle;
 
 /// Parameters for the HSCC sweep.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig6Params {
     /// Operations replayed per benchmark (paper: 10 M).
     pub ops: u64,
@@ -51,7 +50,8 @@ impl Fig6Params {
 }
 
 /// One benchmark × threshold cell: feeds Fig. 6 *and* Tables V and VI.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig6Row {
     /// Benchmark name.
     pub benchmark: String,

@@ -18,10 +18,10 @@ mod hscc_study;
 mod persistence;
 mod ssp_study;
 
+pub use csv::{to_csv, CsvRow};
 pub use hscc_study::{run_fig6, Fig6Params, Fig6Row};
 pub use persistence::{
-    run_fig4a, run_fig4b, run_table3, run_table4, Fig4aParams, Fig4aRow, Fig4bParams,
-    Fig4bRow, Table3Params, Table3Row, Table4Params, Table4Row,
+    run_fig4a, run_fig4b, run_table3, run_table4, Fig4aParams, Fig4aRow, Fig4bParams, Fig4bRow,
+    Table3Params, Table3Row, Table4Params, Table4Row,
 };
-pub use csv::{to_csv, CsvRow};
 pub use ssp_study::{run_consolidation_sweep, run_fig5, ConsolidationRow, Fig5Params, Fig5Row};

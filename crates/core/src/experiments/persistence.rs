@@ -4,13 +4,9 @@
 //! execution-context checkpointing under the *rebuild* and *persistent*
 //! page-table maintenance schemes.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_os::PtMode;
 use kindle_sim::{Machine, MachineConfig};
-use kindle_types::{
-    AccessKind, Cycles, MapFlags, Prot, Result, VirtAddr, PAGE_SIZE,
-};
+use kindle_types::{AccessKind, Cycles, MapFlags, Prot, Result, VirtAddr, PAGE_SIZE};
 
 const MIB: u64 = 1 << 20;
 
@@ -52,7 +48,8 @@ fn read_pages(m: &mut Machine, pid: u32, va: VirtAddr, len: u64) -> Result<()> {
 // ---------------------------------------------------------------------------
 
 /// Parameters for Fig. 4a.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig4aParams {
     /// Allocation sizes in MiB.
     pub sizes_mb: Vec<u64>,
@@ -88,7 +85,8 @@ impl Fig4aParams {
 }
 
 /// One Fig. 4a data point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig4aRow {
     /// Allocation size (MiB).
     pub size_mb: u64,
@@ -141,7 +139,8 @@ pub fn run_fig4a(p: &Fig4aParams) -> Result<Vec<Fig4aRow>> {
 // ---------------------------------------------------------------------------
 
 /// Parameters for Fig. 4b.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig4bParams {
     /// Pages allocated (paper: ten 4 KiB pages).
     pub pages: u64,
@@ -166,16 +165,13 @@ impl Fig4bParams {
 
     /// Quick scale.
     pub fn quick() -> Self {
-        Fig4bParams {
-            access_ops: 1_000_000,
-            interval: Cycles::from_millis(1),
-            ..Self::paper()
-        }
+        Fig4bParams { access_ops: 1_000_000, interval: Cycles::from_millis(1), ..Self::paper() }
     }
 }
 
 /// One Fig. 4b data point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig4bRow {
     /// Stride label ("1GB", "2MB", "4KB").
     pub stride: String,
@@ -234,7 +230,8 @@ pub fn run_fig4b(p: &Fig4bParams) -> Result<Vec<Fig4bRow>> {
 // ---------------------------------------------------------------------------
 
 /// Parameters for Table III.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table3Params {
     /// Base allocation (MiB); the paper uses 512.
     pub base_mb: u64,
@@ -269,7 +266,8 @@ impl Table3Params {
 }
 
 /// One Table III row.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table3Row {
     /// Alloc/free size (MiB).
     pub churn_mb: u64,
@@ -341,7 +339,8 @@ pub fn run_table3(p: &Table3Params) -> Result<Vec<Table3Row>> {
 // ---------------------------------------------------------------------------
 
 /// Parameters for Table IV.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table4Params {
     /// Base allocation (MiB).
     pub base_mb: u64,
@@ -385,7 +384,8 @@ impl Table4Params {
 }
 
 /// One Table IV row.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table4Row {
     /// Alloc/free size (MiB).
     pub churn_mb: u64,
@@ -483,10 +483,9 @@ mod tests {
         let rows = run_table4(&Table4Params::quick()).unwrap();
         let fast = &rows[0]; // 1 ms interval
         let slow = &rows[1]; // 10 ms interval
-        // Persistent is insensitive to the interval; rebuild benefits from
-        // longer intervals.
-        let drift =
-            (fast.persistent_ms - slow.persistent_ms).abs() / slow.persistent_ms;
+                             // Persistent is insensitive to the interval; rebuild benefits from
+                             // longer intervals.
+        let drift = (fast.persistent_ms - slow.persistent_ms).abs() / slow.persistent_ms;
         assert!(drift < 0.25, "persistent should be interval-insensitive: {drift}");
         assert!(
             fast.rebuild_ms > slow.rebuild_ms,

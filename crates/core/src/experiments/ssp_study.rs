@@ -1,8 +1,6 @@
 //! SSP study: Fig. 5 plus the consolidation-interval ablation the paper
 //! calls out as an extension Kindle enables.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_sim::{MachineConfig, ReplayOptions};
 use kindle_ssp::SspConfig;
 use kindle_trace::WorkloadKind;
@@ -11,7 +9,8 @@ use kindle_types::{Cycles, Result};
 use crate::framework::Kindle;
 
 /// Parameters for Fig. 5.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig5Params {
     /// Operations replayed per benchmark (paper: 10 M).
     pub ops: u64,
@@ -39,16 +38,13 @@ impl Fig5Params {
 
     /// Quick scale.
     pub fn quick() -> Self {
-        Fig5Params {
-            ops: 120_000,
-            workloads: vec![WorkloadKind::YcsbMem],
-            ..Self::paper()
-        }
+        Fig5Params { ops: 120_000, workloads: vec![WorkloadKind::YcsbMem], ..Self::paper() }
     }
 }
 
 /// One Fig. 5 bar.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fig5Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -82,8 +78,7 @@ pub fn run_fig5(p: &Fig5Params) -> Result<Vec<Fig5Row>> {
                 consistency_interval: Cycles::from_millis(interval_ms),
                 consolidation_interval: Cycles::from_millis(p.consolidation_ms),
             });
-            let (run, _) =
-                kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
+            let (run, _) = kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
             let ssp_ms = run.cycles.as_millis_f64();
             rows.push(Fig5Row {
                 benchmark: wl.spec().name.to_string(),
@@ -99,7 +94,8 @@ pub fn run_fig5(p: &Fig5Params) -> Result<Vec<Fig5Row>> {
 }
 
 /// One row of the consolidation-interval ablation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConsolidationRow {
     /// Benchmark name.
     pub benchmark: String,

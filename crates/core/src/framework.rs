@@ -60,9 +60,8 @@ mod tests {
     #[test]
     fn prepare_and_simulate_end_to_end() {
         let kindle = Kindle::prepare(WorkloadKind::YcsbMem, 2_000, 1);
-        let (replay, report) = kindle
-            .simulate(MachineConfig::small(), ReplayOptions::default())
-            .unwrap();
+        let (replay, report) =
+            kindle.simulate(MachineConfig::small(), ReplayOptions::default()).unwrap();
         assert_eq!(replay.ops, 2_000);
         assert!(replay.cycles.as_u64() > 0);
         assert!(report.kernel.page_faults > 0, "demand paging must have run");

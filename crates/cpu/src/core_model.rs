@@ -1,14 +1,13 @@
 //! The in-order core: clock and labelled time accounting.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::Cycles;
 
 use crate::regs::RegisterFile;
 
 /// What the machine is currently doing; each charged cycle is attributed to
 /// exactly one activity.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(usize)]
 pub enum Activity {
     /// Application (user-mode) execution, including its memory stalls.
@@ -66,7 +65,8 @@ impl Activity {
 }
 
 /// Cycles charged per [`Activity`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActivityBreakdown {
     buckets: [Cycles; Activity::ALL.len()],
 }
@@ -89,16 +89,13 @@ impl ActivityBreakdown {
 
     /// Iterates `(activity, cycles)` pairs with non-zero time.
     pub fn iter(&self) -> impl Iterator<Item = (Activity, Cycles)> + '_ {
-        Activity::ALL
-            .iter()
-            .copied()
-            .map(|a| (a, self.get(a)))
-            .filter(|(_, c)| *c > Cycles::ZERO)
+        Activity::ALL.iter().copied().map(|a| (a, self.get(a))).filter(|(_, c)| *c > Cycles::ZERO)
     }
 }
 
 /// Counters beyond raw time.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuStats {
     /// Retired instructions (charged via [`Core::instr`]).
     pub instructions: u64,

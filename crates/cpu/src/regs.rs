@@ -1,12 +1,11 @@
 //! The architectural register file saved/restored by process persistence.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of general-purpose registers (x86-64).
 pub const GPR_COUNT: usize = 16;
 
 /// CPU state that must be part of a process's saved execution context.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegisterFile {
     /// General-purpose registers rax..r15.
     pub gpr: [u64; GPR_COUNT],
@@ -45,8 +44,7 @@ impl RegisterFile {
         rf.rip = u64::from_le_bytes(
             bytes[GPR_COUNT * 8..GPR_COUNT * 8 + 8].try_into().expect("8 bytes"),
         );
-        rf.rflags =
-            u64::from_le_bytes(bytes[(GPR_COUNT + 1) * 8..].try_into().expect("8 bytes"));
+        rf.rflags = u64::from_le_bytes(bytes[(GPR_COUNT + 1) * 8..].try_into().expect("8 bytes"));
         rf
     }
 }

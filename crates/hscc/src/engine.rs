@@ -1,18 +1,15 @@
 //! The HSCC migration engine.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_os::Kernel;
 use kindle_tlb::{TlbEntry, TwoLevelTlb};
-use kindle_types::{
-    Cycles, MemKind, PhysMem, Pfn, Pte, Result, Vpn, CACHE_LINE, LINES_PER_PAGE,
-};
+use kindle_types::{Cycles, MemKind, Pfn, PhysMem, Pte, Result, Vpn, CACHE_LINE, LINES_PER_PAGE};
 
 use crate::pool::{DramPool, ListKind, Occupant};
 use crate::table::MappingTable;
 
 /// HSCC parameters (paper §III-C).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HsccConfig {
     /// DRAM fetch threshold: NVM pages whose per-interval access count
     /// reaches this value migrate to DRAM (paper sweeps 5, 25, 50).
@@ -35,7 +32,8 @@ impl Default for HsccConfig {
 }
 
 /// Counters of migration activity.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HsccStats {
     /// Migration intervals executed.
     pub intervals: u64,
@@ -79,7 +77,8 @@ impl HsccStats {
 }
 
 /// Result of one migration interval.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MigrationOutcome {
     /// Candidate pages over the threshold.
     pub candidates: u64,
@@ -172,9 +171,9 @@ impl HsccEngine {
         let count = entry.access_count as u64;
         let va = entry.vpn.base();
         if let Ok(proc) = kernel.process_mut(pid) {
-            let _ = proc.aspace.update_leaf(mem, &costs, va, |p| {
-                p.with_access_count(p.access_count() + count)
-            });
+            let _ = proc
+                .aspace
+                .update_leaf(mem, &costs, va, |p| p.with_access_count(p.access_count() + count));
             self.stats.count_writebacks += 1;
         }
     }
@@ -218,8 +217,7 @@ impl HsccEngine {
 
         // 2. Refresh the pool lists (classify occupied slots by PTE dirty
         //    bit — a software walk per slot).
-        let occupied: Vec<(usize, Occupant)> =
-            self.pool.occupied().map(|(i, o)| (i, *o)).collect();
+        let occupied: Vec<(usize, Occupant)> = self.pool.occupied().map(|(i, o)| (i, *o)).collect();
         let mut dirtiness = vec![false; self.pool.capacity()];
         {
             let proc = kernel.process(pid)?;
@@ -364,13 +362,7 @@ mod tests {
     }
 
     /// Maps `n` NVM pages and sets each PTE's access count.
-    fn hot_pages(
-        mem: &mut FlatMem,
-        kernel: &mut Kernel,
-        pid: u32,
-        n: u64,
-        count: u64,
-    ) -> VirtAddr {
+    fn hot_pages(mem: &mut FlatMem, kernel: &mut Kernel, pid: u32, n: u64, count: u64) -> VirtAddr {
         let va = kernel
             .sys_mmap(
                 mem,
@@ -385,9 +377,7 @@ mod tests {
         let proc = kernel.process_mut(pid).unwrap();
         for i in 0..n {
             proc.aspace
-                .update_leaf(mem, &costs, va + i * PAGE_SIZE as u64, |p| {
-                    p.with_access_count(count)
-                })
+                .update_leaf(mem, &costs, va + i * PAGE_SIZE as u64, |p| p.with_access_count(count))
                 .unwrap();
         }
         va

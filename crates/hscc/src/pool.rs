@@ -1,7 +1,5 @@
 //! The DRAM page pool: free / clean / dirty lists.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::Pfn;
 
 /// What occupies one pool slot.
@@ -22,7 +20,8 @@ struct Slot {
 }
 
 /// Which list a slot was taken from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ListKind {
     /// Never used or released.
     Free,
@@ -33,7 +32,8 @@ pub enum ListKind {
 }
 
 /// Counts of the three lists at a point in time.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoolSnapshot {
     /// Slots never used or explicitly released.
     pub free: usize,
@@ -148,10 +148,7 @@ impl DramPool {
 
     /// Iterates `(slot, occupant)` for occupied slots.
     pub fn occupied(&self) -> impl Iterator<Item = (usize, &Occupant)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.occupant.as_ref().map(|o| (i, o)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.occupant.as_ref().map(|o| (i, o)))
     }
 }
 

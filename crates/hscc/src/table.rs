@@ -8,7 +8,7 @@
 //! like any other memory traffic.
 
 use kindle_os::FramePools;
-use kindle_types::{MemKind, PhysAddr, PhysMem, Pfn, Result, Vpn, PAGE_SIZE};
+use kindle_types::{MemKind, Pfn, PhysAddr, PhysMem, Result, Vpn, PAGE_SIZE};
 
 /// The lookup table pair. See the module docs.
 #[derive(Clone, Debug)]
@@ -119,8 +119,7 @@ mod tests {
                 Region { base: PhysAddr::new(0x1000), size: 0x1000 },
             ),
         };
-        let table =
-            MappingTable::new(&mut mem, &mut pools, Pfn::new(4096), 1024, 16).unwrap();
+        let table = MappingTable::new(&mut mem, &mut pools, Pfn::new(4096), 1024, 16).unwrap();
         (mem, pools, table)
     }
 

@@ -1,3 +1,6 @@
+//! Property tests — need a vendored `proptest`; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests for HSCC's pool and mapping table.
 
 use std::collections::HashMap;
@@ -7,7 +10,7 @@ use proptest::prelude::*;
 use kindle_hscc::{DramPool, ListKind, MappingTable};
 use kindle_os::{FrameAllocator, FramePools, PersistentFrameAllocator, Region};
 use kindle_types::physmem::FlatMem;
-use kindle_types::{PhysAddr, Pfn, Vpn};
+use kindle_types::{Pfn, PhysAddr, Vpn};
 
 fn occ(n: u64) -> kindle_hscc::pool::Occupant {
     kindle_hscc::pool::Occupant { nvm: Pfn::new(5000 + n), vpn: Vpn::new(0x40000 + n), pid: 1 }

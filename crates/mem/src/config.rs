@@ -1,14 +1,13 @@
 //! Memory configuration, defaulting to the paper's Table I settings.
 
-use serde::{Deserialize, Serialize};
-
 use crate::e820::E820Map;
 
 /// Gibibyte shorthand.
 pub const GIB: u64 = 1 << 30;
 
 /// DRAM device timing and geometry (DDR4-2400-ish).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DramConfig {
     /// Latency of an access that hits the open row of a bank, in ns.
     pub row_hit_ns: u64,
@@ -23,18 +22,14 @@ pub struct DramConfig {
 impl Default for DramConfig {
     fn default() -> Self {
         // DDR4-2400: CAS-limited hit ~ 25 ns, full ACT+CAS ~ 50 ns.
-        DramConfig {
-            row_hit_ns: 25,
-            row_miss_ns: 50,
-            banks: 16,
-            row_bytes: 8192,
-        }
+        DramConfig { row_hit_ns: 25, row_miss_ns: 50, banks: 16, row_bytes: 8192 }
     }
 }
 
 /// NVM (PCM) device timing, based on the parameters of Song et al. that the
 /// paper cites for its gem5 PCM interface.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NvmConfig {
     /// Array read latency in ns.
     pub read_ns: u64,
@@ -109,7 +104,8 @@ impl Default for NvmConfig {
 
 /// Complete memory-system configuration: device timings plus the physical
 /// layout (which address ranges are DRAM vs. NVM).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemConfig {
     /// DRAM timing/geometry.
     pub dram: DramConfig,

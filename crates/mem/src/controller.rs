@@ -14,11 +14,10 @@
 //!    revert and all DRAM contents are wiped — exactly the semantics the
 //!    paper's process-persistence machinery must survive.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use kindle_types::{
-    AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE,
-};
+use kindle_types::sanitize::{self, Event};
+use kindle_types::{AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::config::MemConfig;
 use crate::dram::DramDevice;
@@ -35,10 +34,10 @@ pub struct MemoryController {
     dram: DramDevice,
     nvm: NvmDevice,
     /// Sparse volatile image: what loads observe.
-    pages: HashMap<u64, PageBox>,
+    pages: BTreeMap<u64, PageBox>,
     /// Durable snapshots for dirtied-but-not-committed NVM lines, keyed by
     /// line base address.
-    nvm_undo: HashMap<u64, [u8; 64]>,
+    nvm_undo: BTreeMap<u64, [u8; 64]>,
     nvm_lines_committed: u64,
     nvm_lines_lost_on_crash: u64,
     crashes: u64,
@@ -52,8 +51,8 @@ impl MemoryController {
             layout: cfg.layout.clone(),
             dram: DramDevice::new(cfg.dram.clone()),
             nvm: NvmDevice::new(cfg.nvm.clone()),
-            pages: HashMap::new(),
-            nvm_undo: HashMap::new(),
+            pages: BTreeMap::new(),
+            nvm_undo: BTreeMap::new(),
             nvm_lines_committed: 0,
             nvm_lines_lost_on_crash: 0,
             crashes: 0,
@@ -88,15 +87,14 @@ impl MemoryController {
 
     /// Latency of draining the NVM write buffer (durability barrier).
     pub fn nvm_drain_latency(&mut self, now: Cycles) -> Cycles {
+        sanitize::emit(|| Event::NvmDrain { cycle: now.as_u64() });
         self.nvm.drain_latency(now)
     }
 
     // ---- data plane -----------------------------------------------------
 
     fn page_mut(&mut self, pfn: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(pfn)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages.entry(pfn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads bytes from the volatile image (zero-filled where untouched).
@@ -125,6 +123,7 @@ impl MemoryController {
             let last = (pa.as_u64() + data.len().max(1) as u64 - 1) & !63;
             let mut line = first;
             while line <= last {
+                sanitize::emit(|| Event::NvmWrite { line, cycle: 0 });
                 if !self.nvm_undo.contains_key(&line) {
                     let mut snap = [0u8; 64];
                     self.load_bytes(PhysAddr::new(line), &mut snap);
@@ -148,6 +147,7 @@ impl MemoryController {
     /// Marks the cache line containing `pa` durable (write-back reached the
     /// device). No-op for DRAM lines or lines never dirtied.
     pub fn commit_line(&mut self, pa: PhysAddr) {
+        sanitize::emit(|| Event::NvmCommit { line: pa.line_base().as_u64() });
         if self.nvm_undo.remove(&pa.line_base().as_u64()).is_some() {
             self.nvm_lines_committed += 1;
         }
@@ -155,6 +155,11 @@ impl MemoryController {
 
     /// Commits every outstanding NVM line (orderly shutdown / full flush).
     pub fn commit_all(&mut self) {
+        if sanitize::installed() {
+            for &line in self.nvm_undo.keys() {
+                sanitize::emit(|| Event::NvmCommit { line });
+            }
+        }
         self.nvm_lines_committed += self.nvm_undo.len() as u64;
         self.nvm_undo.clear();
     }
@@ -168,9 +173,10 @@ impl MemoryController {
     /// durable contents, all DRAM contents are wiped, and device state is
     /// reset. Caches/TLBs are the caller's responsibility.
     pub fn crash(&mut self) {
+        sanitize::emit(|| Event::Crash);
         self.crashes += 1;
         self.nvm_lines_lost_on_crash = self.nvm_undo.len() as u64;
-        let undo: Vec<(u64, [u8; 64])> = self.nvm_undo.drain().collect();
+        let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
         for (line, snap) in undo {
             // Restore bytes directly without creating new undo entries.
             let pfn = line >> PAGE_SHIFT;
@@ -179,9 +185,8 @@ impl MemoryController {
         }
         // Wipe DRAM pages.
         let layout = self.layout.clone();
-        self.pages.retain(|&pfn, _| {
-            layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm)
-        });
+        self.pages
+            .retain(|&pfn, _| layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm));
         self.dram.reset();
         self.nvm.reset();
     }

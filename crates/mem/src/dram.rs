@@ -1,13 +1,12 @@
 //! DDR4 DRAM timing model with per-bank open rows.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{AccessKind, Cycles, PhysAddr};
 
 use crate::config::DramConfig;
 
 /// Per-device DRAM statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DramStats {
     /// Accesses that hit an open row.
     pub row_hits: u64,
@@ -51,11 +50,7 @@ impl DramDevice {
     /// Creates a device with all rows closed.
     pub fn new(cfg: DramConfig) -> Self {
         let banks = cfg.banks.max(1);
-        DramDevice {
-            cfg,
-            open_rows: vec![None; banks],
-            stats: DramStats::default(),
-        }
+        DramDevice { cfg, open_rows: vec![None; banks], stats: DramStats::default() }
     }
 
     /// Services one cache-line access and returns its latency.

@@ -4,12 +4,11 @@
 //! inserts corresponding entries in the (simulated) BIOS memory map, which
 //! the OS reads at boot to set up its frame allocators.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{KindleError, MemKind, PhysAddr, Result, PAGE_SIZE};
 
 /// One contiguous physical range and its backing technology.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct E820Entry {
     /// First physical address of the range.
     pub base: PhysAddr,
@@ -37,7 +36,8 @@ impl E820Entry {
 }
 
 /// The BIOS memory map: an ordered list of non-overlapping ranges.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct E820Map {
     entries: Vec<E820Entry>,
 }
@@ -62,16 +62,8 @@ impl E820Map {
     /// The flat layout Kindle uses: DRAM at `[0, dram)`, NVM right after.
     pub fn flat(dram_bytes: u64, nvm_bytes: u64) -> Self {
         E820Map::new(vec![
-            E820Entry {
-                base: PhysAddr::new(0),
-                size: dram_bytes,
-                kind: MemKind::Dram,
-            },
-            E820Entry {
-                base: PhysAddr::new(dram_bytes),
-                size: nvm_bytes,
-                kind: MemKind::Nvm,
-            },
+            E820Entry { base: PhysAddr::new(0), size: dram_bytes, kind: MemKind::Dram },
+            E820Entry { base: PhysAddr::new(dram_bytes), size: nvm_bytes, kind: MemKind::Nvm },
         ])
     }
 
@@ -108,11 +100,7 @@ impl E820Map {
 
     /// Total bytes of `kind` memory.
     pub fn total(&self, kind: MemKind) -> u64 {
-        self.entries
-            .iter()
-            .filter(|e| e.kind == kind)
-            .map(|e| e.size)
-            .sum()
+        self.entries.iter().filter(|e| e.kind == kind).map(|e| e.size).sum()
     }
 
     /// One past the highest mapped physical address.

@@ -2,14 +2,13 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{AccessKind, Cycles, PhysAddr};
 
 use crate::config::NvmConfig;
 
 /// Per-device NVM statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NvmStats {
     /// Array reads serviced.
     pub reads: u64,
@@ -112,11 +111,7 @@ impl NvmDevice {
     /// fence-like operations that require durability of all prior writes).
     pub fn drain_latency(&mut self, now: Cycles) -> Cycles {
         self.drain(now);
-        let done = self
-            .write_queue
-            .back()
-            .map(|&(d, _)| d)
-            .unwrap_or(Cycles::ZERO);
+        let done = self.write_queue.back().map(|&(d, _)| d).unwrap_or(Cycles::ZERO);
         let wait = done.saturating_sub(now);
         self.write_queue.clear();
         wait

@@ -1,12 +1,11 @@
 //! Aggregated memory-system statistics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dram::DramStats;
 use crate::nvm::NvmStats;
 
 /// Roll-up of DRAM and NVM device statistics plus controller counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemStats {
     /// DRAM device stats.
     pub dram: DramStats,

@@ -6,10 +6,9 @@
 //! defaults approximate a lightweight kernel like gemOS; they are plain data
 //! so experiments can ablate them.
 
-use serde::{Deserialize, Serialize};
-
 /// Instruction counts (1 cycle each on the in-order core) per routine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelCosts {
     /// System-call entry/exit (mode switch, dispatch).
     pub syscall_entry: u64,

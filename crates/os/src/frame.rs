@@ -7,9 +7,8 @@
 //! as §II-A requires — page-allocation metadata survives a crash and can be
 //! rebuilt during recovery.
 
-use kindle_types::{
-    AccessKind, KindleError, PhysAddr, PhysMem, Pfn, Result,
-};
+use kindle_types::sanitize::{self, Event};
+use kindle_types::{AccessKind, KindleError, Pfn, PhysAddr, PhysMem, Result};
 
 use crate::layout::Region;
 
@@ -86,6 +85,7 @@ impl FrameAllocator {
             debug_assert!(!self.bit(idx), "frame on free stack but marked allocated");
             self.set_bit(idx, true);
             self.allocated += 1;
+            sanitize::emit(|| Event::FrameAlloc { pool: self.pool, pfn: pfn.as_u64() });
             return Ok(pfn);
         }
         while self.next < self.count && self.bit(self.next) {
@@ -98,7 +98,9 @@ impl FrameAllocator {
         self.next += 1;
         self.set_bit(idx, true);
         self.allocated += 1;
-        Ok(self.start + idx)
+        let pfn = self.start + idx;
+        sanitize::emit(|| Event::FrameAlloc { pool: self.pool, pfn: pfn.as_u64() });
+        Ok(pfn)
     }
 
     /// Returns a frame to the pool.
@@ -107,6 +109,9 @@ impl FrameAllocator {
     ///
     /// Panics on double free or on a frame outside the pool.
     pub fn free(&mut self, pfn: Pfn) {
+        // Report before the asserts so an installed checker records the
+        // defect even when the assert aborts the operation.
+        sanitize::emit(|| Event::FrameFree { pool: self.pool, pfn: pfn.as_u64() });
         assert!(self.contains(pfn), "freeing frame outside pool {}", self.pool);
         let idx = self.index_of(pfn);
         assert!(self.bit(idx), "double free of {pfn} in pool {}", self.pool);
@@ -167,10 +172,7 @@ impl PersistentFrameAllocator {
     /// Panics if the region is too small.
     pub fn new(inner: FrameAllocator, bitmap_region: Region) -> Self {
         let needed = inner.bitmap_words().len() as u64 * 8;
-        assert!(
-            bitmap_region.size >= needed,
-            "alloc bitmap region too small: need {needed} bytes"
-        );
+        assert!(bitmap_region.size >= needed, "alloc bitmap region too small: need {needed} bytes");
         PersistentFrameAllocator { inner, bitmap_region }
     }
 

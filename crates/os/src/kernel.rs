@@ -2,12 +2,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use kindle_mem::E820Map;
 use kindle_types::{
-    AccessKind, Cycles, KindleError, MapFlags, MemKind, PhysMem, Prot, Pte, Result,
-    VirtAddr, Vpn, PAGE_SIZE,
+    AccessKind, Cycles, KindleError, MapFlags, MemKind, PhysMem, Prot, Pte, Result, VirtAddr, Vpn,
+    PAGE_SIZE,
 };
 
 use crate::costs::KernelCosts;
@@ -55,7 +53,8 @@ impl KernelConfig {
 }
 
 /// Counters of kernel activity.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelStats {
     /// `mmap` calls served.
     pub mmaps: u64,
@@ -182,8 +181,7 @@ impl Kernel {
     pub fn create_process(&mut self, mem: &mut dyn PhysMem) -> Result<u32> {
         mem.advance(Cycles::new(self.costs.syscall_entry));
         let pid = self.next_pid;
-        let aspace =
-            AddressSpace::new(mem, &mut self.pools, self.pt_mode, self.layout.pt_log)?;
+        let aspace = AddressSpace::new(mem, &mut self.pools, self.pt_mode, self.layout.pt_log)?;
         self.procs.insert(pid, Process::new(pid, aspace));
         self.next_pid += 1;
         self.meta_records.push(MetaRecord::ProcessCreate { pid });
@@ -358,11 +356,7 @@ impl Kernel {
                     Err(e) => return Err(e),
                 }
             }
-            self.meta_records.push(MetaRecord::VmaRemove {
-                pid,
-                start: vma.start,
-                end: vma.end,
-            });
+            self.meta_records.push(MetaRecord::VmaRemove { pid, start: vma.start, end: vma.end });
         }
         self.stats.munmaps += 1;
         Ok(outcome)
@@ -498,8 +492,11 @@ impl Kernel {
             (proc.regs, proc.vmas.clone(), mappings)
         };
         let child = self.create_process(mem)?;
-        self.procs.get_mut(&child).expect("just created").regs = regs;
-        self.procs.get_mut(&child).expect("just created").vmas = vmas.clone();
+        {
+            let proc = self.procs.get_mut(&child).ok_or(KindleError::NoSuchProcess(child))?;
+            proc.regs = regs;
+            proc.vmas = vmas.clone();
+        }
         for vma in vmas.iter() {
             self.meta_records.push(MetaRecord::VmaAdd {
                 pid: child,
@@ -511,9 +508,10 @@ impl Kernel {
         }
         // Copy every mapped page into a fresh frame of the same kind.
         for (vpn, src_pfn, pte) in mappings {
-            let kind = self.pools.kind_of(src_pfn).ok_or(KindleError::Corrupted(
-                "parent page outside both pools",
-            ))?;
+            let kind = self
+                .pools
+                .kind_of(src_pfn)
+                .ok_or(KindleError::Corrupted("parent page outside both pools"))?;
             mem.advance(Cycles::new(self.costs.frame_op));
             let dst = self.pools.alloc(mem, kind)?;
             mem.copy_page(src_pfn.base(), dst.base());
@@ -524,7 +522,7 @@ impl Kernel {
             if kind == MemKind::Nvm {
                 flags |= Pte::NVM;
             }
-            let proc = self.procs.get_mut(&child).expect("child exists");
+            let proc = self.procs.get_mut(&child).ok_or(KindleError::NoSuchProcess(child))?;
             proc.aspace.map(mem, &mut self.pools, &self.costs, vpn.base(), dst, flags)?;
             self.stats.pages_mapped += 1;
             self.meta_records.push(MetaRecord::PageMapped { pid: child, vpn, pfn: dst, kind });
@@ -537,12 +535,7 @@ impl Kernel {
     /// # Errors
     ///
     /// [`KindleError::NoSuchProcess`] for unknown pids.
-    pub fn translate(
-        &self,
-        mem: &mut dyn PhysMem,
-        pid: u32,
-        va: VirtAddr,
-    ) -> Result<Option<Pte>> {
+    pub fn translate(&self, mem: &mut dyn PhysMem, pid: u32, va: VirtAddr) -> Result<Option<Pte>> {
         let proc = self.procs.get(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
         Ok(proc.aspace.translate(mem, va))
     }
@@ -573,9 +566,8 @@ mod tests {
     #[test]
     fn mmap_fault_access_cycle() {
         let (mut mem, mut k, pid) = boot();
-        let va = k
-            .sys_mmap(&mut mem, pid, None, 3 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)
-            .unwrap();
+        let va =
+            k.sys_mmap(&mut mem, pid, None, 3 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
         // Nothing mapped yet.
         assert!(k.translate(&mut mem, pid, va).unwrap().is_none());
         let pte = k.handle_fault(&mut mem, pid, va, AccessKind::Write).unwrap();
@@ -608,9 +600,7 @@ mod tests {
     #[test]
     fn write_to_readonly_is_protection_fault() {
         let (mut mem, mut k, pid) = boot();
-        let va = k
-            .sys_mmap(&mut mem, pid, None, 4096, Prot::READ, MapFlags::EMPTY)
-            .unwrap();
+        let va = k.sys_mmap(&mut mem, pid, None, 4096, Prot::READ, MapFlags::EMPTY).unwrap();
         let err = k.handle_fault(&mut mem, pid, va, AccessKind::Write).unwrap_err();
         assert!(matches!(err, KindleError::ProtectionFault(_)));
         // Reads still work.
@@ -684,9 +674,8 @@ mod tests {
             )
             .unwrap();
         let old_pfn = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
-        let (new_va, out) = k
-            .sys_mremap(&mut mem, pid, va, 2 * PAGE_SIZE as u64, 4 * PAGE_SIZE as u64)
-            .unwrap();
+        let (new_va, out) =
+            k.sys_mremap(&mut mem, pid, va, 2 * PAGE_SIZE as u64, 4 * PAGE_SIZE as u64).unwrap();
         assert_ne!(new_va, va);
         assert_eq!(out.unmapped.len(), 2);
         let new_pfn = k.translate(&mut mem, pid, new_va).unwrap().unwrap().pfn();
@@ -699,25 +688,11 @@ mod tests {
         let (mut mem, mut k, pid) = boot();
         let want = VirtAddr::new(0x7000_0000);
         let got = k
-            .sys_mmap(
-                &mut mem,
-                pid,
-                Some(want),
-                PAGE_SIZE as u64,
-                Prot::RW,
-                MapFlags::FIXED,
-            )
+            .sys_mmap(&mut mem, pid, Some(want), PAGE_SIZE as u64, Prot::RW, MapFlags::FIXED)
             .unwrap();
         assert_eq!(got, want);
         let err = k
-            .sys_mmap(
-                &mut mem,
-                pid,
-                Some(want),
-                PAGE_SIZE as u64,
-                Prot::RW,
-                MapFlags::FIXED,
-            )
+            .sys_mmap(&mut mem, pid, Some(want), PAGE_SIZE as u64, Prot::RW, MapFlags::FIXED)
             .unwrap_err();
         assert!(matches!(err, KindleError::Overlap(_)));
     }

@@ -4,13 +4,12 @@
 //! metadata; everything after [`NvmLayout::general`] is handed to the NVM
 //! frame allocator for application pages.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_mem::E820Map;
 use kindle_types::{MemKind, PhysAddr, PAGE_SIZE};
 
 /// One contiguous reserved physical region.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Region {
     /// First byte of the region.
     pub base: PhysAddr,
@@ -36,7 +35,8 @@ impl Region {
 }
 
 /// Carve-up of the NVM range into persistent metadata regions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NvmLayout {
     /// Frame-allocator persistence bitmap (1 bit per general NVM frame).
     pub alloc_bitmap: Region,
@@ -86,10 +86,7 @@ impl NvmLayout {
         // Align the general pool for tidiness.
         let used = cursor - nvm.base;
         let aligned = (used + align - 1) & !(align - 1);
-        let general = Region {
-            base: nvm.base + aligned,
-            size: nvm.size - aligned,
-        };
+        let general = Region { base: nvm.base + aligned, size: nvm.size - aligned };
         NvmLayout { alloc_bitmap, pt_log, meta_log, saved_state, ssp_cache, general }
     }
 }

@@ -5,12 +5,11 @@
 //! log (§II-A: "we use redo log stored in NVM to capture all modifications
 //! to the OS-level process meta-data").
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{MemKind, Pfn, Prot, VirtAddr, Vpn};
 
 /// One metadata modification.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MetaRecord {
     /// A process was created.
     ProcessCreate {

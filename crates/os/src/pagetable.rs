@@ -14,13 +14,12 @@
 //! Both cost structures fall out of this module: table frames come from the
 //! corresponding pool, and all traffic flows through `PhysMem`.
 
-use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use kindle_types::pte::pte_addr;
+use kindle_types::sanitize::{self, Event};
 use kindle_types::{
-    KindleError, MemKind, PhysAddr, PhysMem, Pfn, Pte, Result, VirtAddr, Vpn, PAGE_SHIFT,
+    KindleError, MemKind, Pfn, PhysAddr, PhysMem, Pte, Result, VirtAddr, Vpn, PAGE_SHIFT,
 };
 
 use crate::costs::KernelCosts;
@@ -28,7 +27,8 @@ use crate::frame::FramePools;
 use crate::layout::Region;
 
 /// Page-table maintenance scheme (paper §III-A).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PtMode {
     /// DRAM-hosted tables, plain stores, rebuilt after crash.
     Rebuild,
@@ -61,7 +61,7 @@ pub struct AddressSpace {
     pub wrapped_stores: u64,
     /// Host-side mirror of present-entry counts per table frame, used to
     /// reclaim empty tables on unmap.
-    entry_counts: HashMap<u64, u32>,
+    entry_counts: BTreeMap<u64, u32>,
     /// Reclamation is disabled for adopted (recovered) NVM tables whose
     /// counts are unknown.
     reclaim: bool,
@@ -110,7 +110,7 @@ impl AddressSpace {
             log,
             mapped_pages: 0,
             wrapped_stores: 0,
-            entry_counts: HashMap::new(),
+            entry_counts: BTreeMap::new(),
             reclaim: true,
         })
     }
@@ -125,7 +125,7 @@ impl AddressSpace {
             log: Some(PteLog { region: pt_log, cursor: 0 }),
             mapped_pages,
             wrapped_stores: 0,
-            entry_counts: HashMap::new(),
+            entry_counts: BTreeMap::new(),
             reclaim: false,
         }
     }
@@ -151,13 +151,7 @@ impl AddressSpace {
     }
 
     /// Stores a PTE with the scheme's write discipline.
-    fn write_pte(
-        &mut self,
-        mem: &mut dyn PhysMem,
-        costs: &KernelCosts,
-        pa: PhysAddr,
-        pte: Pte,
-    ) {
+    fn write_pte(&mut self, mem: &mut dyn PhysMem, costs: &KernelCosts, pa: PhysAddr, pte: Pte) {
         match self.mode {
             PtMode::Rebuild => {
                 mem.write_u64(pa, pte.bits());
@@ -224,6 +218,7 @@ impl AddressSpace {
             return Err(KindleError::InvalidArgument("page already mapped"));
         }
         self.write_pte(mem, costs, leaf_pa, Pte::new(pfn, Pte::USER | extra_flags));
+        sanitize::emit(|| Event::PteInstall { pfn: pfn.as_u64(), vpn: va.page_number().as_u64() });
         *self.entry_counts.entry(table.as_u64()).or_insert(0) += 1;
         self.mapped_pages += 1;
         Ok(())
@@ -266,6 +261,10 @@ impl AddressSpace {
             return Err(KindleError::Unmapped(va));
         }
         self.write_pte(mem, costs, leaf_pa, Pte::EMPTY);
+        sanitize::emit(|| Event::PteClear {
+            pfn: pte.pfn().as_u64(),
+            vpn: va.page_number().as_u64(),
+        });
         self.mapped_pages -= 1;
 
         if self.reclaim {
@@ -336,6 +335,11 @@ impl AddressSpace {
         let new = f(old);
         if new != old {
             self.write_pte(mem, costs, leaf_pa, new);
+            if new.pfn() != old.pfn() {
+                let vpn = va.page_number().as_u64();
+                sanitize::emit(|| Event::PteClear { pfn: old.pfn().as_u64(), vpn });
+                sanitize::emit(|| Event::PteInstall { pfn: new.pfn().as_u64(), vpn });
+            }
         }
         Ok(old)
     }
@@ -442,8 +446,7 @@ mod tests {
         let costs = KernelCosts::for_test();
         let asp = AddressSpace::new(&mut mem, &mut pools, PtMode::Rebuild, log).unwrap();
         assert!(pools.dram.contains(asp.root()));
-        let asp2 =
-            AddressSpace::new(&mut mem, &mut pools, PtMode::Persistent, log).unwrap();
+        let asp2 = AddressSpace::new(&mut mem, &mut pools, PtMode::Persistent, log).unwrap();
         assert!(pools.nvm.inner().contains(asp2.root()));
         let _ = costs;
     }
@@ -452,8 +455,7 @@ mod tests {
     fn persistent_mode_wraps_stores() {
         let (mut mem, mut pools, log) = setup();
         let costs = KernelCosts::for_test();
-        let mut asp =
-            AddressSpace::new(&mut mem, &mut pools, PtMode::Persistent, log).unwrap();
+        let mut asp = AddressSpace::new(&mut mem, &mut pools, PtMode::Persistent, log).unwrap();
         let va = VirtAddr::new(0x4000_0000);
         asp.map(&mut mem, &mut pools, &costs, va, Pfn::new(5), 0).unwrap();
         // 3 intermediate tables, each consistency-initialised line by line
@@ -469,14 +471,12 @@ mod tests {
     fn sparse_strides_allocate_more_tables() {
         let (mut mem, mut pools, log) = setup();
         let costs = KernelCosts::for_test();
-        let mut dense =
-            AddressSpace::new(&mut mem, &mut pools, PtMode::Rebuild, log).unwrap();
+        let mut dense = AddressSpace::new(&mut mem, &mut pools, PtMode::Rebuild, log).unwrap();
         for i in 0..10u64 {
             let va = VirtAddr::new(0x4000_0000 + i * PAGE_SIZE as u64);
             dense.map(&mut mem, &mut pools, &costs, va, Pfn::new(100 + i), 0).unwrap();
         }
-        let mut sparse =
-            AddressSpace::new(&mut mem, &mut pools, PtMode::Rebuild, log).unwrap();
+        let mut sparse = AddressSpace::new(&mut mem, &mut pools, PtMode::Rebuild, log).unwrap();
         for i in 0..10u64 {
             let va = VirtAddr::new(0x4000_0000 + i * (1 << 30)); // 1 GiB stride
             sparse.map(&mut mem, &mut pools, &costs, va, Pfn::new(200 + i), 0).unwrap();
@@ -512,9 +512,7 @@ mod tests {
         let mut asp = AddressSpace::new(&mut mem, &mut pools, PtMode::Rebuild, log).unwrap();
         let va = VirtAddr::new(0x6000_0000);
         asp.map(&mut mem, &mut pools, &costs, va, Pfn::new(10), 0).unwrap();
-        let old = asp
-            .update_leaf(&mut mem, &costs, va, |p| p.with_pfn(Pfn::new(99)))
-            .unwrap();
+        let old = asp.update_leaf(&mut mem, &costs, va, |p| p.with_pfn(Pfn::new(99))).unwrap();
         assert_eq!(old.pfn(), Pfn::new(10));
         assert_eq!(asp.translate(&mut mem, va).unwrap().pfn(), Pfn::new(99));
     }

@@ -1,14 +1,13 @@
 //! Process control blocks.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_cpu::RegisterFile;
 
 use crate::pagetable::AddressSpace;
 use crate::vma::VmaList;
 
 /// Scheduling/persistence state of a process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ProcState {
     /// Runnable.
     Ready,

@@ -1,3 +1,6 @@
+//! Property tests — need a vendored `proptest`; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests: VMA list, frame allocator and page-table invariants
 //! checked against simple reference models.
 
@@ -6,11 +9,11 @@ use std::collections::{HashMap, HashSet};
 use proptest::prelude::*;
 
 use kindle_os::{
-    AddressSpace, FrameAllocator, FramePools, KernelCosts, PersistentFrameAllocator,
-    PtMode, Region, Vma, VmaList,
+    AddressSpace, FrameAllocator, FramePools, KernelCosts, PersistentFrameAllocator, PtMode,
+    Region, Vma, VmaList,
 };
 use kindle_types::physmem::FlatMem;
-use kindle_types::{MemKind, PhysAddr, Pfn, Prot, VirtAddr, PAGE_SIZE};
+use kindle_types::{MemKind, Pfn, PhysAddr, Prot, VirtAddr, PAGE_SIZE};
 
 const P: u64 = PAGE_SIZE as u64;
 

@@ -12,10 +12,8 @@
 //!
 //! and finally truncates the redo log.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_os::{Kernel, MetaRecord, NvmLayout, PtMode};
-use kindle_types::{Cycles, MemKind, PhysMem, Pfn, Pte, Result, Vpn};
+use kindle_types::{Cycles, MemKind, Pfn, PhysMem, Pte, Result, Vpn};
 
 use crate::log::RedoLog;
 use crate::slot::{SavedContext, SavedStateArea};
@@ -26,7 +24,8 @@ use crate::slot::{SavedContext, SavedStateArea};
 pub type CheckpointScheme = PtMode;
 
 /// Counters kept by the engine.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CheckpointStats {
     /// Checkpoints completed.
     pub checkpoints: u64,
@@ -339,8 +338,12 @@ mod tests {
         // Tiny log: capacity 2 records.
         let mut layout = layout_of(&kernel);
         layout.meta_log.size = 64 + 2 * 48;
-        let mut engine =
-            CheckpointEngine::new(&layout, CheckpointScheme::Persistent, Cycles::from_millis(10), 4);
+        let mut engine = CheckpointEngine::new(
+            &layout,
+            CheckpointScheme::Persistent,
+            Cycles::from_millis(10),
+            4,
+        );
         let recs = vec![
             MetaRecord::RegsUpdated { pid },
             MetaRecord::RegsUpdated { pid },

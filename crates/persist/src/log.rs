@@ -7,9 +7,8 @@
 
 use kindle_os::MetaRecord;
 use kindle_os::Region;
-use kindle_types::{
-    KindleError, MemKind, PhysAddr, PhysMem, Pfn, Prot, Result, VirtAddr, Vpn,
-};
+use kindle_types::sanitize::{self, Event};
+use kindle_types::{KindleError, MemKind, Pfn, PhysAddr, PhysMem, Prot, Result, VirtAddr, Vpn};
 
 const HEADER_BYTES: u64 = 64;
 const RECORD_BYTES: u64 = 48;
@@ -83,6 +82,7 @@ impl RedoLog {
         mem.write_u64(self.region.base, head + 1);
         mem.clwb(self.region.base);
         mem.sfence();
+        sanitize::emit(|| Event::LogAppend { seq: head });
         Ok(())
     }
 
@@ -96,6 +96,7 @@ impl RedoLog {
             for (k, w) in words.iter_mut().enumerate() {
                 *w = mem.read_u64(pa + k as u64 * 8);
             }
+            sanitize::emit(|| Event::LogApply { seq: i });
             if let Some(rec) = decode(&words) {
                 out.push(rec);
             }
@@ -108,6 +109,7 @@ impl RedoLog {
         mem.write_u64(self.region.base, 0);
         mem.clwb(self.region.base);
         mem.sfence();
+        sanitize::emit(|| Event::LogTruncate);
     }
 }
 
@@ -125,14 +127,9 @@ fn encode(rec: &MetaRecord) -> [u64; 6] {
         MetaRecord::VmaRemove { pid, start, end } => {
             [TAG_VMA_REMOVE, pid as u64, start.as_u64(), end.as_u64(), 0, 0]
         }
-        MetaRecord::VmaProtect { pid, start, end, prot } => [
-            TAG_VMA_PROTECT,
-            pid as u64,
-            start.as_u64(),
-            end.as_u64(),
-            prot_bits(prot),
-            0,
-        ],
+        MetaRecord::VmaProtect { pid, start, end, prot } => {
+            [TAG_VMA_PROTECT, pid as u64, start.as_u64(), end.as_u64(), prot_bits(prot), 0]
+        }
         MetaRecord::PageMapped { pid, vpn, pfn, kind } => [
             TAG_PAGE_MAPPED,
             pid as u64,
@@ -176,11 +173,9 @@ fn decode(words: &[u64; 6]) -> Option<MetaRecord> {
             pfn: Pfn::new(words[3]),
             kind: if words[4] == 1 { MemKind::Nvm } else { MemKind::Dram },
         },
-        TAG_PAGE_UNMAPPED => MetaRecord::PageUnmapped {
-            pid,
-            vpn: Vpn::new(words[2]),
-            pfn: Pfn::new(words[3]),
-        },
+        TAG_PAGE_UNMAPPED => {
+            MetaRecord::PageUnmapped { pid, vpn: Vpn::new(words[2]), pfn: Pfn::new(words[3]) }
+        }
         TAG_REGS_UPDATED => MetaRecord::RegsUpdated { pid },
         _ => return None,
     })

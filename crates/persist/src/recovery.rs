@@ -7,18 +7,15 @@
 //! scheme) or by restoring the PTBR (*persistent* scheme). DRAM-backed
 //! mappings are discarded — their frames were volatile.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_cpu::RegisterFile;
 use kindle_os::{AddressSpace, Kernel, ProcState, Process, PtMode, VmaList};
-use kindle_types::{
-    AccessKind, Cycles, MemKind, PhysMem, Pte, Result, Vpn,
-};
+use kindle_types::{AccessKind, Cycles, MemKind, PhysMem, Pte, Result, Vpn};
 
 use crate::slot::SavedStateArea;
 
 /// Summary of a completed recovery.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RecoveryReport {
     /// Pids successfully recovered.
     pub recovered_pids: Vec<u32>,
@@ -94,10 +91,8 @@ pub fn recover_all(
                 let list = slot.read_mapping_list(mem, valid);
                 for (vpn, pfn) in list {
                     let va = vpn.base();
-                    let writable = vmas
-                        .find(va)
-                        .map(|v| v.prot.allows(AccessKind::Write))
-                        .unwrap_or(false);
+                    let writable =
+                        vmas.find(va).map(|v| v.prot.allows(AccessKind::Write)).unwrap_or(false);
                     let mut flags = Pte::NVM;
                     if writable {
                         flags |= Pte::WRITABLE;
@@ -210,12 +205,23 @@ mod tests {
         cfg.pt_mode = CheckpointScheme::Persistent;
         let mut kernel = Kernel::new(cfg, &mut mem).unwrap();
         let layout = kernel.layout;
-        let mut engine =
-            CheckpointEngine::new(&layout, CheckpointScheme::Persistent, Cycles::from_millis(10), 4);
+        let mut engine = CheckpointEngine::new(
+            &layout,
+            CheckpointScheme::Persistent,
+            Cycles::from_millis(10),
+            4,
+        );
         let pid = kernel.create_process(&mut mem).unwrap();
         // One NVM area + one DRAM area.
         let nva = kernel
-            .sys_mmap(&mut mem, pid, None, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM | MapFlags::POPULATE)
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
             .unwrap();
         let dva = kernel
             .sys_mmap(&mut mem, pid, None, PAGE_SIZE as u64, Prot::RW, MapFlags::POPULATE)

@@ -19,9 +19,8 @@
 
 use kindle_cpu::RegisterFile;
 use kindle_os::{Region, Vma};
-use kindle_types::{
-    KindleError, MemKind, PhysAddr, PhysMem, Pfn, Prot, Result, VirtAddr, Vpn,
-};
+use kindle_types::sanitize::{self, Event};
+use kindle_types::{KindleError, MemKind, Pfn, PhysAddr, PhysMem, Prot, Result, VirtAddr, Vpn};
 
 /// Maximum VMAs storable in one context copy.
 pub const MAX_VMAS: usize = 64;
@@ -73,10 +72,7 @@ impl SavedStateArea {
     /// Panics if slots would be too small to hold even an empty context.
     pub fn new(region: Region, max_procs: usize) -> Self {
         let slot_size = region.size / max_procs as u64;
-        assert!(
-            slot_size >= LIST_OFF + 2 * 16,
-            "saved-state slots too small: {slot_size} bytes"
-        );
+        assert!(slot_size >= LIST_OFF + 2 * 16, "saved-state slots too small: {slot_size} bytes");
         SavedStateArea { region, slot_size, max_procs }
     }
 
@@ -190,6 +186,13 @@ impl SlotHandle {
         mem.write_u64(self.base + VALID_OFF, copy & 1);
         mem.clwb(self.base + VALID_OFF);
         mem.sfence();
+        // Reported after the flush: any line of this slot still pending now
+        // is a write the checkpoint claims durable but never drained.
+        sanitize::emit(|| Event::CheckpointPublish {
+            lo: self.base.as_u64(),
+            hi: self.base.as_u64() + self.slot_size,
+            cycle: mem.now().as_u64(),
+        });
     }
 
     /// Serializes a context into copy `copy` and flushes it.

@@ -1,3 +1,6 @@
+//! Property tests — need a vendored `proptest`; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests for the persistence structures.
 
 use proptest::prelude::*;
@@ -6,7 +9,7 @@ use kindle_cpu::RegisterFile;
 use kindle_os::{MetaRecord, Region, Vma};
 use kindle_persist::{RedoLog, SavedContext, SavedStateArea};
 use kindle_types::physmem::FlatMem;
-use kindle_types::{MemKind, PhysAddr, Pfn, Prot, VirtAddr, Vpn};
+use kindle_types::{MemKind, Pfn, PhysAddr, Prot, VirtAddr, Vpn};
 
 fn arb_record() -> impl Strategy<Value = MetaRecord> {
     prop_oneof![

@@ -1,7 +1,5 @@
 //! Machine configuration (Table I defaults).
 
-use serde::{Deserialize, Serialize};
-
 use kindle_cache::HierarchyConfig;
 use kindle_hscc::HsccConfig;
 use kindle_mem::MemConfig;
@@ -11,7 +9,8 @@ use kindle_tlb::TwoLevelTlbConfig;
 use kindle_types::Cycles;
 
 /// Process-persistence (checkpoint engine) setup.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CheckpointSetup {
     /// Checkpoint interval (paper default 10 ms, after Aurora).
     pub interval: Cycles,
@@ -26,7 +25,8 @@ impl Default for CheckpointSetup {
 }
 
 /// Full machine configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Memory devices and physical layout (Table I).
     pub mem: MemConfig,
@@ -68,10 +68,7 @@ impl MachineConfig {
     /// Small machine (128 MiB + 128 MiB) for tests: full behaviour, less
     /// host memory.
     pub fn small() -> Self {
-        MachineConfig {
-            mem: MemConfig::with_capacities(128 << 20, 128 << 20),
-            ..Self::table_i()
-        }
+        MachineConfig { mem: MemConfig::with_capacities(128 << 20, 128 << 20), ..Self::table_i() }
     }
 
     /// Sets the page-table scheme.

@@ -9,9 +9,7 @@
 use kindle_cache::Hierarchy;
 use kindle_cpu::{Activity, Core};
 use kindle_mem::MemoryController;
-use kindle_types::{
-    AccessKind, Cycles, PhysAddr, PhysMem, CACHE_LINE,
-};
+use kindle_types::{AccessKind, Cycles, PhysAddr, PhysMem, CACHE_LINE};
 
 use crate::config::MachineConfig;
 

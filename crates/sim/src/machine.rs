@@ -1,7 +1,5 @@
 //! The full simulated machine.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_cpu::Activity;
 use kindle_hscc::HsccEngine;
 use kindle_os::{Kernel, KernelConfig, UnmapOutcome};
@@ -10,8 +8,8 @@ use kindle_ssp::SspEngine;
 use kindle_tlb::{MsrFile, PageWalker, TlbEntry, TwoLevelTlb};
 use kindle_trace::ReplayProgram;
 use kindle_types::{
-    AccessKind, Cycles, KindleError, MapFlags, MemKind, PhysMem, Pfn, PhysAddr, Prot, Pte,
-    Result, VirtAddr, CACHE_LINE,
+    AccessKind, Cycles, KindleError, MapFlags, MemKind, Pfn, PhysAddr, PhysMem, Prot, Pte, Result,
+    VirtAddr, CACHE_LINE,
 };
 
 use crate::config::MachineConfig;
@@ -19,7 +17,8 @@ use crate::hw::Hw;
 use crate::report::SimReport;
 
 /// Options for a trace replay.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReplayOptions {
     /// Wrap the replay in an SSP failure-atomic section
     /// (`checkpoint_start` / `checkpoint_end`).
@@ -29,7 +28,8 @@ pub struct ReplayOptions {
 }
 
 /// Summary of one replay.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReplayReport {
     /// Operations replayed.
     pub ops: u64,
@@ -93,9 +93,10 @@ impl Machine {
             dram_reserved_frames: 256,
         };
         let mut kernel = Kernel::new(kcfg, &mut hw)?;
-        let persist = cfg.checkpoint.as_ref().map(|s| {
-            CheckpointEngine::new(&kernel.layout, cfg.pt_mode, s.interval, s.max_procs)
-        });
+        let persist = cfg
+            .checkpoint
+            .as_ref()
+            .map(|s| CheckpointEngine::new(&kernel.layout, cfg.pt_mode, s.interval, s.max_procs));
         let ssp = cfg.ssp.as_ref().map(|s| SspEngine::new(&kernel.layout, s.clone()));
         let hscc = match &cfg.hscc {
             Some(h) => Some(HsccEngine::new(&mut hw, &mut kernel, h.clone())?),
@@ -391,8 +392,7 @@ impl Machine {
             if let Some((pte_pa, count)) = writeout {
                 // Once-per-interval hardware RMW of the PTE count.
                 let pte = Pte::from_bits(self.hw.read_u64(pte_pa));
-                self.hw
-                    .write_u64(pte_pa, pte.with_access_count(pte.access_count() + count).bits());
+                self.hw.write_u64(pte_pa, pte.with_access_count(pte.access_count() + count).bits());
             }
         }
 
@@ -433,8 +433,12 @@ impl Machine {
         if pte.mem_kind() == MemKind::Nvm && self.msr.in_nvm_range(va) {
             if let Some(engine) = self.ssp.as_mut() {
                 if engine.in_fase() {
-                    let ext =
-                        engine.register_page(&mut self.hw, &mut self.kernel.pools, vpn, pte.pfn())?;
+                    let ext = engine.register_page(
+                        &mut self.hw,
+                        &mut self.kernel.pools,
+                        vpn,
+                        pte.pfn(),
+                    )?;
                     entry.ssp = Some(ext);
                 }
             }

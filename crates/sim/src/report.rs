@@ -1,7 +1,5 @@
 //! Statistics roll-up across the whole machine.
 
-use serde::Serialize;
-
 use kindle_cache::HierarchyStats;
 use kindle_cpu::{Activity, ActivityBreakdown, CpuStats};
 use kindle_hscc::HsccStats;
@@ -15,7 +13,8 @@ use kindle_types::Cycles;
 use crate::machine::Machine;
 
 /// One snapshot of every counter in the machine.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimReport {
     /// Total simulated time.
     pub total_cycles: Cycles,
@@ -144,8 +143,13 @@ impl SimReport {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "total: {} ({} user, {} overhead)",
-            self.total_cycles, self.user_cycles(), self.overhead_cycles());
+        let _ = writeln!(
+            s,
+            "total: {} ({} user, {} overhead)",
+            self.total_cycles,
+            self.user_cycles(),
+            self.overhead_cycles()
+        );
         for (act, cy) in self.breakdown.iter() {
             let _ = writeln!(s, "  {:<20} {}", act.label(), cy);
         }

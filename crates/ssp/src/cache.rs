@@ -12,10 +12,10 @@
 //! 48  reserved
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kindle_os::Region;
-use kindle_types::{KindleError, PhysAddr, PhysMem, Pfn, Result, Vpn};
+use kindle_types::{KindleError, Pfn, PhysAddr, PhysMem, Result, Vpn};
 
 /// Size of one metadata entry.
 pub const ENTRY_BYTES: u64 = 64;
@@ -45,7 +45,7 @@ pub struct SspCacheEntry {
 #[derive(Clone, Debug)]
 pub struct SspCache {
     region: Region,
-    index: HashMap<Vpn, u64>,
+    index: BTreeMap<Vpn, u64>,
     next: u64,
     capacity: u64,
 }
@@ -54,7 +54,7 @@ impl SspCache {
     /// Wraps the reserved NVM region.
     pub fn new(region: Region) -> Self {
         let capacity = region.size / ENTRY_BYTES;
-        SspCache { region, index: HashMap::new(), next: 0, capacity }
+        SspCache { region, index: BTreeMap::new(), next: 0, capacity }
     }
 
     /// Maximum entries.

@@ -1,19 +1,18 @@
 //! The SSP engine: FASE state, interval commits, consolidation thread.
 
-use std::collections::HashSet;
-
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 use kindle_os::{FramePools, KernelCosts, NvmLayout};
 use kindle_tlb::{SspTlbExt, TlbEntry, TwoLevelTlb};
 use kindle_types::{
-    Cycles, MemKind, PhysAddr, PhysMem, Pfn, Result, Vpn, CACHE_LINE, LINES_PER_PAGE,
+    Cycles, MemKind, Pfn, PhysAddr, PhysMem, Result, Vpn, CACHE_LINE, LINES_PER_PAGE,
 };
 
 use crate::cache::SspCache;
 
 /// SSP engine parameters (paper §III-B).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SspConfig {
     /// Consistency interval (paper sweeps 1, 5, 10 ms).
     pub consistency_interval: Cycles,
@@ -31,7 +30,8 @@ impl Default for SspConfig {
 }
 
 /// SSP activity counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SspStats {
     /// Pages registered (original+shadow pairs created).
     pub pages_registered: u64,
@@ -67,11 +67,11 @@ pub struct SspEngine {
     /// Inside a failure-atomic section?
     in_fase: bool,
     /// NVM data lines written during the open interval (need clwb).
-    written_lines: HashSet<u64>,
+    written_lines: BTreeSet<u64>,
     /// Entries flagged by TLB eviction, queued for consolidation (the
     /// hardware keeps this list so the thread need not scan the whole
     /// metadata cache every wakeup).
-    pending_consolidation: HashSet<u64>,
+    pending_consolidation: BTreeSet<u64>,
     stats: SspStats,
 }
 
@@ -84,8 +84,8 @@ impl SspEngine {
             cache: SspCache::new(layout.ssp_cache),
             cfg,
             in_fase: false,
-            written_lines: HashSet::new(),
-            pending_consolidation: HashSet::new(),
+            written_lines: BTreeSet::new(),
+            pending_consolidation: BTreeSet::new(),
             stats: SspStats::default(),
         }
     }
@@ -238,8 +238,8 @@ impl SspEngine {
     pub fn consolidate(&mut self, mem: &mut dyn PhysMem, costs: &KernelCosts) {
         mem.advance(Cycles::new(costs.kthread_switch));
         self.stats.consolidations += 1;
-        let mut pending: Vec<u64> = self.pending_consolidation.drain().collect();
-        pending.sort_unstable();
+        let pending: Vec<u64> =
+            std::mem::take(&mut self.pending_consolidation).into_iter().collect();
         for idx in pending {
             let mut e = self.cache.read(mem, idx);
             let mut merged_lines = 0u64;
@@ -297,15 +297,11 @@ mod tests {
         let (mut mem, mut pools, mut engine, _tlb) = setup();
         let orig = pools.alloc(&mut mem, MemKind::Nvm).unwrap();
         let used = pools.nvm.used();
-        let ext = engine
-            .register_page(&mut mem, &mut pools, Vpn::new(0x40), orig)
-            .unwrap();
+        let ext = engine.register_page(&mut mem, &mut pools, Vpn::new(0x40), orig).unwrap();
         assert_eq!(pools.nvm.used(), used + 1);
         assert_ne!(ext.shadow_pfn, orig);
         // Second registration reuses the entry.
-        let ext2 = engine
-            .register_page(&mut mem, &mut pools, Vpn::new(0x40), orig)
-            .unwrap();
+        let ext2 = engine.register_page(&mut mem, &mut pools, Vpn::new(0x40), orig).unwrap();
         assert_eq!(ext2.shadow_pfn, ext.shadow_pfn);
         assert_eq!(pools.nvm.used(), used + 1);
         assert_eq!(engine.stats().pages_registered, 1);

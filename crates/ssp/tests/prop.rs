@@ -1,3 +1,6 @@
+//! Property tests — need a vendored `proptest`; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests for SSP's routing algebra and metadata cache.
 
 use proptest::prelude::*;
@@ -6,7 +9,7 @@ use kindle_os::Region;
 use kindle_ssp::{SspCache, SspCacheEntry};
 use kindle_tlb::SspTlbExt;
 use kindle_types::physmem::FlatMem;
-use kindle_types::{PhysAddr, Pfn, Vpn};
+use kindle_types::{Pfn, PhysAddr, Vpn};
 
 proptest! {
     /// Routing invariant: for any bitmap state and line, a write goes to

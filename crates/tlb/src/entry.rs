@@ -1,8 +1,6 @@
 //! TLB entries and the SSP/HSCC hardware extensions.
 
-use serde::{Deserialize, Serialize};
-
-use kindle_types::{MemKind, PhysAddr, Pfn, Vpn};
+use kindle_types::{MemKind, Pfn, PhysAddr, Vpn};
 
 /// SSP's per-entry extension: the supplementary physical page plus the
 /// `updated`/`current` bitmaps, one bit per cache line of the page (64).
@@ -11,7 +9,8 @@ use kindle_types::{MemKind, PhysAddr, Pfn, Vpn};
 /// shadow = 1) holds the latest *committed* data. `updated` marks the lines
 /// written inside the current consistency interval — those writes were
 /// routed to the non-current page and will be committed at interval end.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SspTlbExt {
     /// The shadow (supplementary) physical frame paired with the entry.
     pub shadow_pfn: Pfn,
@@ -55,7 +54,8 @@ impl SspTlbExt {
 }
 
 /// One translation with Kindle's hardware extensions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TlbEntry {
     /// Virtual page number.
     pub vpn: Vpn,
@@ -151,8 +151,8 @@ mod tests {
 
     #[test]
     fn entry_builder() {
-        let e = TlbEntry::new(Vpn::new(1), Pfn::new(2), true, MemKind::Nvm)
-            .with_ssp(Pfn::new(3), 0);
+        let e =
+            TlbEntry::new(Vpn::new(1), Pfn::new(2), true, MemKind::Nvm).with_ssp(Pfn::new(3), 0);
         assert!(e.ssp.is_some());
         assert_eq!(e.ssp.unwrap().shadow_pfn, Pfn::new(3));
         assert_eq!(e.access_count, 0);

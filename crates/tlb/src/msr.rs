@@ -4,12 +4,11 @@
 //! physical base of the SSP metadata cache to the translation hardware via
 //! MSRs; the HSCC prototype likewise publishes its lookup-table base.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{PhysAddr, VirtAddr};
 
 /// The machine's MSR file (only the Kindle-specific registers).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsrFile {
     /// Start of the virtual range mapped to NVM (SSP consistency applies
     /// only inside this range). `None` disables the SSP hardware path.

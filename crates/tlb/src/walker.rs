@@ -4,7 +4,7 @@
 //! [`PhysMem`], so every walk is charged the latency of wherever the tables
 //! physically live (DRAM or NVM) — including cache hits on hot table lines.
 
-use kindle_types::{PhysMem, Pfn, PhysAddr, Pte, VirtAddr};
+use kindle_types::{Pfn, PhysAddr, PhysMem, Pte, VirtAddr};
 
 pub use kindle_types::pte::pte_addr;
 

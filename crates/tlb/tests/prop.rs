@@ -1,3 +1,6 @@
+//! Property tests — need a vendored `proptest`; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests: TLB residency model and walker agreement.
 
 use std::collections::HashMap;
@@ -6,7 +9,7 @@ use proptest::prelude::*;
 
 use kindle_tlb::{pte_addr, PageWalker, Tlb, TlbConfig, TlbEntry, TwoLevelTlb, TwoLevelTlbConfig};
 use kindle_types::physmem::FlatMem;
-use kindle_types::{MemKind, PhysMem, Pfn, Pte, VirtAddr, Vpn, PAGE_SIZE};
+use kindle_types::{MemKind, Pfn, PhysMem, Pte, VirtAddr, Vpn, PAGE_SIZE};
 
 proptest! {
     /// Occupancy never exceeds capacity; entries leave only by eviction or

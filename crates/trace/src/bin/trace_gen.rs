@@ -50,13 +50,13 @@ fn main() -> ExitCode {
         }
         Some("info") if args.len() == 2 => {
             let bytes = match std::fs::read(&args[1]) {
-                Ok(b) => bytes::Bytes::from(b),
+                Ok(b) => b,
                 Err(e) => {
                     eprintln!("read {}: {e}", args[1]);
                     return ExitCode::FAILURE;
                 }
             };
-            let image = match TraceImage::from_bytes(bytes) {
+            let image = match TraceImage::from_bytes(&bytes) {
                 Ok(i) => i,
                 Err(e) => {
                     eprintln!("parse {}: {e}", args[1]);

@@ -3,14 +3,53 @@
 //! Mirrors the paper's image-generator output: the area table followed by
 //! the packed `(period, offset, operation, size, area)` records.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use kindle_types::{KindleError, Result};
 
 use crate::layout::{Area, AreaKind, MemoryLayout};
 use crate::record::{AreaId, TraceRecord};
 
 const MAGIC: u64 = 0x4b49_4e44_4c45_0001; // "KINDLE" v1
+
+/// Little-endian reader over a byte slice; every read is bounds-checked so
+/// truncated images surface as `None` rather than a panic.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.data.len() < n {
+            return None;
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Some(head)
+    }
+
+    fn get_u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn get_u32_le(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn get_u64_le(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
 
 /// A fully materialised trace: layout plus records.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,22 +75,22 @@ impl TraceImage {
     }
 
     /// Serialises into the on-disk format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64 + self.records.len() * TraceRecord::BYTES);
-        buf.put_u64_le(MAGIC);
-        buf.put_u32_le(self.layout.areas().len() as u32);
-        buf.put_u64_le(self.records.len() as u64);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.records.len() * TraceRecord::BYTES);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(self.layout.areas().len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
         for a in self.layout.areas() {
-            buf.put_u16_le(a.name.len() as u16);
-            buf.put_slice(a.name.as_bytes());
-            buf.put_u8(matches!(a.kind, AreaKind::Stack) as u8);
-            buf.put_u64_le(a.size);
-            buf.put_u8(a.nvm as u8);
+            buf.extend_from_slice(&(a.name.len() as u16).to_le_bytes());
+            buf.extend_from_slice(a.name.as_bytes());
+            buf.push(matches!(a.kind, AreaKind::Stack) as u8);
+            buf.extend_from_slice(&a.size.to_le_bytes());
+            buf.push(a.nvm as u8);
         }
         for r in &self.records {
-            buf.put_slice(&r.to_bytes());
+            buf.extend_from_slice(&r.to_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Deserialises from the on-disk format.
@@ -59,37 +98,41 @@ impl TraceImage {
     /// # Errors
     ///
     /// [`KindleError::Corrupted`] on bad magic or truncated input.
-    pub fn from_bytes(mut data: Bytes) -> Result<Self> {
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
         let corrupt = || KindleError::Corrupted("trace image");
-        if data.remaining() < 20 || data.get_u64_le() != MAGIC {
+        let mut cur = Cursor::new(data);
+        if cur.remaining() < 20 || cur.get_u64_le() != Some(MAGIC) {
             return Err(corrupt());
         }
-        let areas = data.get_u32_le() as usize;
-        let records = data.get_u64_le() as usize;
+        let areas = cur.get_u32_le().ok_or_else(corrupt)? as usize;
+        let records = cur.get_u64_le().ok_or_else(corrupt)? as usize;
         let mut layout = MemoryLayout::new();
         for _ in 0..areas {
-            if data.remaining() < 2 {
+            let name_len = cur.get_u16_le().ok_or_else(corrupt)? as usize;
+            if cur.remaining() < name_len + 10 {
                 return Err(corrupt());
             }
-            let name_len = data.get_u16_le() as usize;
-            if data.remaining() < name_len + 10 {
-                return Err(corrupt());
-            }
-            let name_bytes = data.copy_to_bytes(name_len);
-            let name =
-                std::str::from_utf8(&name_bytes).map_err(|_| corrupt())?.to_string();
-            let kind = if data.get_u8() == 1 { AreaKind::Stack } else { AreaKind::Heap };
-            let size = data.get_u64_le();
-            let nvm = data.get_u8() == 1;
+            let name_bytes = cur.take(name_len).ok_or_else(corrupt)?;
+            let name = std::str::from_utf8(name_bytes).map_err(|_| corrupt())?.to_string();
+            let kind = if cur.get_u8().ok_or_else(corrupt)? == 1 {
+                AreaKind::Stack
+            } else {
+                AreaKind::Heap
+            };
+            let size = cur.get_u64_le().ok_or_else(corrupt)?;
+            let nvm = cur.get_u8().ok_or_else(corrupt)? == 1;
             layout.add(&name, kind, size, nvm);
         }
-        if data.remaining() < records * TraceRecord::BYTES {
+        if cur.remaining() < records * TraceRecord::BYTES {
             return Err(corrupt());
         }
         let mut recs = Vec::with_capacity(records);
         for _ in 0..records {
-            let mut raw = [0u8; TraceRecord::BYTES];
-            data.copy_to_slice(&mut raw);
+            let raw: [u8; TraceRecord::BYTES] = cur
+                .take(TraceRecord::BYTES)
+                .ok_or_else(corrupt)?
+                .try_into()
+                .map_err(|_| corrupt())?;
             let r = TraceRecord::from_bytes(&raw);
             if r.area.0 as usize >= layout.areas().len() {
                 return Err(corrupt());
@@ -105,12 +148,7 @@ impl TraceImage {
         for r in &self.records {
             counts[r.area.0 as usize] += 1;
         }
-        self.layout
-            .areas()
-            .iter()
-            .cloned()
-            .zip(counts)
-            .collect()
+        self.layout.areas().iter().cloned().zip(counts).collect()
     }
 }
 
@@ -138,13 +176,13 @@ mod tests {
         let kind = WorkloadKind::GapbsPr;
         let img = TraceImage::new(kind.layout(), kind.stream(5000, 11).collect());
         let bytes = img.to_bytes();
-        let back = TraceImage::from_bytes(bytes).unwrap();
+        let back = TraceImage::from_bytes(&bytes).unwrap();
         assert_eq!(back, img);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let err = TraceImage::from_bytes(Bytes::from_static(&[0u8; 32])).unwrap_err();
+        let err = TraceImage::from_bytes(&[0u8; 32]).unwrap_err();
         assert_eq!(err, KindleError::Corrupted("trace image"));
     }
 
@@ -153,8 +191,7 @@ mod tests {
         let kind = WorkloadKind::YcsbMem;
         let img = TraceImage::new(kind.layout(), kind.stream(100, 1).collect());
         let bytes = img.to_bytes();
-        let cut = bytes.slice(0..bytes.len() - 5);
-        assert!(TraceImage::from_bytes(cut).is_err());
+        assert!(TraceImage::from_bytes(&bytes[..bytes.len() - 5]).is_err());
     }
 
     #[test]

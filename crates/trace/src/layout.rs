@@ -4,14 +4,13 @@
 //! every heap/stack area the application touches is named here, and the
 //! image generator attributes each traced access to one area.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::{VirtAddr, PAGE_SIZE};
 
 use crate::record::AreaId;
 
 /// What kind of area this is in the original process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AreaKind {
     /// Heap allocation (malloc arena, mmap'd data).
     Heap,
@@ -20,7 +19,8 @@ pub enum AreaKind {
 }
 
 /// One named memory area.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Area {
     /// Table index.
     pub id: AreaId,
@@ -42,7 +42,8 @@ impl Area {
 }
 
 /// The ordered area table of a trace.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryLayout {
     areas: Vec<Area>,
 }

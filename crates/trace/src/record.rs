@@ -1,18 +1,16 @@
 //! The trace record: `(period, offset, operation, size, area)`.
 
-use serde::{Deserialize, Serialize};
-
 use kindle_types::AccessKind;
 
 /// Index into the trace's area table.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AreaId(pub u16);
 
 /// One memory operation of the traced application, exactly the tuple the
 /// paper's image generator emits.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceRecord {
     /// Time of the access in the original execution (ns from start).
     pub period: u64,

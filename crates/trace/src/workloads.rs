@@ -17,9 +17,7 @@
 //! * **Ycsb_mem**: Zipfian key popularity over a 1 KiB-record store with a
 //!   drifting hot band — counts fall steeply with threshold.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use kindle_types::rng::Rng64;
 
 use kindle_types::{AccessKind, PAGE_SIZE};
 
@@ -31,7 +29,8 @@ use crate::zipf::Zipf;
 const PERIOD_GAP_NS: u64 = 30;
 
 /// Which benchmark to generate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum WorkloadKind {
     /// GAP benchmark suite PageRank.
     GapbsPr,
@@ -121,7 +120,8 @@ impl std::str::FromStr for WorkloadKind {
 }
 
 /// A Table II row.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadSpec {
     /// Benchmark name as printed in the paper.
     pub name: &'static str,
@@ -139,7 +139,7 @@ pub struct OpStream {
     kind: WorkloadKind,
     i: u64,
     ops: u64,
-    rng: StdRng,
+    rng: Rng64,
     /// Hot-set sampler (scores / dist / kv records).
     hot: Zipf,
     /// Secondary sampler (edge pages / adjacency pages).
@@ -168,7 +168,7 @@ impl OpStream {
                 (Zipf::new(192, 0.4, seed ^ 0x5151), Zipf::new(131_072, 0.0, seed ^ 0xa3a3))
             }
         };
-        OpStream { kind, i: 0, ops, rng: StdRng::seed_from_u64(seed), hot, wide, cursor: 0, band: 0 }
+        OpStream { kind, i: 0, ops, rng: Rng64::new(seed), hot, wide, cursor: 0, band: 0 }
     }
 
     /// Remaining records.
@@ -182,35 +182,35 @@ impl OpStream {
 
     fn next_gapbs(&mut self) -> TraceRecord {
         let p = PAGE_SIZE as u64;
-        let roll: u32 = self.rng.gen_range(0..1000);
+        let roll = self.rng.gen_below(1000);
         if roll < 520 {
             // Edge read over the big array (near-uniform: frontier sweeps).
             let page = self.wide.sample() as u64;
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Read, 8, 1)
         } else if roll < 740 {
             // Hot score read (high-degree vertices).
             let page = self.hot.sample() as u64;
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Read, 8, 0)
         } else if roll < 743 {
             // Cold score read over the whole score array.
-            let page = self.rng.gen_range(0..512u64);
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let page = self.rng.gen_below(512);
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Read, 8, 0)
         } else if roll < 763 {
             // Stack read.
-            let off = self.rng.gen_range(0..16 * p / 8) * 8;
+            let off = self.rng.gen_below(16 * p / 8) * 8;
             self.rec(off, AccessKind::Read, 8, 2)
         } else if roll < 765 {
             // Cold score update.
-            let page = self.rng.gen_range(0..512u64);
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let page = self.rng.gen_below(512);
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Write, 8, 0)
         } else {
             // Hot score update.
             let page = self.hot.sample() as u64;
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Write, 8, 0)
         }
     }
@@ -221,21 +221,21 @@ impl OpStream {
         // ~300k ops; its pages are warm for a few migration intervals,
         // driving the heavy Th-5 migration traffic the paper reports.
         let frontier_base = (self.i / 300_000) * 2048 % 65_536;
-        let roll: u32 = self.rng.gen_range(0..100);
+        let roll = self.rng.gen_below(100);
         if roll < 18 {
             // Frontier-adjacent read (warm rotating band of 2048 pages).
-            let page = frontier_base + self.rng.gen_range(0..2048u64);
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let page = frontier_base + self.rng.gen_below(2048);
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Read, 8, 1)
         } else if roll < 40 {
             // Cold adjacency read across the whole array.
             let page = self.wide.sample() as u64;
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Read, 8, 1)
         } else if roll < 62 {
             // Hot distance read.
             let page = self.hot.sample() as u64;
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Read, 8, 0)
         } else if roll < 68 {
             // Frontier sequential scan read.
@@ -244,7 +244,7 @@ impl OpStream {
         } else if roll < 94 {
             // Distance relaxation write (26%).
             let page = self.hot.sample() as u64;
-            let off = page * p + self.rng.gen_range(0..512u64) * 8;
+            let off = page * p + self.rng.gen_below(512) * 8;
             self.rec(off, AccessKind::Write, 8, 0)
         } else {
             // Frontier append write (6%).
@@ -261,39 +261,32 @@ impl OpStream {
         //   warm band: 1024 pages drifting faster (clears Th-5 only);
         //   cold tail: everything else (thrashes the LLC, never migrates).
         if self.i % 500_000 == 0 {
-            self.band = self.rng.gen_range(0..524_288u64);
+            self.band = self.rng.gen_below(524_288);
         }
         let mid_base = (self.i / 1_000_000) * 384 % 524_288;
-        let roll: u32 = self.rng.gen_range(0..1000);
+        let roll = self.rng.gen_below(1000);
         let record = if roll < 250 {
             // Ultra-hot tier (zipf over 1024 hottest records).
-            self.hot.sample() as u64 * 4 + self.rng.gen_range(0..4u64)
+            self.hot.sample() as u64 * 4 + self.rng.gen_below(4)
         } else if roll < 280 {
             // Mid tier: 384 records (96 pages), drifting slowly.
-            mid_base + self.rng.gen_range(0..384u64)
+            mid_base + self.rng.gen_below(384)
         } else if roll < 480 {
             // Warm drifting band: 4096 records (1024 pages).
-            (self.band + self.rng.gen_range(0..4096u64)) % 524_288
+            (self.band + self.rng.gen_below(4096)) % 524_288
         } else if roll < 990 {
             // Cold uniform scan tail over the whole store.
-            self.wide.sample() as u64 * 4 + self.rng.gen_range(0..4u64)
+            self.wide.sample() as u64 * 4 + self.rng.gen_below(4)
         } else {
             // Stack activity (1%).
-            let soff = self.rng.gen_range(0..16 * PAGE_SIZE as u64 / 8) * 8;
-            let op = if self.rng.gen_range(0..100u32) < 71 {
-                AccessKind::Read
-            } else {
-                AccessKind::Write
-            };
+            let soff = self.rng.gen_below(16 * PAGE_SIZE as u64 / 8) * 8;
+            let op =
+                if self.rng.gen_below(100) < 71 { AccessKind::Read } else { AccessKind::Write };
             return self.rec(soff, op, 8, 1);
         };
         // The replayed access covers 128 B of the record (two lines).
-        let off = (record % 524_288) * 1024 + self.rng.gen_range(0..8u64) * 128;
-        let op = if self.rng.gen_range(0..100u32) < 71 {
-            AccessKind::Read
-        } else {
-            AccessKind::Write
-        };
+        let off = (record % 524_288) * 1024 + self.rng.gen_below(8) * 128;
+        let op = if self.rng.gen_below(100) < 71 { AccessKind::Read } else { AccessKind::Write };
         self.rec(off, op, 128, 0)
     }
 }
@@ -327,10 +320,7 @@ mod tests {
     use super::*;
 
     fn read_fraction(kind: WorkloadKind, n: u64) -> f64 {
-        let reads = kind
-            .stream(n, 1)
-            .filter(|r| r.op == AccessKind::Read)
-            .count();
+        let reads = kind.stream(n, 1).filter(|r| r.op == AccessKind::Read).count();
         reads as f64 / n as f64
     }
 

@@ -4,14 +4,13 @@
 //! and bit-for-bit reproducible across runs for a fixed seed — which the
 //! whole evaluation pipeline depends on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kindle_types::rng::Rng64;
 
 /// Zipf-distributed index sampler.
 #[derive(Clone, Debug)]
 pub struct Zipf {
     cdf: Vec<f64>,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl Zipf {
@@ -33,7 +32,7 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf { cdf, rng: StdRng::seed_from_u64(seed) }
+        Zipf { cdf, rng: Rng64::new(seed) }
     }
 
     /// Support size.
@@ -43,7 +42,7 @@ impl Zipf {
 
     /// Draws one rank in `0..n` (0 is the hottest).
     pub fn sample(&mut self) -> usize {
-        let u: f64 = self.rng.gen();
+        let u = self.rng.next_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }

@@ -1,3 +1,6 @@
+//! Property tests — need a vendored `proptest`; enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests for the preparation component.
 
 use proptest::prelude::*;

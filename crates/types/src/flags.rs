@@ -2,10 +2,10 @@
 
 use core::fmt;
 use core::ops::{BitOr, BitOrAssign};
-use serde::{Deserialize, Serialize};
 
 /// Which memory technology backs a page: volatile DRAM or non-volatile NVM.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemKind {
     /// Volatile DRAM (fast, loses contents on power failure).
     Dram,
@@ -33,7 +33,8 @@ impl fmt::Display for MemKind {
 }
 
 /// Whether a memory operation reads or writes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -59,7 +60,8 @@ impl fmt::Display for AccessKind {
 }
 
 /// Page protection bits requested through `mmap`/`mprotect`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Prot(u8);
 
 impl Prot {
@@ -117,7 +119,8 @@ impl BitOrAssign for Prot {
 /// assert!(f.contains(MapFlags::NVM));
 /// assert!(!f.contains(MapFlags::FIXED));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MapFlags(u32);
 
 impl MapFlags {

@@ -21,9 +21,11 @@ pub mod error;
 pub mod flags;
 pub mod physmem;
 pub mod pte;
+pub mod rng;
+pub mod sanitize;
 pub mod time;
 
-pub use addr::{PhysAddr, Pfn, VirtAddr, Vpn};
+pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
 pub use error::{KindleError, Result};
 pub use flags::{AccessKind, MapFlags, MemKind, Prot};
 pub use physmem::PhysMem;

@@ -7,6 +7,7 @@
 //! hierarchy and memory controllers, so a page table hosted in NVM really
 //! pays NVM latency — exactly the effect the paper measures.
 
+use crate::sanitize::{self, Event};
 use crate::{AccessKind, Cycles, PhysAddr, CACHE_LINE, LINES_PER_PAGE, PAGE_SIZE};
 
 /// Access to simulated physical memory with time accounting.
@@ -162,6 +163,10 @@ impl PhysMem for FlatMem {
 
     fn write_u64(&mut self, pa: PhysAddr, value: u64) {
         self.touch(pa, AccessKind::Write);
+        sanitize::emit(|| Event::NvmWrite {
+            line: pa.line_base().as_u64(),
+            cycle: self.now.as_u64(),
+        });
         let i = pa.as_usize();
         self.data[i..i + 8].copy_from_slice(&value.to_le_bytes());
     }
@@ -180,12 +185,22 @@ impl PhysMem for FlatMem {
         for _ in 0..lines {
             self.touch(pa, AccessKind::Write);
         }
+        if sanitize::installed() {
+            let first = pa.line_base().as_u64();
+            for n in 0..lines as u64 {
+                sanitize::emit(|| Event::NvmWrite {
+                    line: first + n * CACHE_LINE as u64,
+                    cycle: self.now.as_u64(),
+                });
+            }
+        }
         let i = pa.as_usize();
         self.data[i..i + data.len()].copy_from_slice(data);
     }
 
-    fn clwb(&mut self, _pa: PhysAddr) {
+    fn clwb(&mut self, pa: PhysAddr) {
         self.now += Cycles::new(1);
+        sanitize::emit(|| Event::NvmCommit { line: pa.line_base().as_u64() });
     }
 
     fn sfence(&mut self) {

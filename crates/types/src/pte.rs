@@ -19,7 +19,6 @@
 //! PTEs and a separate lookup table, so the count fits in the ignored bits.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 use crate::{MemKind, Pfn, PhysAddr, VirtAddr};
 
@@ -31,7 +30,8 @@ pub fn pte_addr(table: Pfn, va: VirtAddr, level: u8) -> PhysAddr {
 }
 
 /// A 64-bit page-table entry.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pte(u64);
 
 impl Pte {

@@ -1,0 +1,158 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The simulator must be bit-for-bit reproducible for a fixed seed and must
+//! build with no external dependencies, so instead of `rand` the workload
+//! generators use this xoshiro256** generator seeded through SplitMix64
+//! (the seeding procedure recommended by the xoshiro authors). It is not
+//! cryptographic and does not need to be: it only drives synthetic traces.
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+///
+/// # Examples
+///
+/// ```
+/// use kindle_types::rng::Rng64;
+///
+/// let mut a = Rng64::new(7);
+/// let mut b = Rng64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.gen_below(10) < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `0..n` via the widening-multiply reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below range must be non-empty");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform value in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range must have lo < hi");
+        lo + self.gen_below(hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs: Vec<u64> = {
+            let mut r = Rng64::new(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let ys: Vec<u64> = {
+            let mut r = Rng64::new(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let zs: Vec<u64> = {
+            let mut r = Rng64::new(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn known_splitmix_seeding() {
+        // First SplitMix64 output for state 0 is a published constant;
+        // pin it so the seeding procedure can never silently change.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng64::new(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_below_in_range_and_covers() {
+        let mut r = Rng64::new(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = r.gen_below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1_000 {
+            let v = r.gen_range(100, 110);
+            assert!((100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = Rng64::new(11);
+        let mut counts = [0u32; 16];
+        for _ in 0..160_000 {
+            counts[r.gen_below(16) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!((*max as f64) / (*min as f64) < 1.1, "uniformity off: min {min}, max {max}");
+    }
+}

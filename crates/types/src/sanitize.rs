@@ -1,0 +1,581 @@
+//! The cross-layer dynamic invariant sanitizer.
+//!
+//! Simulation components (memory controller, frame allocators, page tables,
+//! redo log, checkpoint slots) report semantically interesting operations as
+//! [`Event`]s through [`emit`]. By default no sanitizer is installed and an
+//! emit is a single thread-local check — simulation output is identical with
+//! or without the wiring, and no simulated time is ever charged.
+//!
+//! Tests (or debugging sessions) install a [`Sanitizer`] — typically the
+//! PMTest-style [`InvariantChecker`] — which shadows the event stream and
+//! records [`Violation`]s:
+//!
+//! * a checkpoint published while prior NVM stores in its slot are still
+//!   undrained (not yet `clwb`-committed);
+//! * double free or cross-pool free of a physical frame;
+//! * a PTE left pointing at (or installed over) a freed frame;
+//! * redo-log records applied out of append order.
+//!
+//! The sanitizer is thread-local so parallel test threads cannot observe
+//! each other's events.
+//!
+//! # Examples
+//!
+//! ```
+//! use kindle_types::sanitize::{self, Event, InvariantChecker};
+//!
+//! let checker = InvariantChecker::new();
+//! let log = checker.log();
+//! let _guard = sanitize::install(Box::new(checker));
+//! sanitize::emit(|| Event::FrameAlloc { pool: "nvm", pfn: 7 });
+//! sanitize::emit(|| Event::FrameFree { pool: "nvm", pfn: 7 });
+//! sanitize::emit(|| Event::FrameFree { pool: "nvm", pfn: 7 }); // double free
+//! assert_eq!(log.snapshot().len(), 1);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// One reported operation. Addresses are raw `u64`s so that emitting a
+/// event never depends on higher-level crates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A store dirtied the NVM cache line at `line` (line-base address).
+    NvmWrite {
+        /// Line-base physical address.
+        line: u64,
+        /// Simulated time of the store.
+        cycle: u64,
+    },
+    /// The NVM line at `line` became durable (clwb / eviction write-back).
+    NvmCommit {
+        /// Line-base physical address.
+        line: u64,
+    },
+    /// A full NVM write-buffer drain barrier completed.
+    NvmDrain {
+        /// Simulated time of the barrier.
+        cycle: u64,
+    },
+    /// Power failure: volatile contents lost, un-committed NVM reverted.
+    Crash,
+    /// A checkpoint slot in `[lo, hi)` was published as consistent.
+    CheckpointPublish {
+        /// Slot base physical address.
+        lo: u64,
+        /// Slot end physical address (exclusive).
+        hi: u64,
+        /// Simulated time of the publish.
+        cycle: u64,
+    },
+    /// A physical frame was handed out by the `pool` allocator.
+    FrameAlloc {
+        /// Pool label ("dram" / "nvm").
+        pool: &'static str,
+        /// The frame number.
+        pfn: u64,
+    },
+    /// A physical frame was returned to the `pool` allocator.
+    FrameFree {
+        /// Pool label ("dram" / "nvm").
+        pool: &'static str,
+        /// The frame number.
+        pfn: u64,
+    },
+    /// A leaf PTE mapping `vpn → pfn` was installed.
+    PteInstall {
+        /// Target frame number.
+        pfn: u64,
+        /// Mapped virtual page number.
+        vpn: u64,
+    },
+    /// The leaf PTE mapping `vpn → pfn` was cleared.
+    PteClear {
+        /// Previously mapped frame number.
+        pfn: u64,
+        /// Unmapped virtual page number.
+        vpn: u64,
+    },
+    /// Redo-log record `seq` (0-based slot index) was appended.
+    LogAppend {
+        /// Append index within the current log generation.
+        seq: u64,
+    },
+    /// Redo-log record `seq` was applied (read back for replay).
+    LogApply {
+        /// Index of the applied record.
+        seq: u64,
+    },
+    /// The redo log was durably truncated.
+    LogTruncate,
+}
+
+/// An observer of the simulation event stream.
+pub trait Sanitizer {
+    /// Called for every emitted event, in program order.
+    fn on_event(&mut self, ev: &Event);
+}
+
+/// The no-op sanitizer: observes nothing, changes nothing. Installing it is
+/// equivalent to installing nothing and exists so equivalence tests can
+/// exercise the full dispatch path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NopSanitizer;
+
+impl Sanitizer for NopSanitizer {
+    #[inline]
+    fn on_event(&mut self, _ev: &Event) {}
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Box<dyn Sanitizer>>> = const { RefCell::new(None) };
+}
+
+/// Uninstalls the thread's sanitizer when dropped (panic-safe, so seeded
+/// defects that also panic cannot leak a checker into the next test).
+#[derive(Debug)]
+pub struct Installed {
+    _priv: (),
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Installs `sanitizer` for the current thread, replacing any previous one.
+/// The returned guard uninstalls it on drop.
+pub fn install(sanitizer: Box<dyn Sanitizer>) -> Installed {
+    CURRENT.with(|c| *c.borrow_mut() = Some(sanitizer));
+    Installed { _priv: () }
+}
+
+/// True if a sanitizer is installed on this thread.
+pub fn installed() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Reports an event to the installed sanitizer, if any. The closure is only
+/// evaluated when a sanitizer is present, so emission sites stay free when
+/// sanitizing is off. Re-entrant emits (from inside a sanitizer) are
+/// silently dropped.
+#[inline]
+pub fn emit(make: impl FnOnce() -> Event) {
+    CURRENT.with(|c| {
+        if let Ok(mut slot) = c.try_borrow_mut() {
+            if let Some(s) = slot.as_mut() {
+                let ev = make();
+                s.on_event(&ev);
+            }
+        }
+    });
+}
+
+/// A confirmed invariant violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A checkpoint was published while an NVM line inside its slot was
+    /// written but never committed (missing clwb / drain).
+    UndrainedCheckpoint {
+        /// The still-dirty line.
+        line: u64,
+        /// When the line was written.
+        written_at: u64,
+        /// When the slot was published.
+        published_at: u64,
+    },
+    /// A frame was freed while not allocated (double free, or free of a
+    /// never-allocated frame).
+    DoubleFree {
+        /// Pool that performed the free.
+        pool: &'static str,
+        /// The frame.
+        pfn: u64,
+    },
+    /// A frame allocated by one pool was freed through another.
+    CrossPoolFree {
+        /// Pool that allocated the frame.
+        alloc_pool: &'static str,
+        /// Pool that freed it.
+        free_pool: &'static str,
+        /// The frame.
+        pfn: u64,
+    },
+    /// A frame was freed while a leaf PTE still mapped it.
+    DanglingPte {
+        /// The freed frame.
+        pfn: u64,
+        /// One virtual page still mapping it.
+        vpn: u64,
+    },
+    /// A leaf PTE was installed over a frame already freed.
+    MapOfFreeFrame {
+        /// The freed frame.
+        pfn: u64,
+        /// The virtual page mapped onto it.
+        vpn: u64,
+    },
+    /// A redo-log record was applied out of append order.
+    LogOutOfOrder {
+        /// Expected next apply index.
+        expected: u64,
+        /// Observed apply index.
+        got: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Violation::UndrainedCheckpoint { line, written_at, published_at } => write!(
+                f,
+                "checkpoint published at cycle {published_at} with undrained NVM line \
+                 {line:#x} (written at cycle {written_at})"
+            ),
+            Violation::DoubleFree { pool, pfn } => {
+                write!(f, "double free of frame {pfn:#x} in pool {pool}")
+            }
+            Violation::CrossPoolFree { alloc_pool, free_pool, pfn } => {
+                write!(f, "frame {pfn:#x} allocated from {alloc_pool} freed through {free_pool}")
+            }
+            Violation::DanglingPte { pfn, vpn } => {
+                write!(f, "frame {pfn:#x} freed while still mapped by virtual page {vpn:#x}")
+            }
+            Violation::MapOfFreeFrame { pfn, vpn } => {
+                write!(f, "virtual page {vpn:#x} mapped onto freed frame {pfn:#x}")
+            }
+            Violation::LogOutOfOrder { expected, got } => {
+                write!(f, "redo-log record {got} applied out of order (expected {expected})")
+            }
+        }
+    }
+}
+
+/// Shared handle onto a checker's violation list. Clone it before moving
+/// the checker into [`install`]; the handle observes violations recorded
+/// afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationLog(Rc<RefCell<Vec<Violation>>>);
+
+impl ViolationLog {
+    /// Copies out the violations recorded so far.
+    pub fn snapshot(&self) -> Vec<Violation> {
+        self.0.borrow().clone()
+    }
+
+    /// Removes and returns all recorded violations.
+    pub fn take(&self) -> Vec<Violation> {
+        std::mem::take(&mut *self.0.borrow_mut())
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// True if any recorded violation satisfies `pred`.
+    pub fn any(&self, pred: impl Fn(&Violation) -> bool) -> bool {
+        self.0.borrow().iter().any(|v| pred(v))
+    }
+
+    fn push(&self, v: Violation) {
+        self.0.borrow_mut().push(v);
+    }
+}
+
+/// The PMTest-style reference checker. See the module docs for the
+/// invariants it enforces.
+///
+/// Frames it has never seen allocated are ignored (a run may begin, or
+/// recover from a crash, with live frames whose allocation predates the
+/// checker), so installing it mid-run produces no false positives.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    log: ViolationLog,
+    /// Dirty (written, not yet committed) NVM lines → write cycle.
+    pending: BTreeMap<u64, u64>,
+    /// Live frames → owning pool.
+    live: BTreeMap<u64, &'static str>,
+    /// Frames freed and not since reallocated.
+    freed: BTreeSet<u64>,
+    /// Frame → virtual pages currently mapping it.
+    ptes: BTreeMap<u64, BTreeSet<u64>>,
+    /// Next expected redo-log apply index.
+    next_apply: u64,
+}
+
+impl InvariantChecker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        InvariantChecker::default()
+    }
+
+    /// Handle onto the violation list (clone-able, survives `install`).
+    pub fn log(&self) -> ViolationLog {
+        self.log.clone()
+    }
+
+    fn reset_volatile(&mut self) {
+        self.pending.clear();
+        self.live.clear();
+        self.freed.clear();
+        self.ptes.clear();
+        self.next_apply = 0;
+    }
+}
+
+impl Sanitizer for InvariantChecker {
+    fn on_event(&mut self, ev: &Event) {
+        match *ev {
+            Event::NvmWrite { line, cycle } => {
+                self.pending.entry(line).or_insert(cycle);
+            }
+            Event::NvmCommit { line } => {
+                self.pending.remove(&line);
+            }
+            Event::NvmDrain { .. } => {
+                self.pending.clear();
+            }
+            Event::Crash => {
+                // Volatile state is gone and the kernel restarts; tracked
+                // identities no longer apply.
+                self.reset_volatile();
+            }
+            Event::CheckpointPublish { lo, hi, cycle } => {
+                for (&line, &written_at) in self.pending.range(lo..hi) {
+                    self.log.push(Violation::UndrainedCheckpoint {
+                        line,
+                        written_at,
+                        published_at: cycle,
+                    });
+                }
+            }
+            Event::FrameAlloc { pool, pfn } => {
+                self.freed.remove(&pfn);
+                self.live.insert(pfn, pool);
+            }
+            Event::FrameFree { pool, pfn } => {
+                match self.live.remove(&pfn) {
+                    Some(alloc_pool) if alloc_pool != pool => {
+                        self.log.push(Violation::CrossPoolFree {
+                            alloc_pool,
+                            free_pool: pool,
+                            pfn,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        // Only flag frames whose lifecycle we have seen;
+                        // an unknown frame may predate the checker.
+                        if self.freed.contains(&pfn) {
+                            self.log.push(Violation::DoubleFree { pool, pfn });
+                        }
+                    }
+                }
+                self.freed.insert(pfn);
+                if let Some(vpns) = self.ptes.get(&pfn) {
+                    if let Some(&vpn) = vpns.iter().next() {
+                        self.log.push(Violation::DanglingPte { pfn, vpn });
+                    }
+                }
+            }
+            Event::PteInstall { pfn, vpn } => {
+                if self.freed.contains(&pfn) {
+                    self.log.push(Violation::MapOfFreeFrame { pfn, vpn });
+                }
+                self.ptes.entry(pfn).or_default().insert(vpn);
+            }
+            Event::PteClear { pfn, vpn } => {
+                if let Some(vpns) = self.ptes.get_mut(&pfn) {
+                    vpns.remove(&vpn);
+                    if vpns.is_empty() {
+                        self.ptes.remove(&pfn);
+                    }
+                }
+            }
+            Event::LogAppend { .. } => {}
+            Event::LogApply { seq } => {
+                if seq == 0 {
+                    // Start of a new apply pass.
+                    self.next_apply = 1;
+                } else if seq == self.next_apply {
+                    self.next_apply += 1;
+                } else {
+                    self.log.push(Violation::LogOutOfOrder { expected: self.next_apply, got: seq });
+                    self.next_apply = seq + 1;
+                }
+            }
+            Event::LogTruncate => {
+                self.next_apply = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_checker(f: impl FnOnce()) -> Vec<Violation> {
+        let checker = InvariantChecker::new();
+        let log = checker.log();
+        let _guard = install(Box::new(checker));
+        f();
+        log.take()
+    }
+
+    #[test]
+    fn emit_without_sanitizer_is_noop() {
+        assert!(!installed());
+        emit(|| Event::Crash);
+    }
+
+    #[test]
+    fn guard_uninstalls() {
+        {
+            let _g = install(Box::new(NopSanitizer));
+            assert!(installed());
+        }
+        assert!(!installed());
+    }
+
+    #[test]
+    fn undrained_publish_flagged_committed_not() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::NvmWrite { line: 0x2000, cycle: 6 });
+            emit(|| Event::NvmCommit { line: 0x1000 });
+            emit(|| Event::CheckpointPublish { lo: 0x1000, hi: 0x3000, cycle: 9 });
+        });
+        assert_eq!(
+            v,
+            vec![Violation::UndrainedCheckpoint { line: 0x2000, written_at: 6, published_at: 9 }]
+        );
+    }
+
+    #[test]
+    fn publish_outside_range_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x9000, cycle: 1 });
+            emit(|| Event::CheckpointPublish { lo: 0x1000, hi: 0x3000, cycle: 2 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn drain_clears_pending() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 1 });
+            emit(|| Event::NvmDrain { cycle: 2 });
+            emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, cycle: 3 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn double_free_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 42 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 42 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 42 });
+        });
+        assert_eq!(v, vec![Violation::DoubleFree { pool: "nvm", pfn: 42 }]);
+    }
+
+    #[test]
+    fn unknown_frame_free_ignored() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameFree { pool: "dram", pfn: 7 });
+        });
+        assert!(v.is_empty(), "frames predating the checker must not flag");
+    }
+
+    #[test]
+    fn cross_pool_free_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "dram", pfn: 3 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 3 });
+        });
+        assert_eq!(
+            v,
+            vec![Violation::CrossPoolFree { alloc_pool: "dram", free_pool: "nvm", pfn: 3 }]
+        );
+    }
+
+    #[test]
+    fn dangling_pte_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 10 });
+            emit(|| Event::PteInstall { pfn: 10, vpn: 0x400 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 10 });
+        });
+        assert_eq!(v, vec![Violation::DanglingPte { pfn: 10, vpn: 0x400 }]);
+    }
+
+    #[test]
+    fn clean_unmap_then_free_ok() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 10 });
+            emit(|| Event::PteInstall { pfn: 10, vpn: 0x400 });
+            emit(|| Event::PteClear { pfn: 10, vpn: 0x400 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 10 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn map_of_freed_frame_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 11 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 11 });
+            emit(|| Event::PteInstall { pfn: 11, vpn: 0x500 });
+        });
+        assert_eq!(v, vec![Violation::MapOfFreeFrame { pfn: 11, vpn: 0x500 }]);
+    }
+
+    #[test]
+    fn log_apply_order_enforced() {
+        let v = with_checker(|| {
+            emit(|| Event::LogApply { seq: 0 });
+            emit(|| Event::LogApply { seq: 1 });
+            emit(|| Event::LogApply { seq: 3 });
+        });
+        assert_eq!(v, vec![Violation::LogOutOfOrder { expected: 2, got: 3 }]);
+    }
+
+    #[test]
+    fn log_apply_restart_after_truncate_ok() {
+        let v = with_checker(|| {
+            emit(|| Event::LogApply { seq: 0 });
+            emit(|| Event::LogApply { seq: 1 });
+            emit(|| Event::LogTruncate);
+            emit(|| Event::LogApply { seq: 0 });
+            emit(|| Event::LogApply { seq: 1 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn crash_resets_tracking() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x40, cycle: 1 });
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 9 });
+            emit(|| Event::PteInstall { pfn: 9, vpn: 1 });
+            emit(|| Event::Crash);
+            emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, cycle: 2 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 9 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::DoubleFree { pool: "nvm", pfn: 0x42 };
+        assert!(v.to_string().contains("double free"));
+        let v = Violation::UndrainedCheckpoint { line: 0x40, written_at: 1, published_at: 2 };
+        assert!(v.to_string().contains("undrained"));
+    }
+}

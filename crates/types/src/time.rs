@@ -8,7 +8,6 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// Simulated core frequency in GHz (cycles per nanosecond).
 pub const CPU_FREQ_GHZ: u64 = 3;
@@ -24,9 +23,8 @@ pub const CPU_FREQ_GHZ: u64 = 3;
 /// assert_eq!(lat.as_u64(), 450);
 /// assert_eq!(lat.as_nanos(), 150);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cycles(u64);
 
 impl Cycles {

@@ -18,8 +18,13 @@ fn main() {
     }
     for &(pid, va, pages) in &procs {
         for i in 0..pages {
-            let pte = m.kernel.translate(&mut m.hw, pid, va + i*PAGE_SIZE as u64).unwrap().unwrap();
-            println!("pre pid={pid} page{i} pfn={} alloc={}", pte.pfn(), m.kernel.pools.nvm.is_allocated(pte.pfn()));
+            let pte =
+                m.kernel.translate(&mut m.hw, pid, va + i * PAGE_SIZE as u64).unwrap().unwrap();
+            println!(
+                "pre pid={pid} page{i} pfn={} alloc={}",
+                pte.pfn(),
+                m.kernel.pools.nvm.is_allocated(pte.pfn())
+            );
         }
     }
     m.checkpoint_now().unwrap();
@@ -28,8 +33,12 @@ fn main() {
     println!("recovered {:?} remapped {}", r.recovered_pids, r.pages_remapped);
     for &(pid, va, pages) in &procs {
         for i in 0..pages {
-            match m.kernel.translate(&mut m.hw, pid, va + i*PAGE_SIZE as u64).unwrap() {
-                Some(pte) => println!("post pid={pid} page{i} pfn={} alloc={}", pte.pfn(), m.kernel.pools.nvm.is_allocated(pte.pfn())),
+            match m.kernel.translate(&mut m.hw, pid, va + i * PAGE_SIZE as u64).unwrap() {
+                Some(pte) => println!(
+                    "post pid={pid} page{i} pfn={} alloc={}",
+                    pte.pfn(),
+                    m.kernel.pools.nvm.is_allocated(pte.pfn())
+                ),
                 None => println!("post pid={pid} page{i} UNMAPPED"),
             }
         }

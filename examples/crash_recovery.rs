@@ -8,9 +8,8 @@ use kindle::prelude::*;
 
 fn demo(mode: PtMode) -> Result<()> {
     println!("== {mode:?} scheme ==");
-    let cfg = MachineConfig::table_i()
-        .with_pt_mode(mode)
-        .with_checkpointing(Cycles::from_millis(10));
+    let cfg =
+        MachineConfig::table_i().with_pt_mode(mode).with_checkpointing(Cycles::from_millis(10));
     let mut machine = Machine::new(cfg)?;
     let pid = machine.spawn_process()?;
 
@@ -35,10 +34,7 @@ fn demo(mode: PtMode) -> Result<()> {
     let report = machine.recover()?;
     println!(
         "  recovered pids={:?} remapped={} dram-dropped={} in {}",
-        report.recovered_pids,
-        report.pages_remapped,
-        report.dram_entries_dropped,
-        report.cycles
+        report.recovered_pids, report.pages_remapped, report.dram_entries_dropped, report.cycles
     );
 
     // The process is resumable: registers restored, NVM pages reachable.

@@ -28,10 +28,8 @@ fn main() -> Result<()> {
             ReplayOptions::default(),
         )?;
         // Full system: OS selection + copy charged.
-        let (os, report) = kindle.simulate(
-            MachineConfig::table_i().with_hscc(hscc, true),
-            ReplayOptions::default(),
-        )?;
+        let (os, report) = kindle
+            .simulate(MachineConfig::table_i().with_hscc(hscc, true), ReplayOptions::default())?;
         let stats = report.hscc.expect("hscc enabled");
         println!(
             "{:>9} | {:>10.3} | {:>10.3} | {:>7.3}x | {:>9} | {:>5.1} / {:>5.1}",

@@ -42,10 +42,7 @@ fn main() -> Result<()> {
     println!("4 MiB first-touch sweep:");
     println!("  NVM : {:>10.3} us", nvm_time.as_micros_f64());
     println!("  DRAM: {:>10.3} us", dram_time.as_micros_f64());
-    println!(
-        "  NVM/DRAM ratio: {:.2}x",
-        nvm_time.as_u64() as f64 / dram_time.as_u64() as f64
-    );
+    println!("  NVM/DRAM ratio: {:.2}x", nvm_time.as_u64() as f64 / dram_time.as_u64() as f64);
     println!();
     println!("machine report:\n{}", report.summary());
     Ok(())

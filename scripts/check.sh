@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The one gate: build, test, domain lint, and (when available) format
+# check. Everything runs offline — the workspace has no external
+# dependencies by design, and `kindle-check` enforces that it stays so.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test --workspace -q
+
+echo "== kindle-check (KD001-KD005) =="
+cargo run -q -p kindle-check
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== rustfmt =="
+    cargo fmt --check
+else
+    echo "== rustfmt not installed; skipping format check =="
+fi
+
+echo "all checks passed"

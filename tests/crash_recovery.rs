@@ -6,9 +6,7 @@ use kindle::prelude::*;
 use kindle::types::PAGE_SIZE;
 
 fn persistence_machine(mode: PtMode) -> Machine {
-    let cfg = MachineConfig::small()
-        .with_pt_mode(mode)
-        .with_checkpointing(Cycles::from_millis(5));
+    let cfg = MachineConfig::small().with_pt_mode(mode).with_checkpointing(Cycles::from_millis(5));
     Machine::new(cfg).expect("machine boots")
 }
 
@@ -95,10 +93,7 @@ fn dram_pages_do_not_survive_but_nvm_pages_do() {
     m.crash().unwrap();
     m.recover().unwrap();
 
-    assert!(
-        m.kernel.translate(&mut m.hw, pid, nvm).unwrap().is_some(),
-        "NVM mapping restored"
-    );
+    assert!(m.kernel.translate(&mut m.hw, pid, nvm).unwrap().is_some(), "NVM mapping restored");
     assert!(
         m.kernel.translate(&mut m.hw, pid, dram).unwrap().is_none(),
         "DRAM mapping dropped (frame contents were volatile)"
@@ -120,11 +115,7 @@ fn nvm_frames_not_reallocated_after_recovery() {
     }
     let mut old_frames: Vec<_> = (0..8u64)
         .map(|i| {
-            m.kernel
-                .translate(&mut m.hw, pid, nvm + i * PAGE_SIZE as u64)
-                .unwrap()
-                .unwrap()
-                .pfn()
+            m.kernel.translate(&mut m.hw, pid, nvm + i * PAGE_SIZE as u64).unwrap().unwrap().pfn()
         })
         .collect();
     m.checkpoint_now().unwrap();
@@ -133,9 +124,7 @@ fn nvm_frames_not_reallocated_after_recovery() {
 
     // Allocate fresh NVM pages in a second process; none may collide.
     let pid2 = m.spawn_process().unwrap();
-    let fresh = m
-        .mmap(pid2, 16 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)
-        .unwrap();
+    let fresh = m.mmap(pid2, 16 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
     for i in 0..16u64 {
         m.access(pid2, fresh + i * PAGE_SIZE as u64, AccessKind::Write).unwrap();
     }

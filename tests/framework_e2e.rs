@@ -83,10 +83,7 @@ fn hscc_migrates_and_speeds_up_hot_accesses() {
 fn max_ops_caps_replay() {
     let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, OPS, 1);
     let (run, _) = kindle
-        .simulate(
-            MachineConfig::table_i(),
-            ReplayOptions { fase: false, max_ops: Some(1000) },
-        )
+        .simulate(MachineConfig::table_i(), ReplayOptions { fase: false, max_ops: Some(1000) })
         .unwrap();
     assert_eq!(run.ops, 1000);
 }
@@ -96,7 +93,7 @@ fn materialised_image_round_trips_through_bytes() {
     use kindle::trace::{Driver, ReplayProgram, TraceImage};
     let (_, image) = Driver::new(4).trace(WorkloadKind::GapbsPr, 5_000);
     let bytes = image.to_bytes();
-    let restored = TraceImage::from_bytes(bytes).unwrap();
+    let restored = TraceImage::from_bytes(&bytes).unwrap();
     let program = ReplayProgram::from_image(restored);
     let mut machine = Machine::new(MachineConfig::table_i()).unwrap();
     let pid = machine.spawn_process().unwrap();

@@ -33,10 +33,7 @@ fn tlb_and_page_table_agree() {
         m.access(pid, va + i * PAGE_SIZE as u64, AccessKind::Write).unwrap();
     }
     let new_va = m.mremap(pid, va, 64 * PAGE_SIZE as u64, 64 * PAGE_SIZE as u64).unwrap();
-    assert!(
-        m.access(pid, va, AccessKind::Read).is_err(),
-        "old range must fault after mremap"
-    );
+    assert!(m.access(pid, va, AccessKind::Read).is_err(), "old range must fault after mremap");
     m.access(pid, new_va, AccessKind::Read).unwrap();
     let pte = m.kernel.translate(&mut m.hw, pid, new_va).unwrap().unwrap();
     assert!(pte.is_present());

@@ -34,11 +34,8 @@ fn three_processes_recover_together() {
         assert_eq!(proc.aspace.mapped_pages(), pages, "pid {pid}");
         // Distinct processes recovered onto distinct frames.
         for i in 0..pages {
-            let pte = m
-                .kernel
-                .translate(&mut m.hw, pid, va + i * PAGE_SIZE as u64)
-                .unwrap()
-                .unwrap();
+            let pte =
+                m.kernel.translate(&mut m.hw, pid, va + i * PAGE_SIZE as u64).unwrap().unwrap();
             assert!(m.kernel.pools.nvm.is_allocated(pte.pfn()));
         }
         // And they resume independently.

@@ -131,8 +131,7 @@ fn hscc_end_to_end_migration_on_machine() {
         let page = round % hot_pages;
         // Stride across lines to defeat the L1/L2 and miss in LLC often.
         let line = (round / hot_pages) % 64;
-        m.access_sized(pid, va + page * PAGE_SIZE as u64 + line * 64, 8, AccessKind::Read)
-            .unwrap();
+        m.access_sized(pid, va + page * PAGE_SIZE as u64 + line * 64, 8, AccessKind::Read).unwrap();
         // Interleave cold sweeps to evict the hot set from the LLC.
         let cold = total_pages - 1 - (round % (total_pages / 2));
         m.access(pid, va + cold * PAGE_SIZE as u64, AccessKind::Read).unwrap();
@@ -143,11 +142,7 @@ fn hscc_end_to_end_migration_on_machine() {
     // Migrated hot pages now resolve to DRAM frames.
     let mut in_dram = 0;
     for i in 0..hot_pages {
-        let pte = m
-            .kernel
-            .translate(&mut m.hw, pid, va + i * PAGE_SIZE as u64)
-            .unwrap()
-            .unwrap();
+        let pte = m.kernel.translate(&mut m.hw, pid, va + i * PAGE_SIZE as u64).unwrap().unwrap();
         if m.kernel.pools.dram.contains(pte.pfn()) {
             in_dram += 1;
         }
@@ -190,11 +185,7 @@ fn hscc_hardware_only_baseline_charges_no_os_time() {
     let os_stats = os.report().hscc.unwrap();
     let hw_stats = hw.report().hscc.unwrap();
     assert!(hw_stats.pages_migrated > 0, "baseline still migrates");
-    assert_eq!(
-        hw_stats.os_cycles(),
-        Cycles::ZERO,
-        "hardware-only baseline charges zero OS time"
-    );
+    assert_eq!(hw_stats.os_cycles(), Cycles::ZERO, "hardware-only baseline charges zero OS time");
     assert!(os_stats.os_cycles() > Cycles::ZERO);
     assert!(os.now() > hw.now(), "OS activities must cost simulated time");
 }
@@ -225,8 +216,7 @@ fn hscc_copyback_preserves_data() {
         if round % 32 == 0 {
             m.hw.caches.invalidate_all();
         }
-        m.access(pid, va + page * PAGE_SIZE as u64 + (round % 64) * 64, AccessKind::Write)
-            .unwrap();
+        m.access(pid, va + page * PAGE_SIZE as u64 + (round % 64) * 64, AccessKind::Write).unwrap();
         round += 1;
     }
     // Wherever the page lives now, the bytes must still be there.

@@ -1,0 +1,61 @@
+//! The sanitizer must be an observer, never an actor: installing the no-op
+//! sanitizer (or none) must not change a single simulated cycle, and the
+//! real invariant checker must stay silent on a correct run.
+
+use kindle::prelude::*;
+use kindle::types::sanitize::{self, InvariantChecker, NopSanitizer};
+use kindle::types::{Cycles, PAGE_SIZE};
+
+/// A deterministic workload exercising every sanitized layer: frame
+/// alloc/free, PTE install/clear, NVM writes and drains, checkpoint
+/// publish, crash, and redo-log replay during recovery.
+fn run_workload() -> (u64, String) {
+    let cfg = MachineConfig::small().with_checkpointing(Cycles::from_millis(5));
+    let mut m = Machine::new(cfg).expect("machine boots");
+    let pid = m.spawn_process().expect("spawn");
+    let nvm = m.mmap(pid, 16 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).expect("mmap nvm");
+    let dram = m.mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY).expect("mmap dram");
+    for i in 0..16u64 {
+        m.access(pid, nvm + i * PAGE_SIZE as u64, AccessKind::Write).expect("write nvm");
+    }
+    m.access(pid, dram, AccessKind::Write).expect("write dram");
+    m.checkpoint_now().expect("checkpoint");
+    for i in 0..4u64 {
+        m.access(pid, nvm + i * PAGE_SIZE as u64, AccessKind::Write).expect("rewrite nvm");
+    }
+    m.crash().expect("crash");
+    m.recover().expect("recover");
+    m.access(pid, nvm, AccessKind::Read).expect("post-recovery read");
+    m.munmap(pid, nvm, 16 * PAGE_SIZE as u64).expect("munmap");
+    (m.now().as_u64(), format!("{:?}", m.report()))
+}
+
+#[test]
+fn noop_sanitizer_changes_nothing() {
+    let (bare_now, bare_report) = run_workload();
+    let (nop_now, nop_report) = {
+        let _guard = sanitize::install(Box::new(NopSanitizer));
+        run_workload()
+    };
+    assert_eq!(bare_now, nop_now, "no-op sanitizer must not change simulated time");
+    assert_eq!(bare_report, nop_report, "no-op sanitizer must not change the report");
+}
+
+#[test]
+fn clean_run_has_no_violations() {
+    let checker = InvariantChecker::new();
+    let log = checker.log();
+    let _guard = sanitize::install(Box::new(checker));
+    let (now, _) = run_workload();
+    assert!(now > 0);
+    assert!(log.is_empty(), "correct machine run must be violation-free, got {:?}", log.snapshot());
+}
+
+#[test]
+fn checker_does_not_change_timing_either() {
+    let (bare_now, _) = run_workload();
+    let checker = InvariantChecker::new();
+    let _guard = sanitize::install(Box::new(checker));
+    let (checked_now, _) = run_workload();
+    assert_eq!(bare_now, checked_now, "checker must not perturb simulated time");
+}

@@ -5,6 +5,7 @@ use kindle_bench::*;
 use kindle_core::experiments::{run_fig4a, Fig4aParams};
 
 fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let p = if quick_mode() { Fig4aParams::quick() } else { Fig4aParams::paper() };
     println!(
         "FIGURE 4a: sequential alloc+access, checkpoint interval {} ms",
@@ -30,5 +31,5 @@ fn main() -> Result<()> {
     rule(66);
     println!("paper shape: overhead grows ~2.4x (64 MiB) -> ~74x (512 MiB);");
     println!("rebuild grows ~44x from 64 to 512 MiB.");
-    Ok(())
+    harness.finish()
 }

@@ -4,6 +4,7 @@ use kindle_bench::*;
 use kindle_core::experiments::{run_fig5, Fig5Params};
 
 fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let mut p = if quick_mode() { Fig5Params::quick() } else { Fig5Params::paper() };
     if quick_mode() {
         p.workloads = kindle_core::trace::WorkloadKind::ALL.to_vec();
@@ -38,5 +39,5 @@ fn main() -> Result<()> {
     if rows.iter().any(|r| r.interval_ms == 1) && rows.iter().any(|r| r.interval_ms == 10) {
         println!("overhead reduction 1 ms -> 10 ms: {:.2}x (paper: ~3x average)", avg(1) / avg(10));
     }
-    Ok(())
+    harness.finish()
 }

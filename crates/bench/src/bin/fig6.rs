@@ -5,6 +5,7 @@ use kindle_bench::*;
 use kindle_core::experiments::{run_fig6, Fig6Params};
 
 fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let p = if quick_mode() { Fig6Params::quick() } else { Fig6Params::paper() };
     println!("FIGURE 6 + TABLES V/VI: HSCC fetch-threshold sweep ({} ops)", p.ops);
     rule(96);
@@ -33,5 +34,5 @@ fn main() -> Result<()> {
     println!("as the threshold rises; Gapbs_pr lowest. Table V: migrations drop steeply");
     println!("with threshold (Ycsb ~13x at Th-25, ~101x at Th-50 vs Th-5). Table VI: page");
     println!("copy dominates (62-98%); selection spikes when free/clean pages run out.");
-    Ok(())
+    harness.finish()
 }

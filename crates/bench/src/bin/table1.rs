@@ -2,7 +2,8 @@
 
 use kindle_bench::*;
 
-fn main() {
+fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let cfg = MachineConfig::table_i();
     println!("TABLE I: gem5-analog Memory Configuration");
     rule(52);
@@ -29,4 +30,5 @@ fn main() {
         cfg.caches.llc.size_bytes >> 20
     );
     println!("{:<28} 3 GHz in-order x86-64", "CPU");
+    harness.finish()
 }

@@ -4,6 +4,7 @@ use kindle_bench::*;
 use kindle_core::experiments::{run_table4, Table4Params};
 
 fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let p = if quick_mode() { Table4Params::quick() } else { Table4Params::paper() };
     println!("TABLE IV: checkpoint-interval sweep ({} MiB base)", p.base_mb);
     rule(70);
@@ -31,5 +32,5 @@ fn main() -> Result<()> {
     rule(70);
     println!("paper shape: persistent flat across intervals; rebuild ~5x better");
     println!("at 100 ms vs 10 ms; at 1 s rebuild drops slightly below persistent.");
-    Ok(())
+    harness.finish()
 }

@@ -4,6 +4,82 @@
 
 pub use kindle_core::*;
 
+use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationLog};
+
+/// Fault/sanitizer CLI harness shared by the `fig*`/`table*` binaries.
+///
+/// * `--sanitize` installs the cross-layer [`InvariantChecker`] for the
+///   whole run; [`Harness::finish`] prints anything it caught and fails
+///   the binary, so CI notices an experiment that corrupts state even
+///   when its numbers still look plausible.
+/// * `--faults <seed>` arms the deterministic NVM media-fault model
+///   (wear-out, stuck cells, retry-then-retire) in every machine the
+///   experiment builds on this thread — the figures can be regenerated
+///   on degrading media without touching experiment code.
+pub struct Harness {
+    _guard: Option<Installed>,
+    log: Option<ViolationLog>,
+}
+
+impl Harness {
+    /// Parses `std::env::args()` and activates the requested machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--faults` is passed without a `u64` seed.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_list(&args)
+    }
+
+    /// Testable core of [`Harness::from_args`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--faults` is passed without a `u64` seed.
+    #[must_use]
+    pub fn from_arg_list(args: &[String]) -> Self {
+        if let Some(i) = args.iter().position(|a| a == "--faults") {
+            let seed = args
+                .get(i + 1)
+                .and_then(|s| s.parse::<u64>().ok())
+                .expect("--faults requires a u64 seed");
+            kindle_core::sim::set_thread_media_fault_seed(Some(seed));
+        }
+        let (guard, log) = if args.iter().any(|a| a == "--sanitize") {
+            let checker = InvariantChecker::new();
+            let log = checker.log();
+            (Some(sanitize::install(Box::new(checker))), Some(log))
+        } else {
+            (None, None)
+        };
+        Harness { _guard: guard, log }
+    }
+
+    /// Tears the harness down: clears the ambient fault seed and reports
+    /// sanitizer violations.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::Corrupted`] when the sanitizer recorded violations.
+    pub fn finish(self) -> Result<()> {
+        kindle_core::sim::set_thread_media_fault_seed(None);
+        if let Some(log) = &self.log {
+            let violations = log.take();
+            if !violations.is_empty() {
+                eprintln!("sanitizer: {} violation(s)", violations.len());
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                return Err(KindleError::Corrupted("sanitizer recorded violations"));
+            }
+            eprintln!("sanitizer: clean");
+        }
+        Ok(())
+    }
+}
+
 /// True if `--quick` was passed (CI-scale parameters instead of the
 /// paper-scale defaults).
 pub fn quick_mode() -> bool {
@@ -42,6 +118,39 @@ pub fn maybe_csv<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn harness_plain_is_inert() {
+        let h = Harness::from_arg_list(&args(&["bin"]));
+        assert!(!sanitize::installed());
+        h.finish().unwrap();
+    }
+
+    #[test]
+    fn harness_sanitize_installs_and_reports_clean() {
+        let h = Harness::from_arg_list(&args(&["bin", "--sanitize"]));
+        assert!(sanitize::installed());
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        drop(m);
+        h.finish().unwrap();
+        assert!(!sanitize::installed(), "finish must uninstall the checker");
+    }
+
+    #[test]
+    fn harness_faults_seed_arms_machines_until_finish() {
+        let h = Harness::from_arg_list(&args(&["bin", "--faults", "42"]));
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        assert_eq!(m.config().mem.faults.as_ref().map(|f| f.seed), Some(42));
+        h.finish().unwrap();
+        let clean = Machine::new(MachineConfig::small()).unwrap();
+        assert!(clean.config().mem.faults.is_none(), "finish must clear the ambient seed");
+    }
+
     #[test]
     fn ms_formatting() {
         assert_eq!(super::ms(12345.6), "12346");

@@ -6,6 +6,7 @@
 //! | KD002 | `HashMap`/`HashSet` in simulation crates (use `BTreeMap`/`BTreeSet`) |
 //! | KD003 | truncating `as u8/u16/u32` casts on address/cycle values outside `crates/types` |
 //! | KD004 | `unwrap()`/`expect()` in non-test `crates/os` / `crates/persist` code |
+//! | KD006 | raw `+`/`-` arithmetic inside `Cycles::new(..)` outside `crates/types` |
 //!
 //! (KD005, the external-dependency rule, lives in [`crate::manifest`].)
 //!
@@ -62,6 +63,39 @@ fn line_has_truncating_cast(line: &str) -> bool {
     TRUNCATING_CASTS.iter().any(|c| contains_word(line, c))
 }
 
+/// True if `line` ends a statement or item, so the next line starts a
+/// fresh expression and must not inherit this line's identifiers.
+fn line_terminates_expression(line: &str) -> bool {
+    let t = line.trim_end();
+    t.is_empty() || t.ends_with(';') || t.ends_with('{') || t.ends_with('}')
+}
+
+/// True if some `Cycles::new(..)` call on `line` computes its argument
+/// with raw `+`/`-` (KD006): the arithmetic then happens on bare integers,
+/// bypassing the saturation policy the `Cycles` newtype centralizes.
+fn line_wraps_arithmetic_in_cycles_new(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find("Cycles::new(") {
+        let args = &rest[pos + "Cycles::new(".len()..];
+        let mut depth = 1usize;
+        for ch in args.chars() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                '+' | '-' => return true,
+                _ => {}
+            }
+        }
+        rest = args;
+    }
+    false
+}
+
 /// Byte offset at which test code starts (first `#[cfg(test)]`), if any.
 fn test_cut(source: &str) -> Option<usize> {
     source.find("#[cfg(test)]")
@@ -81,6 +115,10 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
     let no_panic = krate.map(is_no_panic_crate).unwrap_or(false);
     let types_crate = krate == Some("types");
 
+    // The last code line seen, when it left an expression open: a
+    // truncating cast on a continuation line belongs to that expression.
+    let mut open_prev: Option<&str> = None;
+
     for (idx, line) in source.lines().enumerate() {
         let lineno = idx + 1;
         if in_tests_dir || cut_line.is_some_and(|c| idx >= c) {
@@ -89,6 +127,10 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
         let code = line.trim_start();
         if code.starts_with("//") {
             continue;
+        }
+        let carried = open_prev.take();
+        if !line_terminates_expression(line) {
+            open_prev = Some(line);
         }
 
         if sim
@@ -115,7 +157,11 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
             ));
         }
 
-        if !types_crate && line_has_truncating_cast(line) && line_mentions_addr_or_cycle(line) {
+        if !types_crate
+            && line_has_truncating_cast(line)
+            && (line_mentions_addr_or_cycle(line)
+                || carried.is_some_and(line_mentions_addr_or_cycle))
+        {
             out.push(Diagnostic::new(
                 rel_path,
                 lineno,
@@ -132,6 +178,16 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
                 "KD004",
                 "unwrap/expect in kernel or persistence code; return a KindleError \
                  so simulated faults stay recoverable",
+            ));
+        }
+
+        if !types_crate && line_wraps_arithmetic_in_cycles_new(line) {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD006",
+                "raw +/- inside Cycles::new(..); build each term as Cycles and \
+                 combine the newtypes so the saturation policy applies",
             ));
         }
     }
@@ -189,6 +245,46 @@ mod tests {
         // crates/types owns the widths.
         let d = check_source("crates/types/src/x.rs", Some("types"), "let x = pfn as u32;\n");
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn kd003_sees_through_multi_line_expressions() {
+        // The operand (`cycles`) sits on the line before the cast.
+        let src = "let short = some.cycles()\n    .min(other) as u32;\n";
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert_eq!(rules_of(&d), ["KD003"]);
+        // A comment between operand and cast does not break the carry.
+        let src = "let short = pa.as_u64()\n    // narrowed for the header\n    as u32;\n";
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert_eq!(rules_of(&d), ["KD003"]);
+        // A `;` on the previous line ends the expression: no carry.
+        let src = "let c = pa.as_u64();\nlet pid = words[1] as u32;\n";
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn kd006_flags_arithmetic_inside_cycles_new() {
+        let d = check_source("crates/os/src/x.rs", Some("os"), "Cycles::new(base + 4);\n");
+        assert_eq!(rules_of(&d), ["KD006"]);
+        let d = check_source("crates/mem/src/x.rs", Some("mem"), "Cycles::new(limit - used);\n");
+        assert_eq!(rules_of(&d), ["KD006"]);
+        // Arithmetic in nested argument expressions is still inside the call.
+        let d = check_source("crates/os/src/x.rs", Some("os"), "Cycles::new(f(a + b));\n");
+        assert_eq!(rules_of(&d), ["KD006"]);
+    }
+
+    #[test]
+    fn kd006_allows_plain_terms_and_types_crate() {
+        let d = check_source("crates/os/src/x.rs", Some("os"), "Cycles::new(self.costs.op);\n");
+        assert!(d.is_empty(), "{d:?}");
+        // Arithmetic *outside* the call composes Cycles values: fine.
+        let d =
+            check_source("crates/os/src/x.rs", Some("os"), "Cycles::new(a) + Cycles::new(b);\n");
+        assert!(d.is_empty(), "{d:?}");
+        // The newtype itself owns its arithmetic.
+        let d = check_source("crates/types/src/x.rs", Some("types"), "Cycles::new(a + b);\n");
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Deterministic crash & media-fault injection with verified recovery.
+//!
+//! This crate closes the loop between the fault *mechanisms* in the lower
+//! layers and the recovery *claims* of the persistence subsystem:
+//!
+//! * [`FaultPlan`] picks a kill point — the N-th persist-boundary event,
+//!   the N-th NVM line write, or the first event at/after a cycle — either
+//!   explicitly (for exhaustive sweeps) or seeded from the in-tree
+//!   [`kindle_types::Rng64`];
+//! * [`PowerCutTrigger`] is a [`kindle_types::sanitize::Sanitizer`] that
+//!   watches the event stream, cuts the shared
+//!   [`kindle_mem::PowerSwitch`] when the plan's point is reached, and
+//!   shields the checkers it wraps from the doomed post-cut events (none
+//!   of which will survive the crash);
+//! * [`RecoveryChecker`] verifies what the generic invariant checker
+//!   cannot: recovery-specific obligations such as publish-copy
+//!   alternation, no PTE installed into a frame that was never
+//!   re-allocated after the crash, and exactly-once log replay per pass;
+//! * [`sweep`] runs a deterministic workload once to enumerate every
+//!   persist boundary, then re-runs it once per boundary with a power cut
+//!   injected there, tearing the in-flight write buffer at the 8-byte
+//!   persist atom, recovering, and checking the recovered state against
+//!   the last durable checkpoint.
+
+pub mod plan;
+pub mod recovery_checker;
+pub mod sweep;
+pub mod trigger;
+
+pub use plan::{FaultPlan, FaultPoint};
+pub use recovery_checker::{RecoveryChecker, RecoveryViolation, RecoveryViolationLog};
+pub use sweep::{run_sweep, GoldenRun, SweepOutcome};
+pub use trigger::{BoundaryCounter, PowerCutTrigger};

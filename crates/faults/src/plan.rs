@@ -1,0 +1,75 @@
+//! Where to kill the machine.
+
+use kindle_types::Rng64;
+
+/// The kill point of one injected power cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Cut immediately after the N-th persist-boundary event (0-based).
+    /// Boundaries are redo-log appends and truncations, checkpoint
+    /// publishes and NVM write-buffer drains — the points the persistence
+    /// protocol itself considers interesting, so a sweep over all of them
+    /// covers every protocol step transition.
+    Boundary(u64),
+    /// Cut immediately after the N-th NVM line write (0-based). Finer than
+    /// boundaries: lands between protocol steps, inside copy writes.
+    NvmWrite(u64),
+    /// Cut at the first observed event at or after this cycle.
+    Cycle(u64),
+}
+
+/// A complete fault plan: currently a single kill point. Plans are plain
+/// data so sweeps can enumerate them exhaustively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The kill point.
+    pub point: FaultPoint,
+}
+
+impl FaultPlan {
+    /// Kill at the `n`-th persist-boundary event.
+    pub fn at_boundary(n: u64) -> Self {
+        FaultPlan { point: FaultPoint::Boundary(n) }
+    }
+
+    /// Kill at the `n`-th NVM line write.
+    pub fn at_nvm_write(n: u64) -> Self {
+        FaultPlan { point: FaultPoint::NvmWrite(n) }
+    }
+
+    /// Kill at the first event at or after `cycle`.
+    pub fn at_cycle(cycle: u64) -> Self {
+        FaultPlan { point: FaultPoint::Cycle(cycle) }
+    }
+
+    /// A random boundary kill point in `0..boundaries` (for fuzz-style
+    /// runs where an exhaustive sweep is too slow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundaries == 0`.
+    pub fn random(rng: &mut Rng64, boundaries: u64) -> Self {
+        FaultPlan::at_boundary(rng.gen_below(boundaries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_carry_points() {
+        assert_eq!(FaultPlan::at_boundary(3).point, FaultPoint::Boundary(3));
+        assert_eq!(FaultPlan::at_nvm_write(7).point, FaultPoint::NvmWrite(7));
+        assert_eq!(FaultPlan::at_cycle(99).point, FaultPoint::Cycle(99));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let a = FaultPlan::random(&mut Rng64::new(5), 10);
+        let b = FaultPlan::random(&mut Rng64::new(5), 10);
+        assert_eq!(a, b);
+        let FaultPoint::Boundary(n) = a.point else { panic!("random plans are boundary kills") };
+        assert!(n < 10);
+    }
+}

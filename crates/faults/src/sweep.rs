@@ -1,0 +1,287 @@
+//! The crash-sweep harness.
+//!
+//! A *sweep* proves the recovery story at every step of the persistence
+//! protocol, not just at hand-picked crash points:
+//!
+//! 1. a **golden run** executes a deterministic checkpointed workload with
+//!    a passive [`BoundaryCounter`] installed, enumerating every
+//!    persist-boundary event (log appends/truncations, checkpoint
+//!    publishes, write-buffer drains) and noting which boundary each
+//!    checkpoint publish landed on;
+//! 2. for **each** boundary `b`, a fresh machine runs the same workload
+//!    with a [`PowerCutTrigger`] armed to cut power right after boundary
+//!    `b`. The workload runs to completion "doomed" (nothing after the cut
+//!    becomes durable), then the harness crashes with write-buffer tearing
+//!    ([`kindle_sim::Machine::crash_torn`]), recovers, and checks:
+//!    - the recovered execution context matches the last checkpoint whose
+//!      publish flip had drained by the cut — no more, no less;
+//!    - the PR-1 [`InvariantChecker`] and the [`RecoveryChecker`] saw zero
+//!      violations across crash and recovery;
+//!    - the machine still works: a post-recovery mmap/touch/checkpoint
+//!      round must succeed.
+//! 3. every observable of every crash point is folded into a digest;
+//!    running the sweep twice with one seed must produce identical
+//!    digests, pinning byte-for-byte determinism of the fault machinery.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kindle_os::PtMode;
+use kindle_sim::{Machine, MachineConfig};
+use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer};
+use kindle_types::{checksum64, AccessKind, Cycles, MapFlags, Prot, Result, Rng64, PAGE_SIZE};
+
+use crate::plan::FaultPlan;
+use crate::recovery_checker::RecoveryChecker;
+use crate::trigger::{BoundaryCounter, PowerCutTrigger};
+
+/// `rip` markers distinguishing the workload's checkpointed phases.
+const PHASE_MARKERS: [u64; 3] = [0x1111, 0x2222, 0x3333];
+/// `rip` marker of the post-recovery continuation checkpoint.
+const CONTINUATION_MARKER: u64 = 0x9999;
+
+/// What the golden run learned about the workload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GoldenRun {
+    /// Total persist-boundary events (= crash points to sweep).
+    pub boundaries: u64,
+    /// Total NVM line writes.
+    pub nvm_writes: u64,
+    /// `(boundary_index, rip_marker)` of each checkpoint publish.
+    pub publishes: Vec<(u64, u64)>,
+}
+
+/// Aggregate result of one full sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Crash points exercised (one injected crash each).
+    pub boundaries: u64,
+    /// Crash points after which the workload process was recovered.
+    pub recovered: u64,
+    /// Order-sensitive digest of every observable of every crash point.
+    pub digest: u64,
+}
+
+/// Adapter letting the harness keep a handle on a sanitizer it installed.
+struct SharedSanitizer<S: Sanitizer>(Rc<RefCell<S>>);
+
+impl<S: Sanitizer> Sanitizer for SharedSanitizer<S> {
+    fn on_event(&mut self, ev: &Event) {
+        self.0.borrow_mut().on_event(ev);
+    }
+}
+
+/// The machine under test: checkpointing on, but at an interval the
+/// workload never reaches — every checkpoint is an explicit
+/// `checkpoint_now`, so the golden boundary enumeration is stable.
+fn config(mode: PtMode) -> MachineConfig {
+    MachineConfig::small().with_pt_mode(mode).with_checkpointing(Cycles::from_millis(1000))
+}
+
+/// The deterministic workload: three phases, each mapping and touching NVM
+/// pages, stamping a phase marker into `rip` and checkpointing; between
+/// checkpoints it performs map/unmap churn that only the redo log records.
+fn run_workload(m: &mut Machine, pid: u32) -> Result<()> {
+    for (phase, marker) in PHASE_MARKERS.iter().enumerate() {
+        let va = m.mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
+        for page in 0..4u64 {
+            m.access(pid, va + page * PAGE_SIZE as u64, AccessKind::Write)?;
+        }
+        m.kernel.process_mut(pid)?.regs.rip = *marker;
+        m.checkpoint_now()?;
+        if phase + 1 < PHASE_MARKERS.len() {
+            let extra = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
+            m.munmap(pid, extra, PAGE_SIZE as u64)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the workload once with a passive counter installed and returns the
+/// boundary enumeration.
+///
+/// # Errors
+///
+/// Propagates machine/workload failures.
+///
+/// # Panics
+///
+/// Panics if the workload did not publish one checkpoint per phase (the
+/// harness itself would be broken).
+pub fn golden_run(mode: PtMode) -> Result<GoldenRun> {
+    let counter = Rc::new(RefCell::new(BoundaryCounter::new()));
+    let guard = sanitize::install(Box::new(SharedSanitizer(counter.clone())));
+    let mut m = Machine::new(config(mode))?;
+    let pid = m.spawn_process()?;
+    run_workload(&mut m, pid)?;
+    drop(guard);
+    drop(m);
+
+    let c = counter.borrow();
+    assert_eq!(
+        c.publishes.len(),
+        PHASE_MARKERS.len(),
+        "one publish per workload phase, got {:?}",
+        c.publishes
+    );
+    Ok(GoldenRun {
+        boundaries: c.boundaries,
+        nvm_writes: c.nvm_writes,
+        publishes: c
+            .publishes
+            .iter()
+            .zip(PHASE_MARKERS)
+            .map(|(&(idx, _copy), marker)| (idx, marker))
+            .collect(),
+    })
+}
+
+/// The checkpoint the recovered machine must come back to when power is
+/// cut right after boundary `b`: a publish at boundary index `i` became
+/// durable at the drain immediately preceding it (index `i - 1`), so it
+/// counts for every `b >= i - 1`.
+fn expected_marker(golden: &GoldenRun, b: u64) -> Option<u64> {
+    golden.publishes.iter().rev().find(|&&(i, _)| i <= b + 1).map(|&(_, marker)| marker)
+}
+
+/// Crashes one fresh machine at boundary `b` (tearing with `rng`),
+/// recovers, verifies, and appends this crash point's observables to
+/// `digest_words`. Returns whether the workload process survived.
+fn crash_at_boundary(
+    mode: PtMode,
+    golden: &GoldenRun,
+    b: u64,
+    rng: &mut Rng64,
+    digest_words: &mut Vec<u64>,
+) -> Result<bool> {
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let rc = RecoveryChecker::new();
+    let rc_log = rc.log();
+    let trigger = PowerCutTrigger::new(FaultPlan::at_boundary(b), vec![Box::new(ic), Box::new(rc)]);
+    let switch = trigger.switch();
+    let guard = sanitize::install(Box::new(trigger));
+
+    let mut m = Machine::new(config(mode))?;
+    m.hw.mc.arm_power_cut(switch.clone());
+    let pid = m.spawn_process()?;
+    run_workload(&mut m, pid)?;
+    assert!(switch.is_cut(), "boundary {b} never reached; golden run out of sync");
+
+    m.crash_torn(rng)?;
+    let report = m.recover()?;
+
+    // The recovered context must be exactly the last durable checkpoint.
+    let recovered = match expected_marker(golden, b) {
+        Some(marker) => {
+            assert_eq!(
+                report.recovered_pids,
+                vec![pid],
+                "boundary {b}: process must recover ({report:?})"
+            );
+            let rip = m.kernel.process(pid)?.regs.rip;
+            assert_eq!(
+                rip, marker,
+                "boundary {b}: recovered rip {rip:#x}, want last durable checkpoint {marker:#x}"
+            );
+            true
+        }
+        None => {
+            assert!(
+                report.recovered_pids.is_empty(),
+                "boundary {b}: no checkpoint was durable yet, got {report:?}"
+            );
+            false
+        }
+    };
+
+    // The machine must still be fully operational after recovery.
+    let cont_pid = if recovered { pid } else { m.spawn_process()? };
+    let cva = m.mmap(cont_pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
+    m.access(cont_pid, cva, AccessKind::Write)?;
+    m.kernel.process_mut(cont_pid)?.regs.rip = CONTINUATION_MARKER;
+    m.checkpoint_now()?;
+
+    let ic_violations = ic_log.take();
+    assert!(ic_violations.is_empty(), "boundary {b}: invariant violations {ic_violations:?}");
+    let rc_violations = rc_log.take();
+    assert!(rc_violations.is_empty(), "boundary {b}: recovery violations {rc_violations:?}");
+
+    digest_words.extend([
+        b,
+        u64::from(recovered),
+        if recovered { m.kernel.process(pid)?.regs.rip } else { 0 },
+        report.log_records_replayed,
+        report.torn_log_records,
+        report.copy_fallbacks,
+        report.frames_repaired,
+        report.pages_remapped,
+        report.dram_entries_dropped,
+        m.now().as_u64(),
+    ]);
+    drop(guard);
+    Ok(recovered)
+}
+
+/// Runs the full sweep for one page-table scheme: golden enumeration, then
+/// one torn crash + verified recovery per boundary. All tearing randomness
+/// derives from `seed`, so equal seeds must yield equal
+/// [`SweepOutcome::digest`]s.
+///
+/// # Errors
+///
+/// Propagates machine/workload/recovery failures.
+///
+/// # Panics
+///
+/// Panics when a recovery check fails (wrong checkpoint recovered, checker
+/// violations, golden run out of sync).
+pub fn run_sweep(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
+    let golden = golden_run(mode)?;
+    let mut digest_words = vec![golden.boundaries, golden.nvm_writes];
+    let mut recovered = 0u64;
+    for b in 0..golden.boundaries {
+        // A fresh generator per boundary keeps crash points independent:
+        // inserting a boundary does not shift every later tear.
+        let mut rng = Rng64::new(seed ^ (b + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if crash_at_boundary(mode, &golden, b, &mut rng, &mut digest_words)? {
+            recovered += 1;
+        }
+    }
+    Ok(SweepOutcome { boundaries: golden.boundaries, recovered, digest: checksum64(&digest_words) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_run_enumerates_boundaries() {
+        let g = golden_run(PtMode::Rebuild).unwrap();
+        assert!(g.boundaries > 10, "workload too small to sweep: {g:?}");
+        assert!(g.nvm_writes > 0);
+        assert_eq!(g.publishes.len(), 3);
+        // Publishes appear in boundary order with the phase markers.
+        assert!(g.publishes.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(g.publishes[0].1, 0x1111);
+    }
+
+    #[test]
+    fn golden_run_is_deterministic() {
+        let a = golden_run(PtMode::Rebuild).unwrap();
+        let b = golden_run(PtMode::Rebuild).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_marker_uses_flip_drain_boundary() {
+        let g = GoldenRun { boundaries: 20, nvm_writes: 0, publishes: vec![(5, 0xaa), (12, 0xbb)] };
+        assert_eq!(expected_marker(&g, 3), None);
+        // The publish at index 5 drained its flip at index 4.
+        assert_eq!(expected_marker(&g, 4), Some(0xaa));
+        assert_eq!(expected_marker(&g, 5), Some(0xaa));
+        assert_eq!(expected_marker(&g, 10), Some(0xaa));
+        assert_eq!(expected_marker(&g, 11), Some(0xbb));
+        assert_eq!(expected_marker(&g, 19), Some(0xbb));
+    }
+}

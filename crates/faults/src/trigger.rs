@@ -1,0 +1,290 @@
+//! The sanitizer that pulls the plug.
+
+use kindle_mem::PowerSwitch;
+use kindle_types::sanitize::{Event, Sanitizer};
+
+use crate::plan::{FaultPlan, FaultPoint};
+
+/// True for events the persistence protocol treats as step transitions.
+pub(crate) fn is_boundary(ev: &Event) -> bool {
+    matches!(
+        ev,
+        Event::LogAppend { .. }
+            | Event::LogTruncate
+            | Event::CheckpointPublish { .. }
+            | Event::NvmDrain { .. }
+    )
+}
+
+/// The cycle stamp carried by an event, when it has one.
+fn event_cycle(ev: &Event) -> Option<u64> {
+    match *ev {
+        Event::NvmWrite { cycle, .. }
+        | Event::NvmDrain { cycle }
+        | Event::CheckpointPublish { cycle, .. } => Some(cycle),
+        _ => None,
+    }
+}
+
+/// A [`Sanitizer`] that executes a [`FaultPlan`]: it forwards every event
+/// to the checkers it wraps, and when the plan's kill point is reached it
+/// cuts the shared [`PowerSwitch`] — from that instant the armed memory
+/// controller makes nothing durable, so the simulation keeps executing
+/// doomed instructions until the harness calls `crash_torn`.
+///
+/// While dead (cut pulled, crash not yet happened) events are *not*
+/// forwarded: they describe work that will never survive, and feeding them
+/// to an invariant checker would produce phantom state. The
+/// [`Event::Crash`] itself is forwarded and re-enables passthrough for the
+/// recovery phase.
+pub struct PowerCutTrigger {
+    plan: FaultPlan,
+    switch: PowerSwitch,
+    inner: Vec<Box<dyn Sanitizer>>,
+    boundaries: u64,
+    nvm_writes: u64,
+    fired: bool,
+    dead: bool,
+    /// Set when the cut fired on an [`Event::NvmDrain`]: if the very next
+    /// event is a [`Event::CheckpointPublish`], that drain was the
+    /// publish's flip barrier — the flip reached media before the cut took
+    /// effect, so the publish *is* durable and must still be forwarded.
+    /// (A cut on the earlier data barrier is followed by the flip's
+    /// `NvmWrite` instead, so the two cases never confuse.)
+    forward_publish: bool,
+}
+
+impl PowerCutTrigger {
+    /// Wraps `inner` checkers under `plan`. Arm the returned trigger's
+    /// [`switch`](Self::switch) into the memory controller
+    /// (`MemoryController::arm_power_cut`) for the cut to have effect.
+    pub fn new(plan: FaultPlan, inner: Vec<Box<dyn Sanitizer>>) -> Self {
+        PowerCutTrigger {
+            plan,
+            switch: PowerSwitch::new(),
+            inner,
+            boundaries: 0,
+            nvm_writes: 0,
+            fired: false,
+            dead: false,
+            forward_publish: false,
+        }
+    }
+
+    /// The power switch this trigger cuts (clone it into the controller).
+    pub fn switch(&self) -> PowerSwitch {
+        self.switch.clone()
+    }
+
+    fn hit(&mut self, ev: &Event) -> bool {
+        match self.plan.point {
+            FaultPoint::Boundary(n) => {
+                if is_boundary(ev) {
+                    let i = self.boundaries;
+                    self.boundaries += 1;
+                    i == n
+                } else {
+                    false
+                }
+            }
+            FaultPoint::NvmWrite(n) => {
+                if matches!(ev, Event::NvmWrite { .. }) {
+                    let i = self.nvm_writes;
+                    self.nvm_writes += 1;
+                    i == n
+                } else {
+                    false
+                }
+            }
+            FaultPoint::Cycle(c) => event_cycle(ev).is_some_and(|t| t >= c),
+        }
+    }
+}
+
+impl Sanitizer for PowerCutTrigger {
+    fn on_event(&mut self, ev: &Event) {
+        if self.dead {
+            let durable_publish =
+                self.forward_publish && matches!(ev, Event::CheckpointPublish { .. });
+            self.forward_publish = false;
+            if matches!(ev, Event::Crash) {
+                self.dead = false;
+            }
+            if durable_publish || matches!(ev, Event::Crash) {
+                for s in &mut self.inner {
+                    s.on_event(ev);
+                }
+            }
+            return;
+        }
+        // The triggering event itself completed before the cut, so the
+        // checkers must see it.
+        for s in &mut self.inner {
+            s.on_event(ev);
+        }
+        if !self.fired && self.hit(ev) {
+            self.switch.cut();
+            self.fired = true;
+            self.dead = true;
+            self.forward_publish = matches!(ev, Event::NvmDrain { .. });
+        }
+    }
+}
+
+/// A passive [`Sanitizer`] for golden runs: counts persist-boundary events
+/// and records, for each checkpoint publish, the boundary index it landed
+/// on. Feed the totals to [`FaultPlan::at_boundary`] to sweep every kill
+/// point of the same (deterministic) workload.
+#[derive(Debug, Default)]
+pub struct BoundaryCounter {
+    /// Persist-boundary events seen so far.
+    pub boundaries: u64,
+    /// NVM line writes seen so far.
+    pub nvm_writes: u64,
+    /// `(boundary_index, copy)` of each checkpoint publish, in order.
+    pub publishes: Vec<(u64, u64)>,
+}
+
+impl BoundaryCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        BoundaryCounter::default()
+    }
+}
+
+impl Sanitizer for BoundaryCounter {
+    fn on_event(&mut self, ev: &Event) {
+        if matches!(ev, Event::NvmWrite { .. }) {
+            self.nvm_writes += 1;
+        }
+        if is_boundary(ev) {
+            if let Event::CheckpointPublish { copy, .. } = *ev {
+                self.publishes.push((self.boundaries, copy));
+            }
+            self.boundaries += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records every event it sees (shared so the trigger can own it).
+    struct Tap(Rc<RefCell<Vec<Event>>>);
+
+    impl Sanitizer for Tap {
+        fn on_event(&mut self, ev: &Event) {
+            self.0.borrow_mut().push(*ev);
+        }
+    }
+
+    fn drain(cycle: u64) -> Event {
+        Event::NvmDrain { cycle }
+    }
+
+    #[test]
+    fn cuts_at_nth_boundary_and_suppresses_doomed_events() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut t =
+            PowerCutTrigger::new(FaultPlan::at_boundary(1), vec![Box::new(Tap(seen.clone()))]);
+        let switch = t.switch();
+
+        t.on_event(&drain(10)); // boundary 0
+        assert!(!switch.is_cut());
+        t.on_event(&Event::NvmWrite { line: 0x40, cycle: 11 }); // not a boundary
+        t.on_event(&Event::LogAppend { seq: 0 }); // boundary 1 → cut
+        assert!(switch.is_cut());
+        t.on_event(&drain(12)); // doomed: suppressed
+        assert_eq!(seen.borrow().len(), 3, "doomed event not forwarded");
+        t.on_event(&Event::Crash);
+        t.on_event(&drain(13)); // post-crash: forwarded again
+        assert_eq!(seen.borrow().len(), 5);
+        assert!(matches!(seen.borrow()[3], Event::Crash));
+    }
+
+    #[test]
+    fn triggering_event_is_still_forwarded() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut t =
+            PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![Box::new(Tap(seen.clone()))]);
+        t.on_event(&drain(1));
+        assert_eq!(seen.borrow().len(), 1);
+    }
+
+    #[test]
+    fn cuts_at_nth_nvm_write() {
+        let mut t = PowerCutTrigger::new(FaultPlan::at_nvm_write(2), vec![]);
+        let switch = t.switch();
+        for i in 0..2 {
+            t.on_event(&Event::NvmWrite { line: i * 64, cycle: i });
+            assert!(!switch.is_cut());
+        }
+        t.on_event(&Event::NvmWrite { line: 1024, cycle: 9 });
+        assert!(switch.is_cut());
+    }
+
+    #[test]
+    fn cuts_at_cycle() {
+        let mut t = PowerCutTrigger::new(FaultPlan::at_cycle(100), vec![]);
+        let switch = t.switch();
+        t.on_event(&Event::NvmWrite { line: 0, cycle: 99 });
+        assert!(!switch.is_cut());
+        t.on_event(&Event::NvmWrite { line: 0, cycle: 100 });
+        assert!(switch.is_cut());
+    }
+
+    #[test]
+    fn fires_only_once() {
+        let mut t = PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![]);
+        let switch = t.switch();
+        t.on_event(&drain(1));
+        assert!(switch.is_cut());
+        t.on_event(&Event::Crash);
+        switch.reset();
+        // A second pass over more boundaries must not cut again.
+        t.on_event(&drain(2));
+        t.on_event(&drain(3));
+        assert!(!switch.is_cut());
+    }
+
+    #[test]
+    fn publish_right_after_flip_drain_cut_is_forwarded() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut t =
+            PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![Box::new(Tap(seen.clone()))]);
+        t.on_event(&drain(5)); // flip barrier → cut
+                               // The flip already drained, so this publish is durable.
+        t.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 6 });
+        assert_eq!(seen.borrow().len(), 2, "durable publish must reach the checkers");
+        t.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 0, cycle: 7 });
+        assert_eq!(seen.borrow().len(), 2, "later doomed publishes stay suppressed");
+    }
+
+    #[test]
+    fn publish_after_data_drain_cut_stays_suppressed() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut t =
+            PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![Box::new(Tap(seen.clone()))]);
+        t.on_event(&drain(5)); // data barrier → cut
+                               // The valid-flip store happens next; it never drains, so the
+                               // publish that follows is *not* durable.
+        t.on_event(&Event::NvmWrite { line: 0x80, cycle: 6 });
+        t.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 7 });
+        assert_eq!(seen.borrow().len(), 1, "non-durable publish must be suppressed");
+    }
+
+    #[test]
+    fn counter_tracks_boundaries_and_publishes() {
+        let mut c = BoundaryCounter::new();
+        c.on_event(&drain(1)); // boundary 0
+        c.on_event(&Event::NvmWrite { line: 0, cycle: 2 });
+        c.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 3 }); // boundary 1
+        c.on_event(&Event::LogTruncate); // boundary 2
+        assert_eq!(c.boundaries, 3);
+        assert_eq!(c.nvm_writes, 1);
+        assert_eq!(c.publishes, vec![(1, 1)]);
+    }
+}

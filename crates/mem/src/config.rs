@@ -102,6 +102,42 @@ impl Default for NvmConfig {
     }
 }
 
+/// Deterministic NVM media-fault model: per-line wear-out plus stuck-at
+/// cells. All randomness is derived from `seed` through the in-tree
+/// `Rng64`, so a given seed reproduces the exact same fault history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MediaFaultConfig {
+    /// Seed for fault placement and transient-failure rolls.
+    pub seed: u64,
+    /// Mean per-line write endurance. A line's writes start failing inside
+    /// the last tenth of its (jittered) endurance budget and fail
+    /// permanently beyond it. `0` disables wear-out.
+    pub wear_limit: u64,
+    /// Number of stuck-at bit cells scattered over the NVM range.
+    pub stuck_cells: usize,
+    /// Write retries the controller attempts before declaring the line's
+    /// frame failed.
+    pub retry_limit: u32,
+    /// Extra latency charged per retry, in nanoseconds (bounded backoff).
+    pub retry_backoff_ns: u64,
+}
+
+impl MediaFaultConfig {
+    /// Default model for a given seed: endurance low enough that sustained
+    /// test workloads actually wear lines out, a handful of stuck cells,
+    /// and a short bounded retry loop.
+    pub fn with_seed(seed: u64) -> Self {
+        MediaFaultConfig {
+            seed,
+            wear_limit: 4096,
+            stuck_cells: 4,
+            retry_limit: 3,
+            retry_backoff_ns: 200,
+        }
+    }
+}
+
 /// Complete memory-system configuration: device timings plus the physical
 /// layout (which address ranges are DRAM vs. NVM).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,6 +149,8 @@ pub struct MemConfig {
     pub nvm: NvmConfig,
     /// Physical address layout.
     pub layout: E820Map,
+    /// Optional NVM media-fault injection (off by default).
+    pub faults: Option<MediaFaultConfig>,
 }
 
 impl MemConfig {
@@ -124,6 +162,7 @@ impl MemConfig {
             dram: DramConfig::default(),
             nvm: NvmConfig::default(),
             layout: E820Map::flat(dram_bytes, nvm_bytes),
+            faults: None,
         }
     }
 }

@@ -14,18 +14,52 @@
 //!    revert and all DRAM contents are wiped — exactly the semantics the
 //!    paper's process-persistence machinery must survive.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
+use kindle_types::rng::Rng64;
 use kindle_types::sanitize::{self, Event};
 use kindle_types::{AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE};
 
 use crate::config::MemConfig;
 use crate::dram::DramDevice;
 use crate::e820::E820Map;
-use crate::nvm::NvmDevice;
+use crate::nvm::{MediaFaults, NvmDevice, WriteOutcome};
 use crate::stats::MemStats;
 
 type PageBox = Box<[u8; PAGE_SIZE]>;
+
+/// Shared power-cut flag connecting a fault-injection trigger to an armed
+/// controller. Once [`cut`](PowerSwitch::cut) is called, the controller
+/// stops making anything durable: the simulation may keep executing (the
+/// "doomed" post-cut instructions), but none of its write-backs reach
+/// media, so the eventual [`MemoryController::crash_torn`] reverts state to
+/// exactly the cut instant.
+#[derive(Clone, Debug, Default)]
+pub struct PowerSwitch(Rc<Cell<bool>>);
+
+impl PowerSwitch {
+    /// Creates a switch with power on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cuts power.
+    pub fn cut(&self) {
+        self.0.set(true);
+    }
+
+    /// True once power has been cut.
+    pub fn is_cut(&self) -> bool {
+        self.0.get()
+    }
+
+    /// Restores power (after the post-crash reboot).
+    pub fn reset(&self) {
+        self.0.set(false);
+    }
+}
 
 /// Hybrid DRAM + NVM memory controller. See the module docs.
 #[derive(Debug)]
@@ -38,8 +72,32 @@ pub struct MemoryController {
     /// Durable snapshots for dirtied-but-not-committed NVM lines, keyed by
     /// line base address.
     nvm_undo: BTreeMap<u64, [u8; 64]>,
+    /// When power-cut injection is armed: the previous *durable* value of
+    /// each line committed into the device write buffer and not yet
+    /// drained. A power cut tears or drops these per the buffer state.
+    wbuf_undo: BTreeMap<u64, [u8; 64]>,
+    /// Power-cut arming (None = classic ADR semantics: committed == durable).
+    power: Option<PowerSwitch>,
+    /// Device-pending lines captured at the instant the power cut was first
+    /// observed; `Some` also means "power is off, freeze all durability".
+    cut_pending: Option<Vec<u64>>,
+    /// Most recent access time seen (used to age the write buffer when an
+    /// operation carries no explicit `now`).
+    last_now: Cycles,
+    /// NVM media-fault model (wear-out, stuck cells), when configured.
+    media: Option<MediaFaults>,
+    /// Frames whose NVM writes exhausted their retries, pending OS
+    /// retirement; `failed_set` dedupes repeat offenders.
+    failed_frames: Vec<u64>,
+    failed_set: BTreeSet<u64>,
+    retry_limit: u32,
+    retry_backoff: Cycles,
+    write_service: Cycles,
     nvm_lines_committed: u64,
     nvm_lines_lost_on_crash: u64,
+    nvm_lines_torn_on_crash: u64,
+    nvm_write_retries: u64,
+    nvm_frames_failed: u64,
     crashes: u64,
 }
 
@@ -47,16 +105,55 @@ impl MemoryController {
     /// Creates a controller for the given configuration, with all memory
     /// reading as zero.
     pub fn new(cfg: &MemConfig) -> Self {
+        let media = cfg.faults.as_ref().map(|f| {
+            let nvm = cfg.layout.range(MemKind::Nvm);
+            MediaFaults::new(f.clone(), nvm.base.as_u64(), nvm.size)
+        });
         MemoryController {
             layout: cfg.layout.clone(),
             dram: DramDevice::new(cfg.dram.clone()),
             nvm: NvmDevice::new(cfg.nvm.clone()),
             pages: BTreeMap::new(),
             nvm_undo: BTreeMap::new(),
+            wbuf_undo: BTreeMap::new(),
+            power: None,
+            cut_pending: None,
+            last_now: Cycles::ZERO,
+            media,
+            failed_frames: Vec::new(),
+            failed_set: BTreeSet::new(),
+            retry_limit: cfg.faults.as_ref().map_or(0, |f| f.retry_limit),
+            retry_backoff: Cycles::from_nanos(
+                cfg.faults.as_ref().map_or(0, |f| f.retry_backoff_ns),
+            ),
+            write_service: Cycles::from_nanos(cfg.nvm.write_service_ns),
             nvm_lines_committed: 0,
             nvm_lines_lost_on_crash: 0,
+            nvm_lines_torn_on_crash: 0,
+            nvm_write_retries: 0,
+            nvm_frames_failed: 0,
             crashes: 0,
         }
+    }
+
+    /// Arms power-cut injection: committed lines are tracked through the
+    /// device write buffer (so a cut can tear them), and once `switch` is
+    /// cut, nothing further becomes durable until the crash.
+    pub fn arm_power_cut(&mut self, switch: PowerSwitch) {
+        self.power = Some(switch);
+    }
+
+    /// Latches the power cut the first time any operation observes the
+    /// switch cut: snapshots which lines the device still had buffered.
+    fn check_cut(&mut self) {
+        if self.cut_pending.is_none() && self.power.as_ref().is_some_and(|p| p.is_cut()) {
+            self.cut_pending = Some(self.nvm.pending_lines(self.last_now));
+        }
+    }
+
+    /// True while a latched power cut is freezing durability.
+    fn frozen(&self) -> bool {
+        self.cut_pending.is_some()
     }
 
     /// The physical layout.
@@ -79,16 +176,66 @@ impl MemoryController {
     ///
     /// Panics if `pa` is outside the memory map (simulation bug).
     pub fn access(&mut self, pa: PhysAddr, kind: AccessKind, now: Cycles) -> Cycles {
+        self.last_now = self.last_now.max(now);
+        self.check_cut();
         match self.layout.kind_of(pa).expect("access within memory map") {
             MemKind::Dram => self.dram.access(pa, kind, now),
-            MemKind::Nvm => self.nvm.access(pa, kind, now),
+            MemKind::Nvm => {
+                let mut lat = self.nvm.access(pa, kind, now);
+                if kind == AccessKind::Write && self.media.is_some() {
+                    lat += self.media_write_penalty(pa.line_base().as_u64());
+                }
+                lat
+            }
         }
+    }
+
+    /// Rolls the media-fault outcome for one NVM line write and charges the
+    /// retry-with-bounded-backoff policy. On permanent failure the line's
+    /// frame is queued for OS retirement.
+    fn media_write_penalty(&mut self, line: u64) -> Cycles {
+        let Some(media) = self.media.as_mut() else {
+            return Cycles::ZERO;
+        };
+        let mut outcome = media.on_write(line);
+        let mut penalty = Cycles::ZERO;
+        let mut attempts = 0u32;
+        while outcome != WriteOutcome::Ok && attempts < self.retry_limit {
+            attempts += 1;
+            // Each retry backs off a little longer, then re-services the write.
+            penalty += self.retry_backoff * attempts as u64 + self.write_service;
+            self.nvm_write_retries += 1;
+            outcome = media.on_write(line);
+        }
+        if outcome != WriteOutcome::Ok {
+            let pfn = line >> PAGE_SHIFT;
+            if self.failed_set.insert(pfn) {
+                self.failed_frames.push(pfn);
+                self.nvm_frames_failed += 1;
+            }
+        }
+        penalty
+    }
+
+    /// Drains frames whose writes permanently failed since the last poll;
+    /// the OS is expected to retire and remap them.
+    pub fn take_failed_frames(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.failed_frames)
     }
 
     /// Latency of draining the NVM write buffer (durability barrier).
     pub fn nvm_drain_latency(&mut self, now: Cycles) -> Cycles {
+        self.last_now = self.last_now.max(now);
+        self.check_cut();
+        if self.frozen() {
+            // Power is off; nothing drains and no time matters any more.
+            return Cycles::ZERO;
+        }
         sanitize::emit(|| Event::NvmDrain { cycle: now.as_u64() });
-        self.nvm.drain_latency(now)
+        let wait = self.nvm.drain_latency(now);
+        // Everything the buffer held is now on media.
+        self.wbuf_undo.clear();
+        wait
     }
 
     // ---- data plane -----------------------------------------------------
@@ -142,26 +289,86 @@ impl MemoryController {
             done += chunk;
             addr += chunk as u64;
         }
+        if self.media.is_some() && self.layout.kind_of(pa) == Ok(MemKind::Nvm) {
+            self.apply_stuck_cells(pa, data.len());
+        }
+    }
+
+    /// Forces any stuck-at cells in the written lines back to their stuck
+    /// value: the store "succeeds" but those bits physically cannot change.
+    fn apply_stuck_cells(&mut self, pa: PhysAddr, len: usize) {
+        let first = pa.line_base().as_u64();
+        let last = (pa.as_u64() + len.max(1) as u64 - 1) & !63;
+        let mut line = first;
+        while line <= last {
+            let hit = self.media.as_mut().and_then(|m| m.stuck_in_line(line));
+            if let Some((bit, val)) = hit {
+                let byte_addr = line + (bit / 8) as u64;
+                let pfn = byte_addr >> PAGE_SHIFT;
+                let off = (byte_addr & (PAGE_SIZE as u64 - 1)) as usize;
+                let mask = 1u8 << (bit % 8);
+                let b = &mut self.page_mut(pfn)[off];
+                *b = if val { *b | mask } else { *b & !mask };
+            }
+            line += 64;
+        }
     }
 
     /// Marks the cache line containing `pa` durable (write-back reached the
     /// device). No-op for DRAM lines or lines never dirtied.
     pub fn commit_line(&mut self, pa: PhysAddr) {
-        sanitize::emit(|| Event::NvmCommit { line: pa.line_base().as_u64() });
-        if self.nvm_undo.remove(&pa.line_base().as_u64()).is_some() {
-            self.nvm_lines_committed += 1;
+        self.check_cut();
+        if self.frozen() {
+            // Power is off: the write-back never reaches the device. The
+            // doomed post-cut execution continues purely volatilely.
+            return;
         }
+        sanitize::emit(|| Event::NvmCommit { line: pa.line_base().as_u64() });
+        let line = pa.line_base().as_u64();
+        if let Some(snap) = self.nvm_undo.remove(&line) {
+            self.nvm_lines_committed += 1;
+            if self.power.is_some() {
+                // Non-ADR mode: "committed" only means "accepted into the
+                // device write buffer". Remember the previous durable value
+                // (oldest wins) so a power cut can tear or drop the line.
+                self.wbuf_undo.entry(line).or_insert(snap);
+                self.prune_wbuf_undo();
+            }
+        }
+    }
+
+    /// Drops write-buffer undo entries for lines the device has already
+    /// drained, keeping the map bounded while armed.
+    fn prune_wbuf_undo(&mut self) {
+        if self.wbuf_undo.len() < 256 {
+            return;
+        }
+        let pending: BTreeSet<u64> = self.nvm.pending_lines(self.last_now).into_iter().collect();
+        self.wbuf_undo.retain(|line, _| pending.contains(line));
     }
 
     /// Commits every outstanding NVM line (orderly shutdown / full flush).
     pub fn commit_all(&mut self) {
+        self.check_cut();
+        if self.frozen() {
+            return;
+        }
         if sanitize::installed() {
             for &line in self.nvm_undo.keys() {
                 sanitize::emit(|| Event::NvmCommit { line });
             }
         }
         self.nvm_lines_committed += self.nvm_undo.len() as u64;
-        self.nvm_undo.clear();
+        if self.power.is_some() {
+            let undo: Vec<(u64, [u8; 64])> =
+                std::mem::take(&mut self.nvm_undo).into_iter().collect();
+            for (line, snap) in undo {
+                self.wbuf_undo.entry(line).or_insert(snap);
+            }
+            self.prune_wbuf_undo();
+        } else {
+            self.nvm_undo.clear();
+        }
     }
 
     /// Number of NVM lines dirtied but not yet durable.
@@ -176,19 +383,89 @@ impl MemoryController {
         sanitize::emit(|| Event::Crash);
         self.crashes += 1;
         self.nvm_lines_lost_on_crash = self.nvm_undo.len() as u64;
+        self.nvm_lines_torn_on_crash = 0;
         let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
         for (line, snap) in undo {
-            // Restore bytes directly without creating new undo entries.
-            let pfn = line >> PAGE_SHIFT;
-            let off = (line & (PAGE_SIZE as u64 - 1)) as usize;
-            self.page_mut(pfn)[off..off + 64].copy_from_slice(&snap);
+            self.restore_line(line, &snap);
         }
-        // Wipe DRAM pages.
+        self.power_off_cleanup();
+    }
+
+    /// Simulates a power failure on a *non-ADR* platform: in addition to the
+    /// classic rollback of never-committed lines, the contents of the device
+    /// write buffer are lost — except that the entries mid-service in the
+    /// write banks land partially, torn at the 8-byte atomic persist
+    /// granularity (`rng` picks how many words made it). Requires
+    /// [`arm_power_cut`](Self::arm_power_cut) for the write-buffer tracking
+    /// to have been maintained; without it this degrades to [`crash`].
+    pub fn crash_torn(&mut self, rng: &mut Rng64) {
+        self.check_cut();
+        let pending =
+            self.cut_pending.take().unwrap_or_else(|| self.nvm.pending_lines(self.last_now));
+        sanitize::emit(|| Event::Crash);
+        self.crashes += 1;
+
+        // 1. Cache contents never written back: full rollback, as in crash().
+        let mut lost = self.nvm_undo.len() as u64;
+        let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
+        for (line, snap) in undo {
+            self.restore_line(line, &snap);
+        }
+
+        // 2. Write-buffer contents: the oldest `banks` entries are
+        //    mid-service and tear at 8-byte granularity; everything younger
+        //    in the queue reverts entirely to the previous durable value.
+        let banks = self.nvm.banks();
+        let mut torn = 0u64;
+        for (i, &line) in pending.iter().enumerate() {
+            let Some(snap) = self.wbuf_undo.remove(&line) else {
+                // Drained earlier under the same address, or committed
+                // before arming: already durable.
+                continue;
+            };
+            if i < banks {
+                // `split` words of the new value reached the cells.
+                let split = rng.gen_below(9) as usize;
+                let mut cur = [0u8; 64];
+                self.load_bytes(PhysAddr::new(line), &mut cur);
+                cur[split * 8..].copy_from_slice(&snap[split * 8..]);
+                self.restore_line(line, &cur);
+                if split < 8 {
+                    torn += 1;
+                }
+            } else {
+                self.restore_line(line, &snap);
+                lost += 1;
+            }
+        }
+        self.nvm_lines_lost_on_crash = lost;
+        self.nvm_lines_torn_on_crash = torn;
+        self.power_off_cleanup();
+    }
+
+    /// Writes a line image directly, bypassing undo tracking.
+    fn restore_line(&mut self, line: u64, image: &[u8; 64]) {
+        let pfn = line >> PAGE_SHIFT;
+        let off = (line & (PAGE_SIZE as u64 - 1)) as usize;
+        self.page_mut(pfn)[off..off + 64].copy_from_slice(image);
+    }
+
+    /// Shared tail of both crash flavours: wipe DRAM, reset devices and
+    /// fault-injection state, restore power for the reboot.
+    fn power_off_cleanup(&mut self) {
         let layout = self.layout.clone();
         self.pages
             .retain(|&pfn, _| layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm));
         self.dram.reset();
         self.nvm.reset();
+        self.wbuf_undo.clear();
+        self.cut_pending = None;
+        if let Some(p) = &self.power {
+            p.reset();
+        }
+        // Let the recovered kernel re-learn failed frames on the next write.
+        self.failed_frames.clear();
+        self.failed_set.clear();
     }
 
     /// Aggregated statistics snapshot.
@@ -196,8 +473,12 @@ impl MemoryController {
         MemStats {
             dram: self.dram.stats().clone(),
             nvm: self.nvm.stats().clone(),
+            media: self.media.as_ref().map(|m| m.stats().clone()).unwrap_or_default(),
             nvm_lines_committed: self.nvm_lines_committed,
             nvm_lines_lost_on_crash: self.nvm_lines_lost_on_crash,
+            nvm_lines_torn_on_crash: self.nvm_lines_torn_on_crash,
+            nvm_write_retries: self.nvm_write_retries,
+            nvm_frames_failed: self.nvm_frames_failed,
             crashes: self.crashes,
         }
     }
@@ -206,6 +487,7 @@ impl MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MediaFaultConfig;
 
     fn mc() -> (MemoryController, PhysAddr, PhysAddr) {
         let cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
@@ -289,6 +571,141 @@ mod tests {
         let mut b = [0u8; 1];
         m.load_bytes(nvm_pa + 9 * 64, &mut b);
         assert_eq!(b[0], 9);
+    }
+
+    #[test]
+    fn armed_cut_freezes_durability() {
+        let (mut m, _, nvm_pa) = mc();
+        let sw = PowerSwitch::new();
+        m.arm_power_cut(sw.clone());
+        m.store_bytes(nvm_pa, b"AAAAAAAA");
+        m.commit_line(nvm_pa);
+        m.nvm_drain_latency(Cycles::from_millis(1)); // fully durable
+        sw.cut();
+        // Doomed post-cut execution: stores and commits change nothing
+        // durable.
+        m.store_bytes(nvm_pa, b"BBBBBBBB");
+        m.commit_line(nvm_pa);
+        let mut rng = Rng64::new(1);
+        m.crash_torn(&mut rng);
+        let mut buf = [0u8; 8];
+        m.load_bytes(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"AAAAAAAA", "post-cut commit must not stick");
+        assert!(!sw.is_cut(), "power restored for the reboot");
+    }
+
+    #[test]
+    fn crash_torn_tears_buffered_line_at_word_granularity() {
+        // Put one committed-but-undrained line in the write buffer, then
+        // tear it: the result must be a prefix of new words + suffix of old.
+        let (mut m, _, nvm_pa) = mc();
+        m.arm_power_cut(PowerSwitch::new());
+        m.store_bytes(nvm_pa, &[0x11u8; 64]);
+        m.commit_line(nvm_pa);
+        m.nvm_drain_latency(Cycles::from_millis(1)); // old durable value: 0x11
+        m.store_bytes(nvm_pa, &[0x22u8; 64]);
+        m.commit_line(nvm_pa);
+        // Enqueue the device write so the line is pending at crash time.
+        m.access(nvm_pa, AccessKind::Write, Cycles::from_millis(1));
+        let mut rng = Rng64::new(42);
+        m.crash_torn(&mut rng);
+        let mut buf = [0u8; 64];
+        m.load_bytes(nvm_pa, &mut buf);
+        for word in 0..8 {
+            let w = &buf[word * 8..word * 8 + 8];
+            assert!(
+                w == [0x22u8; 8] || w == [0x11u8; 8],
+                "word {word} must be atomically old or new, got {w:?}"
+            );
+        }
+        // Words are a prefix of new followed by a suffix of old.
+        let new_words = buf.chunks(8).take_while(|w| *w == [0x22u8; 8]).count();
+        assert!(buf.chunks(8).skip(new_words).all(|w| w == [0x11u8; 8]));
+    }
+
+    #[test]
+    fn crash_torn_same_seed_is_deterministic() {
+        let run = |seed: u64| -> Vec<u8> {
+            let (mut m, _, nvm_pa) = mc();
+            m.arm_power_cut(PowerSwitch::new());
+            for i in 0..20u64 {
+                m.store_bytes(nvm_pa + i * 64, &[0xabu8; 64]);
+                m.commit_line(nvm_pa + i * 64);
+                m.access(nvm_pa + i * 64, AccessKind::Write, Cycles::ZERO);
+            }
+            let mut rng = Rng64::new(seed);
+            m.crash_torn(&mut rng);
+            let mut buf = vec![0u8; 20 * 64];
+            m.load_bytes(nvm_pa, &mut buf);
+            buf
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should tear differently");
+    }
+
+    #[test]
+    fn unarmed_crash_torn_behaves_like_crash() {
+        let (mut m, _, nvm_pa) = mc();
+        m.store_bytes(nvm_pa, b"AAAA");
+        m.commit_line(nvm_pa); // ADR: committed == durable when unarmed
+        m.store_bytes(nvm_pa, b"BBBB");
+        let mut rng = Rng64::new(3);
+        m.crash_torn(&mut rng);
+        let mut buf = [0u8; 4];
+        m.load_bytes(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"AAAA");
+    }
+
+    #[test]
+    fn worn_line_fails_frame_once_and_charges_retries() {
+        let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+        cfg.faults = Some(crate::config::MediaFaultConfig {
+            wear_limit: 32,
+            ..MediaFaultConfig::with_seed(5)
+        });
+        let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x2000;
+        let mut m = MemoryController::new(&cfg);
+        let plain = m.access(nvm_pa, AccessKind::Write, Cycles::ZERO);
+        for _ in 0..200 {
+            m.access(nvm_pa, AccessKind::Write, Cycles::from_millis(2));
+        }
+        let s = m.stats();
+        assert!(s.media.lines_worn_out >= 1, "32-write budget must wear out: {s:?}");
+        assert_eq!(s.nvm_frames_failed, 1, "frame reported failed exactly once");
+        assert_eq!(m.take_failed_frames(), vec![nvm_pa.as_u64() >> PAGE_SHIFT]);
+        assert!(m.take_failed_frames().is_empty(), "queue drains");
+        assert!(s.nvm_write_retries > 0, "transient zone must charge retries");
+        let _ = plain;
+    }
+
+    #[test]
+    fn stuck_cells_force_bits_on_store() {
+        // Small NVM range so the seeded stuck cells are dense enough to hit.
+        let mut cfg = MemConfig::with_capacities(16 << 20, 1 << 16);
+        cfg.faults = Some(crate::config::MediaFaultConfig {
+            stuck_cells: 16,
+            wear_limit: 0,
+            ..MediaFaultConfig::with_seed(9)
+        });
+        let mut m = MemoryController::new(&cfg);
+        let nvm = cfg.layout.range(MemKind::Nvm);
+        // Pass 1: all-ones exposes stuck-at-0 cells; pass 2: all-zeros
+        // exposes stuck-at-1. Every stuck cell shows up in exactly one pass.
+        let mut anomalies = 0u32;
+        for (pattern, count_fn) in
+            [(0xffu8, u8::count_zeros as fn(u8) -> u32), (0x00u8, u8::count_ones)]
+        {
+            for off in (0..nvm.size).step_by(PAGE_SIZE) {
+                let pa = nvm.base + off;
+                m.store_bytes(pa, &[pattern; PAGE_SIZE]);
+                let mut buf = [0u8; PAGE_SIZE];
+                m.load_bytes(pa, &mut buf);
+                anomalies += buf.iter().map(|&b| count_fn(b)).sum::<u32>();
+            }
+        }
+        assert!(anomalies >= 1, "16 stuck cells in 1024 lines must be visible");
+        assert!(anomalies <= 16, "at most one stuck bit per seeded cell");
+        assert!(m.stats().media.stuck_line_writes >= anomalies as u64);
     }
 
     #[test]

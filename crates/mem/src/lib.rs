@@ -28,9 +28,9 @@ pub mod e820;
 pub mod nvm;
 pub mod stats;
 
-pub use config::{DramConfig, MemConfig, NvmConfig};
-pub use controller::MemoryController;
+pub use config::{DramConfig, MediaFaultConfig, MemConfig, NvmConfig};
+pub use controller::{MemoryController, PowerSwitch};
 pub use dram::DramDevice;
 pub use e820::{E820Entry, E820Map};
-pub use nvm::NvmDevice;
+pub use nvm::{MediaFaults, MediaStats, NvmDevice, WriteOutcome};
 pub use stats::MemStats;

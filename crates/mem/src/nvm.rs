@@ -1,10 +1,12 @@
-//! PCM NVM timing model: asymmetric latencies and a draining write buffer.
+//! PCM NVM timing model: asymmetric latencies and a draining write buffer,
+//! plus the deterministic media-fault model (wear-out and stuck-at cells).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use kindle_types::{AccessKind, Cycles, PhysAddr};
+use kindle_types::rng::Rng64;
+use kindle_types::{checksum64, AccessKind, Cycles, PhysAddr, CACHE_LINE};
 
-use crate::config::NvmConfig;
+use crate::config::{MediaFaultConfig, NvmConfig};
 
 /// Per-device NVM statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -123,6 +125,19 @@ impl NvmDevice {
         self.write_queue.len()
     }
 
+    /// Line addresses still buffered at `now`, oldest first. A power cut
+    /// loses (or tears, for the entries mid-service in the banks) exactly
+    /// these lines.
+    pub fn pending_lines(&mut self, now: Cycles) -> Vec<u64> {
+        self.drain(now);
+        self.write_queue.iter().map(|&(_, l)| l).collect()
+    }
+
+    /// Number of independent write banks (≥ 1).
+    pub fn banks(&self) -> usize {
+        self.cfg.write_banks.max(1)
+    }
+
     /// Device statistics.
     pub fn stats(&self) -> &NvmStats {
         &self.stats
@@ -132,6 +147,126 @@ impl NvmDevice {
     /// durability image decides what data survived).
     pub fn reset(&mut self) {
         self.write_queue.clear();
+    }
+}
+
+/// Outcome of one cell-write attempt under the media-fault model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The cells took the write.
+    Ok,
+    /// The write failed this attempt; a bounded retry may succeed.
+    Transient,
+    /// The line is past its endurance budget; writes can never succeed.
+    WornOut,
+}
+
+/// Counters for the media-fault model.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MediaStats {
+    /// Write attempts that failed transiently (and were retried).
+    pub transient_failures: u64,
+    /// Lines that crossed their endurance budget.
+    pub lines_worn_out: u64,
+    /// Writes that landed in a line with a stuck-at cell.
+    pub stuck_line_writes: u64,
+}
+
+/// Deterministic NVM media faults: per-line wear counters with jittered
+/// endurance budgets, a soft-failure zone near end of life, and stuck-at
+/// bit cells seeded over the NVM range. All decisions derive from the
+/// config seed, so a run's fault history is exactly reproducible.
+#[derive(Clone, Debug)]
+pub struct MediaFaults {
+    cfg: MediaFaultConfig,
+    rng: Rng64,
+    /// Write count per line (only lines ever written).
+    wear: BTreeMap<u64, u64>,
+    /// Lines past their endurance budget.
+    worn: BTreeSet<u64>,
+    /// Stuck cells: line base → (bit index within the line, stuck value).
+    stuck: BTreeMap<u64, (u32, bool)>,
+    stats: MediaStats,
+}
+
+impl MediaFaults {
+    /// Creates the model, scattering `cfg.stuck_cells` stuck bits across
+    /// the NVM range `[nvm_base, nvm_base + nvm_size)`.
+    pub fn new(cfg: MediaFaultConfig, nvm_base: u64, nvm_size: u64) -> Self {
+        let mut rng = Rng64::new(cfg.seed);
+        let mut stuck = BTreeMap::new();
+        let lines = (nvm_size / CACHE_LINE as u64).max(1);
+        for _ in 0..cfg.stuck_cells {
+            let line = nvm_base + rng.gen_below(lines) * CACHE_LINE as u64;
+            let bit = rng.gen_below(8 * CACHE_LINE as u64) as u32;
+            let val = rng.gen_below(2) == 1;
+            stuck.insert(line, (bit, val));
+        }
+        MediaFaults {
+            cfg,
+            rng,
+            wear: BTreeMap::new(),
+            worn: BTreeSet::new(),
+            stuck,
+            stats: MediaStats::default(),
+        }
+    }
+
+    /// Per-line endurance budget: the configured mean plus a deterministic
+    /// ±12.5% jitter derived from the line address, so lines do not all
+    /// fail in the same burst.
+    fn endurance(&self, line: u64) -> u64 {
+        let span = (self.cfg.wear_limit / 4).max(1);
+        let jitter = checksum64(&[self.cfg.seed, line]) % span;
+        self.cfg.wear_limit - span / 2 + jitter
+    }
+
+    /// Records one write attempt to `line` and rolls its outcome. Retries
+    /// count as further attempts (they wear the cells too).
+    pub fn on_write(&mut self, line: u64) -> WriteOutcome {
+        if self.cfg.wear_limit == 0 {
+            return WriteOutcome::Ok;
+        }
+        if self.worn.contains(&line) {
+            return WriteOutcome::WornOut;
+        }
+        let count = self.wear.entry(line).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let limit = self.endurance(line);
+        if count >= limit {
+            self.worn.insert(line);
+            self.stats.lines_worn_out += 1;
+            return WriteOutcome::WornOut;
+        }
+        // Soft-failure zone: the last tenth of the budget fails with
+        // probability ramping linearly from 0 to 1.
+        let soft = limit - limit / 10;
+        if count > soft && self.rng.gen_below(limit - soft) < count - soft {
+            self.stats.transient_failures += 1;
+            return WriteOutcome::Transient;
+        }
+        WriteOutcome::Ok
+    }
+
+    /// Stuck cell in `line`, if any: (bit index within the line, value).
+    pub fn stuck_in_line(&mut self, line: u64) -> Option<(u32, bool)> {
+        let hit = self.stuck.get(&line).copied();
+        if hit.is_some() {
+            self.stats.stuck_line_writes += 1;
+        }
+        hit
+    }
+
+    /// True once `line` is past its endurance budget.
+    pub fn is_worn(&self, line: u64) -> bool {
+        self.worn.contains(&line)
+    }
+
+    /// Fault-model counters.
+    pub fn stats(&self) -> &MediaStats {
+        &self.stats
     }
 }
 
@@ -190,6 +325,57 @@ mod tests {
         // After draining, a write is cheap again.
         let lat = d.access(PhysAddr::new(0), AccessKind::Write, much_later);
         assert_eq!(lat, Cycles::from_nanos(cfg.buffer_insert_ns));
+    }
+
+    #[test]
+    fn pending_lines_match_queue_order() {
+        let mut d = dev();
+        for i in 0..5u64 {
+            d.access(PhysAddr::new(64 * i), AccessKind::Write, Cycles::ZERO);
+        }
+        assert_eq!(d.pending_lines(Cycles::ZERO), vec![0, 64, 128, 192, 256]);
+        assert!(d.pending_lines(Cycles::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn wear_out_is_permanent_and_deterministic() {
+        let cfg = MediaFaultConfig { wear_limit: 64, ..MediaFaultConfig::with_seed(7) };
+        let mut a = MediaFaults::new(cfg.clone(), 0, 1 << 20);
+        let mut b = MediaFaults::new(cfg, 0, 1 << 20);
+        let mut first_fail = None;
+        for i in 0..200u64 {
+            let (ra, rb) = (a.on_write(0x40), b.on_write(0x40));
+            assert_eq!(ra, rb, "same seed must give same outcome at write {i}");
+            if ra != WriteOutcome::Ok && first_fail.is_none() {
+                first_fail = Some(i);
+            }
+        }
+        assert!(first_fail.is_some(), "64-write budget must fail within 200 writes");
+        assert!(a.is_worn(0x40));
+        assert_eq!(a.on_write(0x40), WriteOutcome::WornOut);
+        assert!(a.stats().lines_worn_out >= 1);
+    }
+
+    #[test]
+    fn zero_wear_limit_disables_wear() {
+        let cfg = MediaFaultConfig { wear_limit: 0, ..MediaFaultConfig::with_seed(1) };
+        let mut m = MediaFaults::new(cfg, 0, 1 << 20);
+        for _ in 0..10_000 {
+            assert_eq!(m.on_write(0), WriteOutcome::Ok);
+        }
+    }
+
+    #[test]
+    fn stuck_cells_seeded_in_range() {
+        let base = 1 << 30;
+        let size = 1 << 20;
+        let m = MediaFaults::new(MediaFaultConfig::with_seed(3), base, size);
+        assert_eq!(m.stuck.len(), MediaFaultConfig::with_seed(3).stuck_cells);
+        for (&line, &(bit, _)) in &m.stuck {
+            assert!(line >= base && line < base + size);
+            assert_eq!(line % CACHE_LINE as u64, 0);
+            assert!(bit < 8 * CACHE_LINE as u32);
+        }
     }
 
     #[test]

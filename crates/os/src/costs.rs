@@ -37,6 +37,10 @@ pub struct KernelCosts {
     /// Fixed cost of a context switch into a kernel thread (consolidation,
     /// migration daemon).
     pub kthread_switch: u64,
+    /// Retiring a worn-out NVM frame: fault bookkeeping, allocator update
+    /// and remap orchestration (the page copy's traffic is charged for
+    /// real on top of this).
+    pub frame_retire_op: u64,
     /// Zero newly allocated frames (gemOS zeroes on demand-alloc) — setting
     /// this false skips the 64-line clear, useful for microbenchmarks.
     pub zero_new_frames: bool,
@@ -56,6 +60,7 @@ impl Default for KernelCosts {
             ssp_inspect_op: 900,
             migration_page_op: 600,
             kthread_switch: 600,
+            frame_retire_op: 800,
             zero_new_frames: true,
         }
     }
@@ -77,6 +82,7 @@ impl KernelCosts {
             ssp_inspect_op: 1,
             migration_page_op: 1,
             kthread_switch: 1,
+            frame_retire_op: 1,
             zero_new_frames: false,
         }
     }

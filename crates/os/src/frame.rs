@@ -120,6 +120,36 @@ impl FrameAllocator {
         self.free.push(pfn);
     }
 
+    /// Permanently removes a frame from circulation (media wear-out). The
+    /// frame's bit stays set forever: it is never handed out again and must
+    /// not be freed. Call after any mapping of the frame has been unmapped.
+    pub fn retire(&mut self, pfn: Pfn) {
+        sanitize::emit(|| Event::FrameRetired { pool: self.pool, pfn: pfn.as_u64() });
+        assert!(self.contains(pfn), "retiring frame outside pool {}", self.pool);
+        let idx = self.index_of(pfn);
+        if !self.bit(idx) {
+            self.set_bit(idx, true);
+            self.allocated += 1;
+            self.free.retain(|&f| f != pfn);
+        }
+    }
+
+    /// Forces `pfn` to allocated state, returning true if the bit was
+    /// clear (a repair). Recovery uses this to heal bitmap words whose
+    /// persist was lost in the NVM write buffer at the crash.
+    pub fn ensure_allocated(&mut self, pfn: Pfn) -> bool {
+        assert!(self.contains(pfn), "repairing frame outside pool {}", self.pool);
+        let idx = self.index_of(pfn);
+        if self.bit(idx) {
+            return false;
+        }
+        self.set_bit(idx, true);
+        self.allocated += 1;
+        self.free.retain(|&f| f != pfn);
+        sanitize::emit(|| Event::FrameAlloc { pool: self.pool, pfn: pfn.as_u64() });
+        true
+    }
+
     /// Frames currently allocated.
     pub fn used(&self) -> u64 {
         self.allocated
@@ -211,8 +241,26 @@ impl PersistentFrameAllocator {
         self.persist_word(mem, pfn);
     }
 
+    /// Permanently retires a frame, persisting the allocation metadata.
+    pub fn retire(&mut self, mem: &mut dyn PhysMem, pfn: Pfn) {
+        self.inner.retire(pfn);
+        self.persist_word(mem, pfn);
+    }
+
+    /// Forces `pfn` to allocated state (recovery bitmap repair), persisting
+    /// the repaired word. Returns true if a repair happened.
+    pub fn ensure_allocated(&mut self, mem: &mut dyn PhysMem, pfn: Pfn) -> bool {
+        let repaired = self.inner.ensure_allocated(pfn);
+        if repaired {
+            self.persist_word(mem, pfn);
+        }
+        repaired
+    }
+
     /// Rebuilds in-memory allocation state from the persisted bitmap
-    /// (crash recovery). Charges the bitmap reads.
+    /// (crash recovery). Charges the bitmap reads. Every allocated frame is
+    /// re-announced to an installed sanitizer so post-recovery page-table
+    /// state can be checked against the recovered frame set.
     pub fn recover(&mut self, mem: &mut dyn PhysMem) {
         let words = self.inner.bitmap_words().len();
         let mut loaded = vec![0u64; words];
@@ -220,6 +268,12 @@ impl PersistentFrameAllocator {
             *w = mem.read_u64(self.bitmap_region.base + i as u64 * 8);
         }
         self.inner.load_bitmap(&loaded);
+        for idx in 0..self.inner.count {
+            if self.inner.bit(idx) {
+                let pfn = self.inner.start + idx;
+                sanitize::emit(|| Event::FrameAlloc { pool: self.inner.pool, pfn: pfn.as_u64() });
+            }
+        }
     }
 
     /// Access to the wrapped allocator's read-only queries.

@@ -70,6 +70,8 @@ pub struct KernelStats {
     pub pages_mapped: u64,
     /// Pages whose frames were reclaimed.
     pub pages_unmapped: u64,
+    /// NVM frames permanently retired after media-fault retry exhaustion.
+    pub frames_retired: u64,
 }
 
 /// Result of an munmap/mremap: pages whose translations must be shot down.
@@ -221,7 +223,7 @@ impl Kernel {
         prot: Prot,
         flags: MapFlags,
     ) -> Result<VirtAddr> {
-        mem.advance(Cycles::new(self.costs.syscall_entry + self.costs.vma_op));
+        mem.advance(Cycles::new(self.costs.syscall_entry) + Cycles::new(self.costs.vma_op));
         if len == 0 {
             return Err(KindleError::InvalidArgument("mmap length must be non-zero"));
         }
@@ -329,7 +331,7 @@ impl Kernel {
         addr: VirtAddr,
         len: u64,
     ) -> Result<UnmapOutcome> {
-        mem.advance(Cycles::new(self.costs.syscall_entry + self.costs.vma_op));
+        mem.advance(Cycles::new(self.costs.syscall_entry) + Cycles::new(self.costs.vma_op));
         if len == 0 || !addr.is_page_aligned() {
             return Err(KindleError::InvalidArgument("munmap range must be aligned"));
         }
@@ -376,7 +378,7 @@ impl Kernel {
         len: u64,
         prot: Prot,
     ) -> Result<UnmapOutcome> {
-        mem.advance(Cycles::new(self.costs.syscall_entry + self.costs.vma_op));
+        mem.advance(Cycles::new(self.costs.syscall_entry) + Cycles::new(self.costs.vma_op));
         if len == 0 || !addr.is_page_aligned() {
             return Err(KindleError::InvalidArgument("mprotect range must be aligned"));
         }
@@ -421,7 +423,7 @@ impl Kernel {
         old_len: u64,
         new_len: u64,
     ) -> Result<(VirtAddr, UnmapOutcome)> {
-        mem.advance(Cycles::new(self.costs.syscall_entry + 2 * self.costs.vma_op));
+        mem.advance(Cycles::new(self.costs.syscall_entry) + Cycles::new(2 * self.costs.vma_op));
         let old_len = round_up(old_len);
         let new_len = round_up(new_len);
         let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
@@ -528,6 +530,64 @@ impl Kernel {
             self.meta_records.push(MetaRecord::PageMapped { pid: child, vpn, pfn: dst, kind });
         }
         Ok(child)
+    }
+
+    /// Retires a failing NVM frame reported by the memory controller
+    /// (write retries exhausted): the frame is permanently removed from the
+    /// pool and, if some process maps it, its contents are copied to a
+    /// fresh NVM frame and the mapping is moved over. Returns the remap
+    /// `(pid, vpn, new_pfn)` so the caller can shoot down stale TLB
+    /// entries, or `None` if the frame was unmapped (or outside the
+    /// general pool — reserved-region frames cannot be retired).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM pool exhaustion while allocating the replacement.
+    pub fn retire_nvm_frame(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pfn: kindle_types::Pfn,
+    ) -> Result<Option<(u32, Vpn, kindle_types::Pfn)>> {
+        if !self.pools.nvm.inner().contains(pfn) {
+            return Ok(None);
+        }
+        mem.advance(Cycles::new(self.costs.frame_retire_op));
+        // Find the (single) mapping of the failing frame, if any.
+        let mut owner: Option<(u32, Vpn, Pte)> = None;
+        for (&pid, proc) in &self.procs {
+            proc.aspace.for_each_leaf(mem, |_, vpn, pte: Pte, _| {
+                if pte.pfn() == pfn && owner.is_none() {
+                    owner = Some((pid, vpn, pte));
+                }
+            });
+            if owner.is_some() {
+                break;
+            }
+        }
+        let Some((pid, vpn, pte)) = owner else {
+            // Unmapped: just take it out of circulation.
+            self.pools.nvm.retire(mem, pfn);
+            self.stats.frames_retired += 1;
+            return Ok(None);
+        };
+        mem.advance(Cycles::new(self.costs.frame_op));
+        let new_pfn = self.pools.nvm.alloc(mem)?;
+        mem.copy_page(pfn.base(), new_pfn.base());
+        let flags = if pte.is_writable() { Pte::WRITABLE | Pte::NVM } else { Pte::NVM };
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let va = vpn_va(vpn);
+        proc.aspace.unmap(mem, &mut self.pools, &self.costs, va)?;
+        self.pools.nvm.retire(mem, pfn);
+        proc.aspace.map(mem, &mut self.pools, &self.costs, va, new_pfn, flags)?;
+        self.stats.frames_retired += 1;
+        self.meta_records.push(MetaRecord::PageUnmapped { pid, vpn, pfn });
+        self.meta_records.push(MetaRecord::PageMapped {
+            pid,
+            vpn,
+            pfn: new_pfn,
+            kind: MemKind::Nvm,
+        });
+        Ok(Some((pid, vpn, new_pfn)))
     }
 
     /// Software translation for a process (charges the walk).
@@ -753,6 +813,48 @@ mod tests {
         let mut pb = [0u8; 7];
         mem.read_bytes(ppfn.base() + 10, &mut pb);
         assert_eq!(&pb, b"inherit");
+    }
+
+    #[test]
+    fn retire_remaps_and_quarantines_frame() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        let old = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        mem.write_bytes(old.base() + 5, b"keep");
+
+        let (rpid, rvpn, new_pfn) = k.retire_nvm_frame(&mut mem, old).unwrap().unwrap();
+        assert_eq!(rpid, pid);
+        assert_eq!(rvpn, va.page_number());
+        assert_ne!(new_pfn, old);
+        let pte = k.translate(&mut mem, pid, va).unwrap().unwrap();
+        assert_eq!(pte.pfn(), new_pfn, "mapping moved to the replacement frame");
+        assert!(pte.is_writable(), "protection carried over");
+        let mut buf = [0u8; 4];
+        mem.read_bytes(new_pfn.base() + 5, &mut buf);
+        assert_eq!(&buf, b"keep", "contents copied before the remap");
+        assert!(k.pools.nvm.is_allocated(old), "retired frame never returns to the pool");
+        assert_eq!(k.stats().frames_retired, 1);
+        let recs = k.take_meta_records();
+        assert!(recs.iter().any(|r| matches!(r, MetaRecord::PageUnmapped { .. })));
+        assert!(recs.iter().any(|r| matches!(r, MetaRecord::PageMapped { .. })));
+    }
+
+    #[test]
+    fn retire_outside_general_pool_is_ignored() {
+        let (mut mem, mut k, _pid) = boot();
+        // A DRAM pfn is outside the NVM general pool.
+        let out = k.retire_nvm_frame(&mut mem, kindle_types::Pfn::new(0)).unwrap();
+        assert!(out.is_none());
+        assert_eq!(k.stats().frames_retired, 0);
     }
 
     #[test]

@@ -79,8 +79,9 @@ pub enum MetaRecord {
 
 impl MetaRecord {
     /// Serialized size of one record in the NVM redo log, in bytes. Records
-    /// are fixed-size (tag + 4 words) to keep log replay trivial.
-    pub const LOG_BYTES: u64 = 40;
+    /// are fixed-size (tag + pid + 4 payload words + checksum) to keep log
+    /// replay trivial and torn-record detection per-record.
+    pub const LOG_BYTES: u64 = 56;
 
     /// Owning process of the record.
     pub fn pid(&self) -> u32 {

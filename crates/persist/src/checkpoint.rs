@@ -337,7 +337,7 @@ mod tests {
         let (mut mem, mut kernel, _engine, pid) = setup(CheckpointScheme::Persistent);
         // Tiny log: capacity 2 records.
         let mut layout = layout_of(&kernel);
-        layout.meta_log.size = 64 + 2 * 48;
+        layout.meta_log.size = 64 + 2 * MetaRecord::LOG_BYTES;
         let mut engine = CheckpointEngine::new(
             &layout,
             CheckpointScheme::Persistent,

@@ -1,17 +1,28 @@
 //! The NVM redo log of OS metadata modifications.
 //!
-//! Fixed-size records (tag + pid + 4 payload words = 48 bytes) appended
-//! with `clwb` + fence. The checkpoint engine drains the log into the
-//! working context copy and truncates it; the log head lives in the first
-//! line of the region so truncation is a single durable store.
+//! Fixed-size records (tag + pid + 4 payload words + checksum = 56 bytes)
+//! appended with `clwb` + fence. The checkpoint engine drains the log into
+//! the working context copy and truncates it; the log head lives in the
+//! first line of the region so truncation is a single durable store.
+//!
+//! The trailing checksum word (FNV-1a over the first six words) is how
+//! crash recovery detects a *torn* tail record: with 8-byte atomic persist
+//! granularity, a power cut mid-append — or a cut that persisted the head
+//! bump but lost record words still sitting in the NVM write buffer — can
+//! leave a record partially written. Replay stops at the first record whose
+//! checksum fails; everything before it is intact by construction.
 
 use kindle_os::MetaRecord;
 use kindle_os::Region;
 use kindle_types::sanitize::{self, Event};
-use kindle_types::{KindleError, MemKind, Pfn, PhysAddr, PhysMem, Prot, Result, VirtAddr, Vpn};
+use kindle_types::{
+    checksum64, KindleError, MemKind, Pfn, PhysAddr, PhysMem, Prot, Result, VirtAddr, Vpn,
+};
 
 const HEADER_BYTES: u64 = 64;
-const RECORD_BYTES: u64 = 48;
+const RECORD_BYTES: u64 = 56;
+/// Payload words per record (excluding the checksum).
+const PAYLOAD_WORDS: usize = 6;
 
 const TAG_PROCESS_CREATE: u64 = 1;
 const TAG_VMA_ADD: u64 = 2;
@@ -69,11 +80,12 @@ impl RedoLog {
             return Err(KindleError::RegionFull("redo log"));
         }
         let pa = self.record_pa(head);
-        let words = encode(rec);
-        for (i, w) in words.iter().enumerate() {
+        let payload = encode(rec);
+        for (i, w) in payload.iter().enumerate() {
             mem.write_u64(pa + i as u64 * 8, *w);
         }
-        // 48-byte records can straddle two cache lines.
+        mem.write_u64(pa + PAYLOAD_WORDS as u64 * 8, checksum64(&payload));
+        // 56-byte records can straddle two cache lines.
         mem.clwb(pa);
         if (pa + (RECORD_BYTES - 8)).line_base() != pa.line_base() {
             mem.clwb(pa + (RECORD_BYTES - 8));
@@ -86,22 +98,37 @@ impl RedoLog {
         Ok(())
     }
 
-    /// Reads every record (charged reads), oldest first.
+    /// Reads every record (charged reads), oldest first. Replay stops at
+    /// the first checksum-invalid (torn) record — see [`read_valid`].
+    ///
+    /// [`read_valid`]: Self::read_valid
     pub fn read_all(&self, mem: &mut dyn PhysMem) -> Vec<MetaRecord> {
+        self.read_valid(mem).0
+    }
+
+    /// Reads the valid prefix of the log, oldest first, returning the
+    /// records plus the number of *torn* records dropped: once a record's
+    /// checksum fails, it and everything after it (written later, so at
+    /// most as durable) are discarded.
+    pub fn read_valid(&self, mem: &mut dyn PhysMem) -> (Vec<MetaRecord>, u64) {
         let n = self.len(mem);
         let mut out = Vec::with_capacity(n as usize);
         for i in 0..n {
             let pa = self.record_pa(i);
-            let mut words = [0u64; 6];
+            let mut words = [0u64; PAYLOAD_WORDS];
             for (k, w) in words.iter_mut().enumerate() {
                 *w = mem.read_u64(pa + k as u64 * 8);
+            }
+            let stored = mem.read_u64(pa + PAYLOAD_WORDS as u64 * 8);
+            if stored != checksum64(&words) {
+                return (out, n - i);
             }
             sanitize::emit(|| Event::LogApply { seq: i });
             if let Some(rec) = decode(&words) {
                 out.push(rec);
             }
         }
-        out
+        (out, 0)
     }
 
     /// Durably truncates the log (end of a checkpoint).
@@ -262,6 +289,65 @@ mod tests {
         log.truncate(&mut mem);
         assert!(log.is_empty(&mut mem));
         assert!(log.read_all(&mut mem).is_empty());
+    }
+
+    #[test]
+    fn append_at_exact_capacity_fills_then_rejects() {
+        let mut mem = FlatMem::new(1 << 20);
+        let region = Region { base: PhysAddr::new(0x8000), size: HEADER_BYTES + 3 * RECORD_BYTES };
+        let log = RedoLog::new(region);
+        assert_eq!(log.capacity(), 3);
+        for pid in 0..3 {
+            log.append(&mut mem, &MetaRecord::ProcessCreate { pid }).unwrap();
+        }
+        assert_eq!(log.len(&mut mem), 3, "the last slot is usable");
+        assert_eq!(
+            log.append(&mut mem, &MetaRecord::RegsUpdated { pid: 9 }).unwrap_err(),
+            KindleError::RegionFull("redo log")
+        );
+        // The failed append must not have clobbered anything.
+        let (recs, torn) = log.read_valid(&mut mem);
+        assert_eq!(torn, 0);
+        assert_eq!(recs, (0..3).map(|pid| MetaRecord::ProcessCreate { pid }).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn torn_tail_record_is_dropped_with_its_successors() {
+        let (mut mem, log) = log();
+        let recs = sample_records();
+        for r in &recs {
+            log.append(&mut mem, r).unwrap();
+        }
+        // Tear one payload word of the third record, as an 8-byte-atomic
+        // power cut would: its checksum fails, so it and every later
+        // record (at most as durable) must be discarded.
+        let torn_idx = 2u64;
+        let pa = log.record_pa(torn_idx) + 16;
+        let old = mem.read_u64(pa);
+        mem.write_u64(pa, old ^ 0xdead);
+        let (valid, torn) = log.read_valid(&mut mem);
+        assert_eq!(valid, recs[..torn_idx as usize]);
+        assert_eq!(torn, recs.len() as u64 - torn_idx);
+        assert_eq!(log.read_all(&mut mem), recs[..torn_idx as usize]);
+    }
+
+    #[test]
+    fn truncate_then_append_reuses_slots() {
+        let (mut mem, log) = log();
+        for r in &sample_records() {
+            log.append(&mut mem, r).unwrap();
+        }
+        log.truncate(&mut mem);
+        // New records overwrite the old slots from index 0; stale bytes
+        // beyond the new head must stay invisible.
+        let fresh = vec![MetaRecord::ProcessCreate { pid: 7 }, MetaRecord::RegsUpdated { pid: 7 }];
+        for r in &fresh {
+            log.append(&mut mem, r).unwrap();
+        }
+        assert_eq!(log.len(&mut mem), 2);
+        let (valid, torn) = log.read_valid(&mut mem);
+        assert_eq!(valid, fresh);
+        assert_eq!(torn, 0);
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //!    0  pid        (u64; 0 = empty slot)
 //!    8  valid copy (u64; 0 or 1, u64::MAX = no consistent copy yet)
 //!   16  reserved
-//!   64  context copy 0
+//!   64  context copy 0 (checksum word at copy-relative 2616)
 //! 2688  context copy 1
-//! 5312  mapping list copy 0 (count + (vpn, pfn) pairs)
+//! 5312  mapping list copy 0 (count, checksum, then (vpn, pfn) pairs)
 //!   ..  mapping list copy 1
 //! ```
 //!
@@ -16,11 +16,22 @@
 //! the mapped-page count and the VMA table (up to [`MAX_VMAS`] entries).
 //! Checkpoints write the *non-valid* copy and flip `valid` last, so a crash
 //! at any point leaves one complete consistent copy.
+//!
+//! Each copy carries an FNV-1a checksum over its logical contents so that
+//! recovery can detect a copy corrupted by a power cut that tore buffered
+//! NVM writes (8-byte persist granularity). The `valid` flag itself is
+//! *not* checksummed: it is a single 8-byte word whose atomic flip is the
+//! checkpoint commit point, and [`publish`] drains the NVM write buffer on
+//! both sides of the flip so it can never claim an undrained copy.
+//!
+//! [`publish`]: SlotHandle::publish
 
 use kindle_cpu::RegisterFile;
 use kindle_os::{Region, Vma};
 use kindle_types::sanitize::{self, Event};
-use kindle_types::{KindleError, MemKind, Pfn, PhysAddr, PhysMem, Prot, Result, VirtAddr, Vpn};
+use kindle_types::{
+    checksum64, KindleError, MemKind, Pfn, PhysAddr, PhysMem, Prot, Result, VirtAddr, Vpn,
+};
 
 /// Maximum VMAs storable in one context copy.
 pub const MAX_VMAS: usize = 64;
@@ -39,6 +50,13 @@ const MAPPED_OFF: u64 = 160;
 const VMA_COUNT_OFF: u64 = 168;
 const VMAS_OFF: u64 = 176;
 const VMA_BYTES: u64 = 32;
+// VMAs end at 176 + 64 * 32 = 2224; the checksum sits in the copy's last
+// word (COPY_BYTES - 8).
+const COPY_CKSUM_OFF: u64 = COPY_BYTES - 8;
+
+// Mapping-list internal offsets (relative to the list copy base).
+const LIST_CKSUM_OFF: u64 = 8;
+const LIST_ENTRIES_OFF: u64 = 16;
 
 /// No consistent copy exists yet.
 pub const NO_VALID_COPY: u64 = u64::MAX;
@@ -83,7 +101,7 @@ impl SavedStateArea {
 
     /// Mapping-list capacity (entries) per copy.
     pub fn list_capacity(&self) -> u64 {
-        ((self.slot_size - LIST_OFF) / 2 - 8) / 16
+        ((self.slot_size - LIST_OFF) / 2 - LIST_ENTRIES_OFF) / 16
     }
 
     fn slot_base(&self, idx: usize) -> PhysAddr {
@@ -134,12 +152,12 @@ pub struct SlotHandle {
 }
 
 impl SlotHandle {
-    fn list_base(&self, copy: u64) -> PhysAddr {
+    pub(crate) fn list_base(&self, copy: u64) -> PhysAddr {
         let half = (self.slot_size - LIST_OFF) / 2;
         self.base + LIST_OFF + copy * half
     }
 
-    fn copy_base(&self, copy: u64) -> PhysAddr {
+    pub(crate) fn copy_base(&self, copy: u64) -> PhysAddr {
         self.base + if copy == 0 { COPY0_OFF } else { COPY1_OFF }
     }
 
@@ -180,17 +198,21 @@ impl SlotHandle {
         }
     }
 
-    /// Atomically publishes `copy` as the consistent one (write + clwb +
-    /// fence — the commit point of a checkpoint).
+    /// Atomically publishes `copy` as the consistent one — the commit point
+    /// of a checkpoint. The NVM write buffer is drained on both sides of
+    /// the 8-byte flip: before, so the flip can never outrun the copy data
+    /// it names; after, so the flip itself is durable when this returns.
     pub fn publish(&self, mem: &mut dyn PhysMem, copy: u64) {
+        mem.persist_barrier();
         mem.write_u64(self.base + VALID_OFF, copy & 1);
         mem.clwb(self.base + VALID_OFF);
-        mem.sfence();
-        // Reported after the flush: any line of this slot still pending now
+        mem.persist_barrier();
+        // Reported after the drain: any line of this slot still pending now
         // is a write the checkpoint claims durable but never drained.
         sanitize::emit(|| Event::CheckpointPublish {
             lo: self.base.as_u64(),
             hi: self.base.as_u64() + self.slot_size,
+            copy: copy & 1,
             cycle: mem.now().as_u64(),
         });
     }
@@ -221,13 +243,15 @@ impl SlotHandle {
             mem.write_u64(vb + 16, prot_bits(v.prot));
             mem.write_u64(vb + 24, matches!(v.kind, MemKind::Nvm) as u64);
         }
-        // Flush the written extent.
+        mem.write_u64(base + COPY_CKSUM_OFF, checksum64(&context_words(ctx)));
+        // Flush the written extent plus the checksum line.
         let extent = VMAS_OFF + ctx.vmas.len() as u64 * VMA_BYTES;
         let mut off = 0;
         while off < extent {
             mem.clwb(base + off);
             off += 64;
         }
+        mem.clwb(base + COPY_CKSUM_OFF);
         mem.sfence();
         Ok(())
     }
@@ -253,6 +277,14 @@ impl SlotHandle {
         SavedContext { regs: RegisterFile::from_bytes(&regs_bytes), root, mapped_pages, vmas }
     }
 
+    /// Deserializes copy `copy`, returning `None` when its stored checksum
+    /// does not match the contents (a torn or never-completed copy).
+    pub fn read_context_checked(&self, mem: &mut dyn PhysMem, copy: u64) -> Option<SavedContext> {
+        let ctx = self.read_context(mem, copy);
+        let stored = mem.read_u64(self.copy_base(copy) + COPY_CKSUM_OFF);
+        (stored == checksum64(&context_words(&ctx))).then_some(ctx)
+    }
+
     /// Positionally diff-updates mapping-list copy `copy` against the walk
     /// sequence `entries` (sorted by vpn). Reads every stored entry
     /// (charged), writes only changed entries, and returns the number of
@@ -276,15 +308,15 @@ impl SlotHandle {
         let mut written = 0u64;
         let old_count = mem.read_u64(base);
         for (i, &(vpn, pfn)) in entries.iter().enumerate() {
-            let epa = base + 8 + i as u64 * 16;
+            let epa = base + LIST_ENTRIES_OFF + i as u64 * 16;
             mem.advance(kindle_types::Cycles::new(per_entry_instr));
             let old_vpn = mem.read_u64(epa);
             let old_pfn = mem.read_u64(epa + 8);
             if old_vpn != vpn.as_u64() || old_pfn != pfn.as_u64() || i as u64 >= old_count {
                 mem.write_u64(epa, vpn.as_u64());
                 mem.write_u64(epa + 8, pfn.as_u64());
-                // Entries are 16 bytes at an 8-byte offset: they may
-                // straddle two cache lines, and both must reach NVM.
+                // Entries are 16 bytes and may straddle two cache lines;
+                // both must reach NVM.
                 mem.clwb(epa);
                 if (epa + 8).line_base() != epa.line_base() {
                     mem.clwb(epa + 8);
@@ -296,21 +328,80 @@ impl SlotHandle {
             mem.write_u64(base, entries.len() as u64);
             mem.clwb(base);
         }
+        let cksum = checksum64(&list_words(entries));
+        if mem.read_u64(base + LIST_CKSUM_OFF) != cksum {
+            mem.write_u64(base + LIST_CKSUM_OFF, cksum);
+            mem.clwb(base + LIST_CKSUM_OFF);
+        }
         mem.sfence();
         Ok(written)
     }
 
-    /// Reads mapping-list copy `copy`.
+    /// Reads mapping-list copy `copy` without verifying its checksum.
     pub fn read_mapping_list(&self, mem: &mut dyn PhysMem, copy: u64) -> Vec<(Vpn, Pfn)> {
         let base = self.list_base(copy);
-        let count = mem.read_u64(base);
+        // Clamp a (possibly torn) count to what physically fits.
+        let cap = ((self.slot_size - LIST_OFF) / 2 - LIST_ENTRIES_OFF) / 16;
+        let count = mem.read_u64(base).min(cap);
         let mut out = Vec::with_capacity(count as usize);
         for i in 0..count {
-            let epa = base + 8 + i * 16;
+            let epa = base + LIST_ENTRIES_OFF + i * 16;
             out.push((Vpn::new(mem.read_u64(epa)), Pfn::new(mem.read_u64(epa + 8))));
         }
         out
     }
+
+    /// Reads mapping-list copy `copy`, returning `None` when the stored
+    /// checksum does not match the contents.
+    pub fn read_mapping_list_checked(
+        &self,
+        mem: &mut dyn PhysMem,
+        copy: u64,
+    ) -> Option<Vec<(Vpn, Pfn)>> {
+        let base = self.list_base(copy);
+        let raw_count = mem.read_u64(base);
+        let list = self.read_mapping_list(mem, copy);
+        // A count beyond capacity was clamped by the read and can never
+        // re-produce the stored checksum; reject it outright.
+        if raw_count != list.len() as u64 {
+            return None;
+        }
+        let stored = mem.read_u64(base + LIST_CKSUM_OFF);
+        (stored == checksum64(&list_words(&list))).then_some(list)
+    }
+}
+
+/// Logical word sequence a context copy's checksum covers. Built from the
+/// in-memory form so writer and (round-tripping) reader agree.
+fn context_words(ctx: &SavedContext) -> Vec<u64> {
+    let bytes = ctx.regs.to_bytes();
+    let mut words = Vec::with_capacity(bytes.len() / 8 + 3 + ctx.vmas.len() * 4);
+    for c in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..c.len()].copy_from_slice(c);
+        words.push(u64::from_le_bytes(w));
+    }
+    words.push(ctx.root.as_u64());
+    words.push(ctx.mapped_pages);
+    words.push(ctx.vmas.len() as u64);
+    for v in &ctx.vmas {
+        words.push(v.start.as_u64());
+        words.push(v.end.as_u64());
+        words.push(prot_bits(v.prot));
+        words.push(matches!(v.kind, MemKind::Nvm) as u64);
+    }
+    words
+}
+
+/// Logical word sequence a mapping-list copy's checksum covers.
+fn list_words(entries: &[(Vpn, Pfn)]) -> Vec<u64> {
+    let mut words = Vec::with_capacity(1 + entries.len() * 2);
+    words.push(entries.len() as u64);
+    for &(vpn, pfn) in entries {
+        words.push(vpn.as_u64());
+        words.push(pfn.as_u64());
+    }
+    words
 }
 
 fn prot_bits(p: Prot) -> u64 {
@@ -437,6 +528,37 @@ mod tests {
             s.update_mapping_list(&mut mem, 0, &entries, 1, 5),
             Err(KindleError::RegionFull(_))
         ));
+    }
+
+    #[test]
+    fn context_checksum_detects_corruption() {
+        let (mut mem, area) = area();
+        let i = area.find_or_alloc(&mut mem, 3).unwrap();
+        let s = area.slot(i);
+        let c = ctx();
+        s.write_context(&mut mem, 0, &c).unwrap();
+        assert_eq!(s.read_context_checked(&mut mem, 0), Some(c));
+        // Flip one word of the serialized VMA table (a torn 8-byte persist).
+        let victim = s.copy_base(0) + VMAS_OFF + 8;
+        let old = mem.read_u64(victim);
+        mem.write_u64(victim, old ^ 0x1000);
+        assert_eq!(s.read_context_checked(&mut mem, 0), None);
+    }
+
+    #[test]
+    fn mapping_list_checksum_detects_corruption() {
+        let (mut mem, area) = area();
+        let i = area.find_or_alloc(&mut mem, 3).unwrap();
+        let s = area.slot(i);
+        let cap = area.list_capacity();
+        let entries: Vec<_> =
+            (0..10u64).map(|k| (Vpn::new(0x40000 + k), Pfn::new(0x1000 + k))).collect();
+        s.update_mapping_list(&mut mem, 0, &entries, 1, cap).unwrap();
+        assert_eq!(s.read_mapping_list_checked(&mut mem, 0), Some(entries));
+        let victim = s.list_base(0) + LIST_ENTRIES_OFF + 3 * 16;
+        let old = mem.read_u64(victim);
+        mem.write_u64(victim, old ^ 1);
+        assert_eq!(s.read_mapping_list_checked(&mut mem, 0), None);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Machine configuration (Table I defaults).
 
+use std::cell::Cell;
+
 use kindle_cache::HierarchyConfig;
 use kindle_hscc::HsccConfig;
-use kindle_mem::MemConfig;
+use kindle_mem::{MediaFaultConfig, MemConfig};
 use kindle_os::{KernelCosts, PtMode};
 use kindle_ssp::SspConfig;
 use kindle_tlb::TwoLevelTlbConfig;
@@ -102,6 +104,32 @@ impl MachineConfig {
         self.mem.nvm = nvm;
         self
     }
+
+    /// Enables the NVM media-fault model (wear-out + stuck cells) with the
+    /// default intensities for `seed`.
+    pub fn with_media_faults(mut self, seed: u64) -> Self {
+        self.mem.faults = Some(MediaFaultConfig::with_seed(seed));
+        self
+    }
+}
+
+thread_local! {
+    /// Ambient media-fault seed, so CLI flags can inject faults into
+    /// machines whose construction sites they do not control (mirrors the
+    /// thread-local sanitizer installation in `kindle_types::sanitize`).
+    static MEDIA_FAULT_SEED: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Sets (or with `None` clears) a thread-local media-fault seed. Machines
+/// built on this thread whose config leaves `mem.faults` unset pick it up;
+/// an explicit config always wins.
+pub fn set_thread_media_fault_seed(seed: Option<u64>) {
+    MEDIA_FAULT_SEED.with(|s| s.set(seed));
+}
+
+/// The ambient seed, if one is set on this thread.
+pub(crate) fn thread_media_fault_seed() -> Option<u64> {
+    MEDIA_FAULT_SEED.with(Cell::get)
 }
 
 impl Default for MachineConfig {

@@ -9,7 +9,7 @@
 use kindle_cache::Hierarchy;
 use kindle_cpu::{Activity, Core};
 use kindle_mem::MemoryController;
-use kindle_types::{AccessKind, Cycles, PhysAddr, PhysMem, CACHE_LINE};
+use kindle_types::{AccessKind, Cycles, PhysAddr, PhysMem, Rng64, CACHE_LINE};
 
 use crate::config::MachineConfig;
 
@@ -90,6 +90,14 @@ impl Hw {
         self.caches.invalidate_all();
         self.mc.crash();
     }
+
+    /// Power failure without ADR: caches lose everything, and whatever the
+    /// controller had accepted but not yet drained to media is torn at
+    /// 8-byte granularity (the NVM persist atom) using `rng`.
+    pub fn crash_torn(&mut self, rng: &mut Rng64) {
+        self.caches.invalidate_all();
+        self.mc.crash_torn(rng);
+    }
 }
 
 impl PhysMem for Hw {
@@ -168,6 +176,17 @@ impl PhysMem for Hw {
         if !self.free_mode {
             self.core.advance(Cycles::new(10));
         }
+    }
+
+    fn persist_barrier(&mut self) {
+        if self.free_mode {
+            // DMA-style stores commit straight to media; nothing to drain.
+            return;
+        }
+        self.sfence();
+        let now = self.core.now();
+        let lat = self.mc.nvm_drain_latency(now);
+        self.core.advance(lat);
     }
 
     fn advance(&mut self, cost: Cycles) {

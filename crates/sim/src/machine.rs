@@ -2,6 +2,7 @@
 
 use kindle_cpu::Activity;
 use kindle_hscc::HsccEngine;
+use kindle_mem::PowerSwitch;
 use kindle_os::{Kernel, KernelConfig, UnmapOutcome};
 use kindle_persist::{recover_all, CheckpointEngine, RecoveryReport};
 use kindle_ssp::SspEngine;
@@ -9,7 +10,7 @@ use kindle_tlb::{MsrFile, PageWalker, TlbEntry, TwoLevelTlb};
 use kindle_trace::ReplayProgram;
 use kindle_types::{
     AccessKind, Cycles, KindleError, MapFlags, MemKind, Pfn, PhysAddr, PhysMem, Prot, Pte, Result,
-    VirtAddr, CACHE_LINE,
+    Rng64, VirtAddr, CACHE_LINE,
 };
 
 use crate::config::MachineConfig;
@@ -84,7 +85,12 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates kernel/engine construction failures.
-    pub fn new(cfg: MachineConfig) -> Result<Self> {
+    pub fn new(mut cfg: MachineConfig) -> Result<Self> {
+        if cfg.mem.faults.is_none() {
+            if let Some(seed) = crate::config::thread_media_fault_seed() {
+                cfg = cfg.with_media_faults(seed);
+            }
+        }
         let mut hw = Hw::new(&cfg);
         let kcfg = KernelConfig {
             memory_map: cfg.mem.layout.clone(),
@@ -477,8 +483,26 @@ impl Machine {
     /// and syscall.
     fn poll_timers(&mut self, pid: u32) -> Result<()> {
         loop {
-            let now = self.hw.now();
             let mut fired = false;
+
+            // Frames whose media wore out since the last poll: the OS
+            // retires them (remapping any mapped page onto a fresh frame).
+            for raw in self.hw.mc.take_failed_frames() {
+                let prev = self.hw.set_activity(Activity::Os);
+                let r = self.kernel.retire_nvm_frame(&mut self.hw, Pfn::new(raw));
+                self.hw.set_activity(prev);
+                if let Some((owner, vpn, _new_pfn)) = r? {
+                    self.hw.advance(Cycles::new(20));
+                    if let Some(entry) = self.tlb.invalidate(vpn) {
+                        self.tlb_shootdowns += 1;
+                        self.on_tlb_dropped(owner, entry)?;
+                    }
+                }
+                self.drain_meta()?;
+                fired = true;
+            }
+
+            let now = self.hw.now();
 
             if let Some(engine) = self.persist.as_mut() {
                 if engine.due(now) {
@@ -605,6 +629,31 @@ impl Machine {
     /// Propagates reboot failures.
     pub fn crash(&mut self) -> Result<()> {
         self.hw.crash();
+        self.reboot()
+    }
+
+    /// Arms the memory controller with a fresh power switch and returns it.
+    /// Cutting the switch freezes durability: every write-back accepted
+    /// after the cut instant is discarded by the eventual crash.
+    pub fn arm_power_cut(&mut self) -> PowerSwitch {
+        let switch = PowerSwitch::new();
+        self.hw.mc.arm_power_cut(switch.clone());
+        switch
+    }
+
+    /// Like [`Machine::crash`], but without ADR: the controller's in-flight
+    /// write buffer is lost, with the oldest pending lines torn at 8-byte
+    /// granularity using `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reboot failures.
+    pub fn crash_torn(&mut self, rng: &mut Rng64) -> Result<()> {
+        self.hw.crash_torn(rng);
+        self.reboot()
+    }
+
+    fn reboot(&mut self) -> Result<()> {
         let _ = self.tlb.flush_all();
         self.active_pid = None;
         self.msr = MsrFile::new();
@@ -644,8 +693,9 @@ impl Machine {
             .as_ref()
             .ok_or(KindleError::InvalidArgument("checkpointing not enabled"))?;
         let area = *engine.area();
+        let log = *engine.log();
         let prev = self.hw.set_activity(Activity::Recovery);
-        let report = recover_all(&mut self.hw, &mut self.kernel, &area);
+        let report = recover_all(&mut self.hw, &mut self.kernel, &area, &log);
         self.hw.set_activity(prev);
         report
     }

@@ -17,6 +17,7 @@
 //! ```
 
 pub mod addr;
+pub mod checksum;
 pub mod error;
 pub mod flags;
 pub mod physmem;
@@ -26,10 +27,12 @@ pub mod sanitize;
 pub mod time;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
+pub use checksum::checksum64;
 pub use error::{KindleError, Result};
 pub use flags::{AccessKind, MapFlags, MemKind, Prot};
 pub use physmem::PhysMem;
 pub use pte::Pte;
+pub use rng::Rng64;
 pub use time::{Cycles, CPU_FREQ_GHZ};
 
 /// Size of one page in bytes (4 KiB, matching x86-64 base pages).

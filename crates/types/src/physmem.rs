@@ -47,6 +47,17 @@ pub trait PhysMem {
     /// Store fence: orders preceding write-backs. Charges a small fixed cost.
     fn sfence(&mut self);
 
+    /// Durability barrier: when this returns, every previously accepted NVM
+    /// write-back is on media — the device write buffer has fully drained.
+    /// A plain `sfence` only orders write-backs into the buffer; on a
+    /// non-ADR platform the buffer contents are still lost on power cut.
+    /// The default implementation is `sfence` (suits memories with no
+    /// buffer, like [`FlatMem`]); buffered implementations must override it
+    /// and charge the drain latency.
+    fn persist_barrier(&mut self) {
+        self.sfence();
+    }
+
     /// Charges `cost` of pure compute time (instructions that perform no
     /// memory traffic).
     fn advance(&mut self, cost: Cycles);

@@ -67,6 +67,8 @@ pub enum Event {
         lo: u64,
         /// Slot end physical address (exclusive).
         hi: u64,
+        /// Which A/B context copy (0 or 1) became the valid one.
+        copy: u64,
         /// Simulated time of the publish.
         cycle: u64,
     },
@@ -79,6 +81,14 @@ pub enum Event {
     },
     /// A physical frame was returned to the `pool` allocator.
     FrameFree {
+        /// Pool label ("dram" / "nvm").
+        pool: &'static str,
+        /// The frame number.
+        pfn: u64,
+    },
+    /// A physical frame was permanently retired (worn-out media); it will
+    /// never be handed out again.
+    FrameRetired {
         /// Pool label ("dram" / "nvm").
         pool: &'static str,
         /// The frame number.
@@ -344,7 +354,7 @@ impl Sanitizer for InvariantChecker {
                 // identities no longer apply.
                 self.reset_volatile();
             }
-            Event::CheckpointPublish { lo, hi, cycle } => {
+            Event::CheckpointPublish { lo, hi, cycle, .. } => {
                 for (&line, &written_at) in self.pending.range(lo..hi) {
                     self.log.push(Violation::UndrainedCheckpoint {
                         line,
@@ -375,6 +385,18 @@ impl Sanitizer for InvariantChecker {
                         }
                     }
                 }
+                self.freed.insert(pfn);
+                if let Some(vpns) = self.ptes.get(&pfn) {
+                    if let Some(&vpn) = vpns.iter().next() {
+                        self.log.push(Violation::DanglingPte { pfn, vpn });
+                    }
+                }
+            }
+            Event::FrameRetired { pool: _, pfn } => {
+                // A retired frame behaves like a freed one that can never be
+                // reallocated: mapping it afterwards is a MapOfFreeFrame,
+                // and retiring it while still mapped leaves a dangling PTE.
+                self.live.remove(&pfn);
                 self.freed.insert(pfn);
                 if let Some(vpns) = self.ptes.get(&pfn) {
                     if let Some(&vpn) = vpns.iter().next() {
@@ -448,7 +470,7 @@ mod tests {
             emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
             emit(|| Event::NvmWrite { line: 0x2000, cycle: 6 });
             emit(|| Event::NvmCommit { line: 0x1000 });
-            emit(|| Event::CheckpointPublish { lo: 0x1000, hi: 0x3000, cycle: 9 });
+            emit(|| Event::CheckpointPublish { lo: 0x1000, hi: 0x3000, copy: 0, cycle: 9 });
         });
         assert_eq!(
             v,
@@ -460,7 +482,7 @@ mod tests {
     fn publish_outside_range_clean() {
         let v = with_checker(|| {
             emit(|| Event::NvmWrite { line: 0x9000, cycle: 1 });
-            emit(|| Event::CheckpointPublish { lo: 0x1000, hi: 0x3000, cycle: 2 });
+            emit(|| Event::CheckpointPublish { lo: 0x1000, hi: 0x3000, copy: 0, cycle: 2 });
         });
         assert!(v.is_empty(), "{v:?}");
     }
@@ -470,7 +492,7 @@ mod tests {
         let v = with_checker(|| {
             emit(|| Event::NvmWrite { line: 0x1000, cycle: 1 });
             emit(|| Event::NvmDrain { cycle: 2 });
-            emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, cycle: 3 });
+            emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, copy: 0, cycle: 3 });
         });
         assert!(v.is_empty(), "{v:?}");
     }
@@ -537,6 +559,26 @@ mod tests {
     }
 
     #[test]
+    fn retired_frame_acts_like_freed_forever() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 12 });
+            emit(|| Event::FrameRetired { pool: "nvm", pfn: 12 });
+            emit(|| Event::PteInstall { pfn: 12, vpn: 0x600 });
+        });
+        assert_eq!(v, vec![Violation::MapOfFreeFrame { pfn: 12, vpn: 0x600 }]);
+    }
+
+    #[test]
+    fn retire_while_mapped_is_dangling() {
+        let v = with_checker(|| {
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 13 });
+            emit(|| Event::PteInstall { pfn: 13, vpn: 0x700 });
+            emit(|| Event::FrameRetired { pool: "nvm", pfn: 13 });
+        });
+        assert_eq!(v, vec![Violation::DanglingPte { pfn: 13, vpn: 0x700 }]);
+    }
+
+    #[test]
     fn log_apply_order_enforced() {
         let v = with_checker(|| {
             emit(|| Event::LogApply { seq: 0 });
@@ -565,7 +607,7 @@ mod tests {
             emit(|| Event::FrameAlloc { pool: "nvm", pfn: 9 });
             emit(|| Event::PteInstall { pfn: 9, vpn: 1 });
             emit(|| Event::Crash);
-            emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, cycle: 2 });
+            emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, copy: 0, cycle: 2 });
             emit(|| Event::FrameFree { pool: "nvm", pfn: 9 });
         });
         assert!(v.is_empty(), "{v:?}");

@@ -116,6 +116,22 @@ pub fn maybe_csv<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
     }
 }
 
+/// Writes rows as a JSON array when `--json <path>` was passed — the
+/// machine-readable twin of [`maybe_csv`], consumed by the CI bench-smoke
+/// job's artifact upload.
+pub fn maybe_json<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(i + 1) {
+            let data = kindle_core::experiments::to_json(rows);
+            match std::fs::write(path, data) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("json write failed: {e}"),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
-use kindle_types::sanitize::{Event, Sanitizer};
+use kindle_types::sanitize::{Event, Sanitizer, ThreadId};
 
 /// A violated recovery obligation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,7 +112,7 @@ impl RecoveryChecker {
 }
 
 impl Sanitizer for RecoveryChecker {
-    fn on_event(&mut self, ev: &Event) {
+    fn on_event(&mut self, _tid: ThreadId, ev: &Event) {
         match *ev {
             Event::Crash => {
                 self.crashed = true;
@@ -167,7 +167,10 @@ mod tests {
     fn alternating_publishes_clean() {
         let v = run(|c| {
             for copy in [0, 1, 0, 1] {
-                c.on_event(&Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy, cycle: 1 });
+                c.on_event(
+                    ThreadId::MAIN,
+                    &Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy, cycle: 1 },
+                );
             }
         });
         assert!(v.is_empty(), "{v:?}");
@@ -176,8 +179,14 @@ mod tests {
     #[test]
     fn republish_same_copy_flagged() {
         let v = run(|c| {
-            c.on_event(&Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 1 });
-            c.on_event(&Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 2 });
+            c.on_event(
+                ThreadId::MAIN,
+                &Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 1 },
+            );
+            c.on_event(
+                ThreadId::MAIN,
+                &Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 2 },
+            );
         });
         assert_eq!(v, vec![RecoveryViolation::RepublishedSameCopy { slot: 0x100, copy: 0 }]);
     }
@@ -185,8 +194,14 @@ mod tests {
     #[test]
     fn publishes_tracked_per_slot() {
         let v = run(|c| {
-            c.on_event(&Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 1 });
-            c.on_event(&Event::CheckpointPublish { lo: 0x900, hi: 0xa00, copy: 0, cycle: 2 });
+            c.on_event(
+                ThreadId::MAIN,
+                &Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 1 },
+            );
+            c.on_event(
+                ThreadId::MAIN,
+                &Event::CheckpointPublish { lo: 0x900, hi: 0xa00, copy: 0, cycle: 2 },
+            );
         });
         assert!(v.is_empty(), "distinct slots may publish the same copy index");
     }
@@ -194,10 +209,16 @@ mod tests {
     #[test]
     fn alternation_survives_crash() {
         let v = run(|c| {
-            c.on_event(&Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 1 });
-            c.on_event(&Event::Crash);
+            c.on_event(
+                ThreadId::MAIN,
+                &Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 0, cycle: 1 },
+            );
+            c.on_event(ThreadId::MAIN, &Event::Crash);
             // The durable flag still says 0, so the next publish must be 1.
-            c.on_event(&Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 1, cycle: 9 });
+            c.on_event(
+                ThreadId::MAIN,
+                &Event::CheckpointPublish { lo: 0x100, hi: 0x200, copy: 1, cycle: 9 },
+            );
         });
         assert!(v.is_empty(), "{v:?}");
     }
@@ -205,10 +226,11 @@ mod tests {
     #[test]
     fn pte_into_unrecovered_frame_flagged() {
         let v = run(|c| {
-            c.on_event(&Event::Crash);
-            c.on_event(&Event::FrameAlloc { pool: "nvm", pfn: 5 });
-            c.on_event(&Event::PteInstall { pfn: 5, vpn: 0x10 }); // fine
-            c.on_event(&Event::PteInstall { pfn: 6, vpn: 0x11 }); // never re-allocated
+            c.on_event(ThreadId::MAIN, &Event::Crash);
+            c.on_event(ThreadId::MAIN, &Event::FrameAlloc { pool: "nvm", pfn: 5 });
+            c.on_event(ThreadId::MAIN, &Event::PteInstall { pfn: 5, vpn: 0x10 }); // fine
+            c.on_event(ThreadId::MAIN, &Event::PteInstall { pfn: 6, vpn: 0x11 });
+            // never re-allocated
         });
         assert_eq!(v, vec![RecoveryViolation::PteIntoUnrecoveredFrame { pfn: 6, vpn: 0x11 }]);
     }
@@ -216,7 +238,7 @@ mod tests {
     #[test]
     fn pre_crash_installs_not_judged() {
         let v = run(|c| {
-            c.on_event(&Event::PteInstall { pfn: 77, vpn: 0x1 });
+            c.on_event(ThreadId::MAIN, &Event::PteInstall { pfn: 77, vpn: 0x1 });
         });
         assert!(v.is_empty(), "before any crash the live set is incomplete");
     }
@@ -224,10 +246,10 @@ mod tests {
     #[test]
     fn live_set_resets_each_crash() {
         let v = run(|c| {
-            c.on_event(&Event::Crash);
-            c.on_event(&Event::FrameAlloc { pool: "nvm", pfn: 5 });
-            c.on_event(&Event::Crash);
-            c.on_event(&Event::PteInstall { pfn: 5, vpn: 0x10 });
+            c.on_event(ThreadId::MAIN, &Event::Crash);
+            c.on_event(ThreadId::MAIN, &Event::FrameAlloc { pool: "nvm", pfn: 5 });
+            c.on_event(ThreadId::MAIN, &Event::Crash);
+            c.on_event(ThreadId::MAIN, &Event::PteInstall { pfn: 5, vpn: 0x10 });
         });
         assert_eq!(v, vec![RecoveryViolation::PteIntoUnrecoveredFrame { pfn: 5, vpn: 0x10 }]);
     }
@@ -235,9 +257,9 @@ mod tests {
     #[test]
     fn replay_twice_in_one_pass_flagged() {
         let v = run(|c| {
-            c.on_event(&Event::LogApply { seq: 0 });
-            c.on_event(&Event::LogApply { seq: 1 });
-            c.on_event(&Event::LogApply { seq: 1 });
+            c.on_event(ThreadId::MAIN, &Event::LogApply { seq: 0 });
+            c.on_event(ThreadId::MAIN, &Event::LogApply { seq: 1 });
+            c.on_event(ThreadId::MAIN, &Event::LogApply { seq: 1 });
         });
         assert_eq!(v, vec![RecoveryViolation::LogReplayedTwice { seq: 1 }]);
     }
@@ -246,8 +268,8 @@ mod tests {
     fn two_full_passes_clean() {
         let v = run(|c| {
             for _ in 0..2 {
-                c.on_event(&Event::LogApply { seq: 0 });
-                c.on_event(&Event::LogApply { seq: 1 });
+                c.on_event(ThreadId::MAIN, &Event::LogApply { seq: 0 });
+                c.on_event(ThreadId::MAIN, &Event::LogApply { seq: 1 });
             }
         });
         assert!(v.is_empty(), "idempotent re-recovery restarts the pass at 0");

@@ -28,7 +28,7 @@ use std::rc::Rc;
 
 use kindle_os::PtMode;
 use kindle_sim::{Machine, MachineConfig};
-use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer};
+use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer, ThreadId};
 use kindle_types::{checksum64, AccessKind, Cycles, MapFlags, Prot, Result, Rng64, PAGE_SIZE};
 
 use crate::plan::FaultPlan;
@@ -66,16 +66,25 @@ pub struct SweepOutcome {
 struct SharedSanitizer<S: Sanitizer>(Rc<RefCell<S>>);
 
 impl<S: Sanitizer> Sanitizer for SharedSanitizer<S> {
-    fn on_event(&mut self, ev: &Event) {
-        self.0.borrow_mut().on_event(ev);
+    fn on_event(&mut self, tid: ThreadId, ev: &Event) {
+        self.0.borrow_mut().on_event(tid, ev);
     }
 }
 
 /// The machine under test: checkpointing on, but at an interval the
 /// workload never reaches — every checkpoint is an explicit
 /// `checkpoint_now`, so the golden boundary enumeration is stable.
-fn config(mode: PtMode) -> MachineConfig {
-    MachineConfig::small().with_pt_mode(mode).with_checkpointing(Cycles::from_millis(1000))
+/// `threaded` additionally runs checkpoints on the simulated daemon
+/// kthread: the boundary *structure* is unchanged (thread switches are not
+/// persist boundaries), only cycle stamps and event thread ids move.
+fn config(mode: PtMode, threaded: bool) -> MachineConfig {
+    let cfg =
+        MachineConfig::small().with_pt_mode(mode).with_checkpointing(Cycles::from_millis(1000));
+    if threaded {
+        cfg.with_kthreads()
+    } else {
+        cfg
+    }
 }
 
 /// The deterministic workload: three phases, each mapping and touching NVM
@@ -109,9 +118,14 @@ fn run_workload(m: &mut Machine, pid: u32) -> Result<()> {
 /// Panics if the workload did not publish one checkpoint per phase (the
 /// harness itself would be broken).
 pub fn golden_run(mode: PtMode) -> Result<GoldenRun> {
+    golden_run_with(mode, false)
+}
+
+/// [`golden_run`] with checkpoints optionally on a daemon kthread.
+fn golden_run_with(mode: PtMode, threaded: bool) -> Result<GoldenRun> {
     let counter = Rc::new(RefCell::new(BoundaryCounter::new()));
     let guard = sanitize::install(Box::new(SharedSanitizer(counter.clone())));
-    let mut m = Machine::new(config(mode))?;
+    let mut m = Machine::new(config(mode, threaded))?;
     let pid = m.spawn_process()?;
     run_workload(&mut m, pid)?;
     drop(guard);
@@ -149,6 +163,7 @@ fn expected_marker(golden: &GoldenRun, b: u64) -> Option<u64> {
 /// `digest_words`. Returns whether the workload process survived.
 fn crash_at_boundary(
     mode: PtMode,
+    threaded: bool,
     golden: &GoldenRun,
     b: u64,
     rng: &mut Rng64,
@@ -162,7 +177,7 @@ fn crash_at_boundary(
     let switch = trigger.switch();
     let guard = sanitize::install(Box::new(trigger));
 
-    let mut m = Machine::new(config(mode))?;
+    let mut m = Machine::new(config(mode, threaded))?;
     m.hw.mc.arm_power_cut(switch.clone());
     let pid = m.spawn_process()?;
     run_workload(&mut m, pid)?;
@@ -237,18 +252,132 @@ fn crash_at_boundary(
 /// Panics when a recovery check fails (wrong checkpoint recovered, checker
 /// violations, golden run out of sync).
 pub fn run_sweep(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
-    let golden = golden_run(mode)?;
+    run_sweep_with(mode, seed, false)
+}
+
+/// [`run_sweep`] with every checkpoint executing on the simulated
+/// checkpoint daemon kthread. The thread interleaving is replayed
+/// deterministically from the seed: the schedule is a pure function of the
+/// (seed-fixed) event sequence, so equal seeds still mean equal digests.
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_threaded(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
+    run_sweep_with(mode, seed, true)
+}
+
+fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool) -> Result<SweepOutcome> {
+    let golden = golden_run_with(mode, threaded)?;
     let mut digest_words = vec![golden.boundaries, golden.nvm_writes];
     let mut recovered = 0u64;
     for b in 0..golden.boundaries {
         // A fresh generator per boundary keeps crash points independent:
         // inserting a boundary does not shift every later tear.
         let mut rng = Rng64::new(seed ^ (b + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        if crash_at_boundary(mode, &golden, b, &mut rng, &mut digest_words)? {
+        if crash_at_boundary(mode, threaded, &golden, b, &mut rng, &mut digest_words)? {
             recovered += 1;
         }
     }
     Ok(SweepOutcome { boundaries: golden.boundaries, recovered, digest: checksum64(&digest_words) })
+}
+
+/// Crashes one fresh machine right after its `w`-th NVM line write,
+/// recovers, verifies, and appends the observables to `digest_words`.
+/// Unlike a boundary cut, a write-granular cut can land mid-protocol, so
+/// the expected checkpoint is not derivable from the golden enumeration;
+/// instead the check is that recovery lands on *some* phase checkpoint (or
+/// cleanly on none), with zero checker violations, and that the machine is
+/// operational afterwards.
+fn crash_at_nvm_write(
+    mode: PtMode,
+    w: u64,
+    rng: &mut Rng64,
+    digest_words: &mut Vec<u64>,
+) -> Result<bool> {
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let rc = RecoveryChecker::new();
+    let rc_log = rc.log();
+    let trigger =
+        PowerCutTrigger::new(FaultPlan::at_nvm_write(w), vec![Box::new(ic), Box::new(rc)]);
+    let switch = trigger.switch();
+    let guard = sanitize::install(Box::new(trigger));
+
+    let mut m = Machine::new(config(mode, false))?;
+    m.hw.mc.arm_power_cut(switch.clone());
+    let pid = m.spawn_process()?;
+    run_workload(&mut m, pid)?;
+    assert!(switch.is_cut(), "NVM write {w} never reached; golden run out of sync");
+
+    m.crash_torn(rng)?;
+    let report = m.recover()?;
+
+    let recovered = report.recovered_pids.contains(&pid);
+    if recovered {
+        let rip = m.kernel.process(pid)?.regs.rip;
+        assert!(
+            PHASE_MARKERS.contains(&rip),
+            "NVM write {w}: recovered rip {rip:#x} is not a phase checkpoint"
+        );
+    }
+
+    // The machine must still be fully operational after recovery.
+    let cont_pid = if recovered { pid } else { m.spawn_process()? };
+    let cva = m.mmap(cont_pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
+    m.access(cont_pid, cva, AccessKind::Write)?;
+    m.kernel.process_mut(cont_pid)?.regs.rip = CONTINUATION_MARKER;
+    m.checkpoint_now()?;
+
+    let ic_violations = ic_log.take();
+    assert!(ic_violations.is_empty(), "NVM write {w}: invariant violations {ic_violations:?}");
+    let rc_violations = rc_log.take();
+    assert!(rc_violations.is_empty(), "NVM write {w}: recovery violations {rc_violations:?}");
+
+    digest_words.extend([
+        w,
+        u64::from(recovered),
+        if recovered { m.kernel.process(pid)?.regs.rip } else { 0 },
+        report.log_records_replayed,
+        report.torn_log_records,
+        report.copy_fallbacks,
+        report.frames_repaired,
+        report.pages_remapped,
+        report.dram_entries_dropped,
+        m.now().as_u64(),
+    ]);
+    drop(guard);
+    Ok(recovered)
+}
+
+/// ROADMAP item: the write-granular sweep. Cuts power after every
+/// `stride`-th NVM line write of the workload (stride 1 = exhaustive; the
+/// exhaustive run sits behind `--ignored` in CI's sweep job). Returns a
+/// [`SweepOutcome`] whose `boundaries` counts the crash points exercised.
+///
+/// # Errors
+///
+/// Propagates machine/workload/recovery failures.
+///
+/// # Panics
+///
+/// Panics when a recovery check fails.
+pub fn run_nvm_write_sweep(mode: PtMode, seed: u64, stride: u64) -> Result<SweepOutcome> {
+    let golden = golden_run(mode)?;
+    let stride = stride.max(1);
+    let mut digest_words = vec![golden.boundaries, golden.nvm_writes, stride];
+    let mut recovered = 0u64;
+    let mut points = 0u64;
+    let mut w = 0u64;
+    while w < golden.nvm_writes {
+        let mut rng = Rng64::new(seed ^ (w + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if crash_at_nvm_write(mode, w, &mut rng, &mut digest_words)? {
+            recovered += 1;
+        }
+        points += 1;
+        w += stride;
+    }
+    Ok(SweepOutcome { boundaries: points, recovered, digest: checksum64(&digest_words) })
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The sanitizer that pulls the plug.
 
 use kindle_mem::PowerSwitch;
-use kindle_types::sanitize::{Event, Sanitizer};
+use kindle_types::sanitize::{Event, Sanitizer, ThreadId};
 
 use crate::plan::{FaultPlan, FaultPoint};
 
@@ -102,7 +102,7 @@ impl PowerCutTrigger {
 }
 
 impl Sanitizer for PowerCutTrigger {
-    fn on_event(&mut self, ev: &Event) {
+    fn on_event(&mut self, tid: ThreadId, ev: &Event) {
         if self.dead {
             let durable_publish =
                 self.forward_publish && matches!(ev, Event::CheckpointPublish { .. });
@@ -112,7 +112,7 @@ impl Sanitizer for PowerCutTrigger {
             }
             if durable_publish || matches!(ev, Event::Crash) {
                 for s in &mut self.inner {
-                    s.on_event(ev);
+                    s.on_event(tid, ev);
                 }
             }
             return;
@@ -120,7 +120,7 @@ impl Sanitizer for PowerCutTrigger {
         // The triggering event itself completed before the cut, so the
         // checkers must see it.
         for s in &mut self.inner {
-            s.on_event(ev);
+            s.on_event(tid, ev);
         }
         if !self.fired && self.hit(ev) {
             self.switch.cut();
@@ -153,7 +153,7 @@ impl BoundaryCounter {
 }
 
 impl Sanitizer for BoundaryCounter {
-    fn on_event(&mut self, ev: &Event) {
+    fn on_event(&mut self, _tid: ThreadId, ev: &Event) {
         if matches!(ev, Event::NvmWrite { .. }) {
             self.nvm_writes += 1;
         }
@@ -176,7 +176,7 @@ mod tests {
     struct Tap(Rc<RefCell<Vec<Event>>>);
 
     impl Sanitizer for Tap {
-        fn on_event(&mut self, ev: &Event) {
+        fn on_event(&mut self, _tid: ThreadId, ev: &Event) {
             self.0.borrow_mut().push(*ev);
         }
     }
@@ -192,15 +192,15 @@ mod tests {
             PowerCutTrigger::new(FaultPlan::at_boundary(1), vec![Box::new(Tap(seen.clone()))]);
         let switch = t.switch();
 
-        t.on_event(&drain(10)); // boundary 0
+        t.on_event(ThreadId::MAIN, &drain(10)); // boundary 0
         assert!(!switch.is_cut());
-        t.on_event(&Event::NvmWrite { line: 0x40, cycle: 11 }); // not a boundary
-        t.on_event(&Event::LogAppend { seq: 0 }); // boundary 1 → cut
+        t.on_event(ThreadId::MAIN, &Event::NvmWrite { line: 0x40, cycle: 11 }); // not a boundary
+        t.on_event(ThreadId::MAIN, &Event::LogAppend { seq: 0 }); // boundary 1 → cut
         assert!(switch.is_cut());
-        t.on_event(&drain(12)); // doomed: suppressed
+        t.on_event(ThreadId::MAIN, &drain(12)); // doomed: suppressed
         assert_eq!(seen.borrow().len(), 3, "doomed event not forwarded");
-        t.on_event(&Event::Crash);
-        t.on_event(&drain(13)); // post-crash: forwarded again
+        t.on_event(ThreadId::MAIN, &Event::Crash);
+        t.on_event(ThreadId::MAIN, &drain(13)); // post-crash: forwarded again
         assert_eq!(seen.borrow().len(), 5);
         assert!(matches!(seen.borrow()[3], Event::Crash));
     }
@@ -210,7 +210,7 @@ mod tests {
         let seen = Rc::new(RefCell::new(Vec::new()));
         let mut t =
             PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![Box::new(Tap(seen.clone()))]);
-        t.on_event(&drain(1));
+        t.on_event(ThreadId::MAIN, &drain(1));
         assert_eq!(seen.borrow().len(), 1);
     }
 
@@ -219,10 +219,10 @@ mod tests {
         let mut t = PowerCutTrigger::new(FaultPlan::at_nvm_write(2), vec![]);
         let switch = t.switch();
         for i in 0..2 {
-            t.on_event(&Event::NvmWrite { line: i * 64, cycle: i });
+            t.on_event(ThreadId::MAIN, &Event::NvmWrite { line: i * 64, cycle: i });
             assert!(!switch.is_cut());
         }
-        t.on_event(&Event::NvmWrite { line: 1024, cycle: 9 });
+        t.on_event(ThreadId::MAIN, &Event::NvmWrite { line: 1024, cycle: 9 });
         assert!(switch.is_cut());
     }
 
@@ -230,9 +230,9 @@ mod tests {
     fn cuts_at_cycle() {
         let mut t = PowerCutTrigger::new(FaultPlan::at_cycle(100), vec![]);
         let switch = t.switch();
-        t.on_event(&Event::NvmWrite { line: 0, cycle: 99 });
+        t.on_event(ThreadId::MAIN, &Event::NvmWrite { line: 0, cycle: 99 });
         assert!(!switch.is_cut());
-        t.on_event(&Event::NvmWrite { line: 0, cycle: 100 });
+        t.on_event(ThreadId::MAIN, &Event::NvmWrite { line: 0, cycle: 100 });
         assert!(switch.is_cut());
     }
 
@@ -240,13 +240,13 @@ mod tests {
     fn fires_only_once() {
         let mut t = PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![]);
         let switch = t.switch();
-        t.on_event(&drain(1));
+        t.on_event(ThreadId::MAIN, &drain(1));
         assert!(switch.is_cut());
-        t.on_event(&Event::Crash);
+        t.on_event(ThreadId::MAIN, &Event::Crash);
         switch.reset();
         // A second pass over more boundaries must not cut again.
-        t.on_event(&drain(2));
-        t.on_event(&drain(3));
+        t.on_event(ThreadId::MAIN, &drain(2));
+        t.on_event(ThreadId::MAIN, &drain(3));
         assert!(!switch.is_cut());
     }
 
@@ -255,11 +255,11 @@ mod tests {
         let seen = Rc::new(RefCell::new(Vec::new()));
         let mut t =
             PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![Box::new(Tap(seen.clone()))]);
-        t.on_event(&drain(5)); // flip barrier → cut
-                               // The flip already drained, so this publish is durable.
-        t.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 6 });
+        t.on_event(ThreadId::MAIN, &drain(5)); // flip barrier → cut
+                                               // The flip already drained, so this publish is durable.
+        t.on_event(ThreadId::MAIN, &Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 6 });
         assert_eq!(seen.borrow().len(), 2, "durable publish must reach the checkers");
-        t.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 0, cycle: 7 });
+        t.on_event(ThreadId::MAIN, &Event::CheckpointPublish { lo: 0, hi: 64, copy: 0, cycle: 7 });
         assert_eq!(seen.borrow().len(), 2, "later doomed publishes stay suppressed");
     }
 
@@ -268,21 +268,21 @@ mod tests {
         let seen = Rc::new(RefCell::new(Vec::new()));
         let mut t =
             PowerCutTrigger::new(FaultPlan::at_boundary(0), vec![Box::new(Tap(seen.clone()))]);
-        t.on_event(&drain(5)); // data barrier → cut
-                               // The valid-flip store happens next; it never drains, so the
-                               // publish that follows is *not* durable.
-        t.on_event(&Event::NvmWrite { line: 0x80, cycle: 6 });
-        t.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 7 });
+        t.on_event(ThreadId::MAIN, &drain(5)); // data barrier → cut
+                                               // The valid-flip store happens next; it never drains, so the
+                                               // publish that follows is *not* durable.
+        t.on_event(ThreadId::MAIN, &Event::NvmWrite { line: 0x80, cycle: 6 });
+        t.on_event(ThreadId::MAIN, &Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 7 });
         assert_eq!(seen.borrow().len(), 1, "non-durable publish must be suppressed");
     }
 
     #[test]
     fn counter_tracks_boundaries_and_publishes() {
         let mut c = BoundaryCounter::new();
-        c.on_event(&drain(1)); // boundary 0
-        c.on_event(&Event::NvmWrite { line: 0, cycle: 2 });
-        c.on_event(&Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 3 }); // boundary 1
-        c.on_event(&Event::LogTruncate); // boundary 2
+        c.on_event(ThreadId::MAIN, &drain(1)); // boundary 0
+        c.on_event(ThreadId::MAIN, &Event::NvmWrite { line: 0, cycle: 2 });
+        c.on_event(ThreadId::MAIN, &Event::CheckpointPublish { lo: 0, hi: 64, copy: 1, cycle: 3 }); // boundary 1
+        c.on_event(ThreadId::MAIN, &Event::LogTruncate); // boundary 2
         assert_eq!(c.boundaries, 3);
         assert_eq!(c.nvm_writes, 1);
         assert_eq!(c.publishes, vec![(1, 1)]);

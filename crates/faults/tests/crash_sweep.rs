@@ -5,7 +5,7 @@
 //! zero sanitizer violations, and that the whole sweep is byte-for-byte
 //! deterministic per seed.
 
-use kindle_faults::run_sweep;
+use kindle_faults::{run_nvm_write_sweep, run_sweep, run_sweep_threaded};
 use kindle_os::PtMode;
 
 const SEED: u64 = 0x00c0_ffee_4b1d_0001;
@@ -41,4 +41,44 @@ fn different_seeds_still_recover_consistently() {
     let b = run_sweep(PtMode::Rebuild, 2).unwrap();
     assert_eq!(a.boundaries, b.boundaries);
     assert_eq!(a.recovered, b.recovered);
+}
+
+#[test]
+fn threaded_sweep_replays_interleavings_deterministically() {
+    // With checkpoints on the daemon kthread, the thread interleaving is
+    // part of what the seed pins: two runs must agree bit-for-bit, and the
+    // boundary structure must match the single-threaded sweep (thread
+    // switches are not persist boundaries).
+    let single = run_sweep(PtMode::Rebuild, SEED).unwrap();
+    let first = run_sweep_threaded(PtMode::Rebuild, SEED).unwrap();
+    assert_eq!(first.boundaries, single.boundaries, "kthreads must not add/remove boundaries");
+    assert_eq!(first.recovered, single.recovered, "kthreads must not change durability");
+
+    let second = run_sweep_threaded(PtMode::Rebuild, SEED).unwrap();
+    assert_eq!(first, second, "same seed must reproduce the threaded sweep bit-for-bit");
+}
+
+#[test]
+fn nvm_write_sweep_strided_smoke() {
+    // A strided pass over write-granular crash points: quick enough for
+    // the tier-1 test job, exhaustive stride-1 runs live behind --ignored.
+    let first = run_nvm_write_sweep(PtMode::Rebuild, SEED, 199).unwrap();
+    assert!(first.boundaries > 3, "stride too coarse to exercise the sweep: {first:?}");
+    let second = run_nvm_write_sweep(PtMode::Rebuild, SEED, 199).unwrap();
+    assert_eq!(first, second, "same seed must reproduce the write sweep bit-for-bit");
+}
+
+#[test]
+#[ignore = "exhaustive write-granular sweep; run via the CI sweep job (cargo test -- --ignored)"]
+fn nvm_write_sweep_exhaustive_rebuild() {
+    let out = run_nvm_write_sweep(PtMode::Rebuild, SEED, 1).unwrap();
+    assert!(out.recovered > 0, "no write-granular crash recovered a process: {out:?}");
+    assert!(out.recovered < out.boundaries, "pre-checkpoint crashes must lose the process");
+}
+
+#[test]
+#[ignore = "exhaustive write-granular sweep; run via the CI sweep job (cargo test -- --ignored)"]
+fn nvm_write_sweep_exhaustive_persistent() {
+    let out = run_nvm_write_sweep(PtMode::Persistent, SEED, 1).unwrap();
+    assert!(out.recovered > 0, "no write-granular crash recovered a process: {out:?}");
 }

@@ -2,6 +2,7 @@
 
 use kindle_os::Kernel;
 use kindle_tlb::{TlbEntry, TwoLevelTlb};
+use kindle_types::sanitize::{self, Event};
 use kindle_types::{Cycles, MemKind, Pfn, PhysMem, Pte, Result, Vpn, CACHE_LINE, LINES_PER_PAGE};
 
 use crate::pool::{DramPool, ListKind, Occupant};
@@ -192,6 +193,9 @@ impl HsccEngine {
     ) -> Result<MigrationOutcome> {
         let costs = kernel.costs.clone();
         let mut outcome = MigrationOutcome::default();
+        // Migration page copies are ordered against foreground NVM writes
+        // by the (simulated) migration lock.
+        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_MIGRATION });
 
         // --- scan phase -------------------------------------------------
         let scan_start = mem.now();
@@ -339,6 +343,7 @@ impl HsccEngine {
 
         self.stats.intervals += 1;
         self.next_migration = mem.now() + self.cfg.migration_interval;
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_MIGRATION });
         Ok(outcome)
     }
 }

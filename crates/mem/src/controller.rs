@@ -263,6 +263,12 @@ impl MemoryController {
 
     /// Writes bytes to the volatile image, snapshotting NVM lines for crash
     /// rollback the first time each line is dirtied.
+    ///
+    /// The emitted `NvmWrite` events carry no thread id themselves: the
+    /// sanitizer layer stamps them with the ambient simulated kthread
+    /// (`kindle_types::sanitize::current_thread`), which the machine's
+    /// scheduler keeps up to date — that attribution is what the race
+    /// detector keys on.
     pub fn store_bytes(&mut self, pa: PhysAddr, data: &[u8]) {
         // Snapshot undo state for NVM lines before mutating.
         if self.layout.kind_of(pa) == Ok(MemKind::Nvm) {

@@ -14,6 +14,7 @@ use crate::layout::NvmLayout;
 use crate::meta::MetaRecord;
 use crate::pagetable::{vpn_va, AddressSpace, PtMode};
 use crate::process::{ProcState, Process};
+use crate::sched::Scheduler;
 use crate::vma::{vma_from_request, Vma};
 
 /// Kernel construction parameters.
@@ -91,6 +92,8 @@ pub struct Kernel {
     pub layout: NvmLayout,
     /// Physical frame pools.
     pub pools: FramePools,
+    /// Simulated kernel threads (main + background daemons).
+    pub sched: Scheduler,
     procs: BTreeMap<u32, Process>,
     next_pid: u32,
     meta_records: Vec<MetaRecord>,
@@ -124,6 +127,7 @@ impl Kernel {
             pt_mode: cfg.pt_mode,
             layout,
             pools,
+            sched: Scheduler::new(),
             procs: BTreeMap::new(),
             next_pid: 1,
             meta_records: Vec::new(),

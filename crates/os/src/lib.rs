@@ -41,6 +41,7 @@ pub mod layout;
 pub mod meta;
 pub mod pagetable;
 pub mod process;
+pub mod sched;
 pub mod vma;
 
 pub use costs::KernelCosts;
@@ -50,4 +51,5 @@ pub use layout::{NvmLayout, Region};
 pub use meta::MetaRecord;
 pub use pagetable::{AddressSpace, PtMode};
 pub use process::{ProcState, Process};
+pub use sched::{KThread, KThreadKind, Scheduler, ThreadState};
 pub use vma::{Vma, VmaList};

@@ -13,6 +13,7 @@
 //! and finally truncates the redo log.
 
 use kindle_os::{Kernel, MetaRecord, NvmLayout, PtMode};
+use kindle_types::sanitize::{self, Event};
 use kindle_types::{Cycles, MemKind, Pfn, PhysMem, Pte, Result, Vpn};
 
 use crate::log::RedoLog;
@@ -158,6 +159,9 @@ impl CheckpointEngine {
     ///
     /// Propagates slot exhaustion or list overflow.
     pub fn checkpoint(&mut self, mem: &mut dyn PhysMem, kernel: &mut Kernel) -> Result<()> {
+        // The whole checkpoint runs under the (simulated) big kernel lock:
+        // its NVM traffic is ordered against the foreground thread's.
+        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_KERNEL });
         let start = mem.now();
         // Apply accumulated metadata changes: read the log (charged). The
         // kernel's live state already reflects them; the reads model the
@@ -217,6 +221,7 @@ impl CheckpointEngine {
         self.log.truncate(mem);
         self.stats.checkpoints += 1;
         self.stats.cycles_in_checkpoints += mem.now() - start;
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_KERNEL });
         Ok(())
     }
 }

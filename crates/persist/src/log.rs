@@ -79,6 +79,7 @@ impl RedoLog {
         if head >= self.capacity {
             return Err(KindleError::RegionFull("redo log"));
         }
+        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_REDO_LOG });
         let pa = self.record_pa(head);
         let payload = encode(rec);
         for (i, w) in payload.iter().enumerate() {
@@ -95,6 +96,7 @@ impl RedoLog {
         mem.clwb(self.region.base);
         mem.sfence();
         sanitize::emit(|| Event::LogAppend { seq: head });
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_REDO_LOG });
         Ok(())
     }
 
@@ -111,6 +113,7 @@ impl RedoLog {
     /// checksum fails, it and everything after it (written later, so at
     /// most as durable) are discarded.
     pub fn read_valid(&self, mem: &mut dyn PhysMem) -> (Vec<MetaRecord>, u64) {
+        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_REDO_LOG });
         let n = self.len(mem);
         let mut out = Vec::with_capacity(n as usize);
         for i in 0..n {
@@ -121,6 +124,7 @@ impl RedoLog {
             }
             let stored = mem.read_u64(pa + PAYLOAD_WORDS as u64 * 8);
             if stored != checksum64(&words) {
+                sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_REDO_LOG });
                 return (out, n - i);
             }
             sanitize::emit(|| Event::LogApply { seq: i });
@@ -128,15 +132,18 @@ impl RedoLog {
                 out.push(rec);
             }
         }
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_REDO_LOG });
         (out, 0)
     }
 
     /// Durably truncates the log (end of a checkpoint).
     pub fn truncate(&self, mem: &mut dyn PhysMem) {
+        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_REDO_LOG });
         mem.write_u64(self.region.base, 0);
         mem.clwb(self.region.base);
         mem.sfence();
         sanitize::emit(|| Event::LogTruncate);
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_REDO_LOG });
     }
 }
 

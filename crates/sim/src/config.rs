@@ -49,6 +49,11 @@ pub struct MachineConfig {
     /// Charge HSCC's OS-mode migration work (false = the paper's
     /// "hardware migration activities only" baseline).
     pub hscc_os_mode: bool,
+    /// Run background engine work (checkpoint flushes, HSCC migration) on
+    /// simulated kernel daemon threads scheduled by `Machine::step`, with
+    /// the `kthread_switch` cost charged per dispatch. Off by default:
+    /// single-threaded runs stay byte-identical to pre-scheduler builds.
+    pub kthreads: bool,
 }
 
 impl MachineConfig {
@@ -64,6 +69,7 @@ impl MachineConfig {
             ssp: None,
             hscc: None,
             hscc_os_mode: true,
+            kthreads: false,
         }
     }
 
@@ -109,6 +115,12 @@ impl MachineConfig {
     /// default intensities for `seed`.
     pub fn with_media_faults(mut self, seed: u64) -> Self {
         self.mem.faults = Some(MediaFaultConfig::with_seed(seed));
+        self
+    }
+
+    /// Runs background engine work on simulated kernel daemon threads.
+    pub fn with_kthreads(mut self) -> Self {
+        self.kthreads = true;
         self
     }
 }

@@ -3,11 +3,12 @@
 use kindle_cpu::Activity;
 use kindle_hscc::HsccEngine;
 use kindle_mem::PowerSwitch;
-use kindle_os::{Kernel, KernelConfig, UnmapOutcome};
+use kindle_os::{KThreadKind, Kernel, KernelConfig, UnmapOutcome};
 use kindle_persist::{recover_all, CheckpointEngine, RecoveryReport};
 use kindle_ssp::SspEngine;
 use kindle_tlb::{MsrFile, PageWalker, TlbEntry, TwoLevelTlb};
 use kindle_trace::ReplayProgram;
+use kindle_types::sanitize::{self, ThreadId};
 use kindle_types::{
     AccessKind, Cycles, KindleError, MapFlags, MemKind, Pfn, PhysAddr, PhysMem, Prot, Pte, Result,
     Rng64, VirtAddr, CACHE_LINE,
@@ -77,6 +78,12 @@ pub struct Machine {
     /// Process whose translations currently occupy the TLB (no ASIDs, as
     /// in gemOS: a context switch flushes).
     active_pid: Option<u32>,
+    /// Checkpoint daemon kthread (spawned when `kthreads` is on and
+    /// checkpointing is enabled).
+    ckpt_tid: Option<ThreadId>,
+    /// HSCC migration daemon kthread (spawned when `kthreads` is on and
+    /// HSCC runs in OS mode).
+    mig_tid: Option<ThreadId>,
 }
 
 impl Machine {
@@ -108,7 +115,7 @@ impl Machine {
             Some(h) => Some(HsccEngine::new(&mut hw, &mut kernel, h.clone())?),
             None => None,
         };
-        Ok(Machine {
+        let mut m = Machine {
             hw,
             tlb: TwoLevelTlb::new(&cfg.tlb),
             walker: PageWalker::new(),
@@ -120,7 +127,94 @@ impl Machine {
             cfg,
             tlb_shootdowns: 0,
             active_pid: None,
-        })
+            ckpt_tid: None,
+            mig_tid: None,
+        };
+        m.spawn_daemons();
+        Ok(m)
+    }
+
+    /// Registers the background daemon kthreads with the scheduler. A
+    /// daemon only exists when its engine does; HSCC's hardware-only
+    /// baseline keeps migrations off the thread table (no OS context to
+    /// charge).
+    fn spawn_daemons(&mut self) {
+        if !self.cfg.kthreads {
+            return;
+        }
+        sanitize::set_current_thread(ThreadId::MAIN);
+        self.ckpt_tid = self
+            .persist
+            .is_some()
+            .then(|| self.kernel.sched.spawn("ckptd", KThreadKind::CheckpointDaemon));
+        self.mig_tid = (self.hscc.is_some() && self.cfg.hscc_os_mode)
+            .then(|| self.kernel.sched.spawn("migrated", KThreadKind::MigrationDaemon));
+    }
+
+    /// Switches the running simulated thread to `next`, charging the
+    /// configured `kthread_switch` cost and emitting a
+    /// [`sanitize::Event::ThreadSwitch`] if it differs from the current
+    /// one. No-op for a switch to the already-running thread.
+    fn context_switch_to(&mut self, next: ThreadId) {
+        let from = self.kernel.sched.current();
+        if from == next || self.kernel.sched.thread(next).is_none() {
+            return;
+        }
+        self.hw.advance(Cycles::new(self.kernel.costs.kthread_switch));
+        self.kernel.sched.switch_to(next);
+        sanitize::set_current_thread(next);
+        let cycle = self.hw.now().as_u64();
+        sanitize::emit(|| sanitize::Event::ThreadSwitch { from, to: next, cycle });
+    }
+
+    /// Runs one scheduler quantum: picks the next runnable kthread
+    /// (round-robin), context-switches to it, and dispatches it. Daemons
+    /// run one pass on behalf of foreground process `pid` and go back to
+    /// sleep; returns `true` when a daemon ran, `false` when control is
+    /// back with the main thread. Drive `while m.step(pid)? {}` to drain
+    /// all woken daemons.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures from the dispatched daemon.
+    pub fn step(&mut self, pid: u32) -> Result<bool> {
+        let next = self.kernel.sched.pick_next();
+        let kind = match self.kernel.sched.thread(next) {
+            Some(t) => t.kind,
+            None => return Ok(false),
+        };
+        self.context_switch_to(next);
+        match kind {
+            KThreadKind::Main => Ok(false),
+            KThreadKind::CheckpointDaemon => {
+                let mut result = Ok(());
+                if let Some(engine) = self.persist.as_mut() {
+                    if engine.due(self.hw.now()) {
+                        let prev = self.hw.set_activity(Activity::Checkpoint);
+                        result = engine.tick(&mut self.hw, &mut self.kernel).map(|_| ());
+                        self.hw.set_activity(prev);
+                    }
+                }
+                self.kernel.sched.sleep(next);
+                result?;
+                Ok(true)
+            }
+            KThreadKind::MigrationDaemon => {
+                let mut result = Ok(());
+                if let Some(engine) = self.hscc.as_mut() {
+                    if engine.due(self.hw.now()) {
+                        let prev = self.hw.set_activity(Activity::MigrationScan);
+                        result = engine
+                            .migrate(&mut self.hw, &mut self.kernel, &mut self.tlb, pid)
+                            .map(|_| ());
+                        self.hw.set_activity(prev);
+                    }
+                }
+                self.kernel.sched.sleep(next);
+                result?;
+                Ok(true)
+            }
+        }
     }
 
     /// Active configuration.
@@ -504,14 +598,18 @@ impl Machine {
 
             let now = self.hw.now();
 
-            if let Some(engine) = self.persist.as_mut() {
-                if engine.due(now) {
+            if self.persist.as_ref().is_some_and(|e| e.due(now)) {
+                if let Some(tid) = self.ckpt_tid {
+                    // Checkpoint work runs on its daemon kthread.
+                    self.kernel.sched.wake(tid);
+                    while self.step(pid)? {}
+                } else if let Some(engine) = self.persist.as_mut() {
                     let prev = self.hw.set_activity(Activity::Checkpoint);
                     let r = engine.tick(&mut self.hw, &mut self.kernel);
                     self.hw.set_activity(prev);
                     r?;
-                    fired = true;
                 }
+                fired = true;
             }
 
             if let Some(engine) = self.ssp.as_mut() {
@@ -529,8 +627,13 @@ impl Machine {
                 }
             }
 
-            if let Some(engine) = self.hscc.as_mut() {
-                if engine.due(now) {
+            if self.hscc.as_ref().is_some_and(|e| e.due(now)) {
+                if let Some(tid) = self.mig_tid {
+                    // Migration work runs on its daemon kthread (OS mode
+                    // only; the hardware baseline has no kernel context).
+                    self.kernel.sched.wake(tid);
+                    while self.step(pid)? {}
+                } else if let Some(engine) = self.hscc.as_mut() {
                     let prev = self.hw.set_activity(Activity::MigrationScan);
                     let was_free = if self.cfg.hscc_os_mode {
                         self.hw.free_mode()
@@ -545,8 +648,8 @@ impl Machine {
                     }
                     self.hw.set_activity(prev);
                     r?;
-                    fired = true;
                 }
+                fired = true;
             }
 
             if !fired {
@@ -678,6 +781,12 @@ impl Machine {
         if let Some(hscc_cfg) = self.cfg.hscc.clone() {
             self.hscc = Some(HsccEngine::new(&mut self.hw, &mut self.kernel, hscc_cfg)?);
         }
+        // The fresh kernel rebuilt the thread table; re-register daemons
+        // and drop back to the main context.
+        self.ckpt_tid = None;
+        self.mig_tid = None;
+        sanitize::set_current_thread(ThreadId::MAIN);
+        self.spawn_daemons();
         Ok(())
     }
 
@@ -706,6 +815,24 @@ impl Machine {
     ///
     /// `InvalidArgument` if checkpointing is not enabled.
     pub fn checkpoint_now(&mut self) -> Result<()> {
+        if self.persist.is_none() {
+            return Err(KindleError::InvalidArgument("checkpointing not enabled"));
+        }
+        // With kthreads on, even explicit checkpoints execute on the
+        // daemon's context, so their NVM writes carry its thread id.
+        if let Some(tid) = self.ckpt_tid {
+            self.kernel.sched.wake(tid);
+            self.context_switch_to(tid);
+            let mut r = Ok(());
+            if let Some(engine) = self.persist.as_mut() {
+                let prev = self.hw.set_activity(Activity::Checkpoint);
+                r = engine.checkpoint(&mut self.hw, &mut self.kernel);
+                self.hw.set_activity(prev);
+            }
+            self.kernel.sched.sleep(tid);
+            self.context_switch_to(ThreadId::MAIN);
+            return r;
+        }
         let engine = self
             .persist
             .as_mut()

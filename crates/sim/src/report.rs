@@ -42,6 +42,8 @@ pub struct SimReport {
     pub hscc: Option<HsccStats>,
     /// TLB shootdowns performed by the OS.
     pub tlb_shootdowns: u64,
+    /// Simulated kernel-thread context switches (0 unless `kthreads` on).
+    pub kthread_switches: u64,
 }
 
 impl SimReport {
@@ -61,6 +63,7 @@ impl SimReport {
             ssp: m.ssp.as_ref().map(|e| e.stats().clone()),
             hscc: m.hscc.as_ref().map(|e| e.stats().clone()),
             tlb_shootdowns: m.tlb_shootdowns(),
+            kthread_switches: m.kernel.sched.switches(),
         }
     }
 
@@ -112,6 +115,7 @@ impl SimReport {
         stat("os.mmaps", self.kernel.mmaps, "mmap system calls");
         stat("os.munmaps", self.kernel.munmaps, "munmap system calls");
         stat("os.tlb_shootdowns", self.tlb_shootdowns, "TLB shootdowns");
+        stat("os.kthread_switches", self.kthread_switches, "Kernel-thread context switches");
         if let Some(c) = &self.checkpoint {
             stat("persist.checkpoints", c.checkpoints, "Checkpoints completed");
             stat("persist.list_checked", c.list_checked, "Mapping-list entries checked");

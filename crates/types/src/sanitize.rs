@@ -14,10 +14,24 @@
 //!   undrained (not yet `clwb`-committed);
 //! * double free or cross-pool free of a physical frame;
 //! * a PTE left pointing at (or installed over) a freed frame;
-//! * redo-log records applied out of append order.
+//! * redo-log records applied out of append order;
+//! * two *simulated kernel threads* writing the same NVM line with no
+//!   intervening persist barrier or lock event (a data race on persistent
+//!   state — see [`Violation::RacyNvmWrite`]).
 //!
-//! The sanitizer is thread-local so parallel test threads cannot observe
-//! each other's events.
+//! # Simulated thread ids
+//!
+//! Every event is stamped with the [`ThreadId`] of the simulated kernel
+//! thread that produced it. Emission sites do not pass the id themselves:
+//! the scheduler (`kindle_os::sched`, driven by `kindle_sim::Machine`)
+//! publishes the running thread through [`set_current_thread`], and
+//! [`emit`] stamps it centrally — an emit site cannot get it wrong, and
+//! single-threaded simulations (the default) emit everything as
+//! [`ThreadId::MAIN`], which keeps them byte-identical to builds that
+//! predate the scheduler.
+//!
+//! The sanitizer is (host-)thread-local so parallel test threads cannot
+//! observe each other's events.
 //!
 //! # Examples
 //!
@@ -33,10 +47,53 @@
 //! assert_eq!(log.snapshot().len(), 1);
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
+
+/// Identity of a simulated kernel thread (see `kindle_os::sched`).
+///
+/// Simulated — these are scheduler table indices inside one deterministic
+/// simulation, not host threads. `ThreadId(0)` is always the main thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main simulation thread; everything runs on it unless the
+    /// machine's scheduler dispatches a daemon.
+    pub const MAIN: ThreadId = ThreadId(0);
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kthread{}", self.0)
+    }
+}
+
+/// Simulated lock identity for [`Event::LockAcquire`] / [`Event::LockRelease`].
+/// The big kernel lock taken around a full checkpoint.
+pub const LOCK_KERNEL: u64 = 1;
+/// The redo-log lock (append / replay / truncate are serialized under it).
+pub const LOCK_REDO_LOG: u64 = 2;
+/// The migration lock taken around an HSCC migration pass.
+pub const LOCK_MIGRATION: u64 = 3;
+
+thread_local! {
+    static CURRENT_TID: Cell<ThreadId> = const { Cell::new(ThreadId::MAIN) };
+}
+
+/// Publishes `tid` as the running simulated thread; subsequent [`emit`]s are
+/// stamped with it. Returns the previously current id so schedulers can
+/// restore it. Only the machine's scheduler should call this.
+pub fn set_current_thread(tid: ThreadId) -> ThreadId {
+    CURRENT_TID.with(|c| c.replace(tid))
+}
+
+/// The simulated thread id [`emit`] is currently stamping events with.
+pub fn current_thread() -> ThreadId {
+    CURRENT_TID.with(|c| c.get())
+}
 
 /// One reported operation. Addresses are raw `u64`s so that emitting a
 /// event never depends on higher-level crates.
@@ -120,12 +177,32 @@ pub enum Event {
     },
     /// The redo log was durably truncated.
     LogTruncate,
+    /// The scheduler switched simulated kernel threads.
+    ThreadSwitch {
+        /// Thread that was running.
+        from: ThreadId,
+        /// Thread now running.
+        to: ThreadId,
+        /// Simulated time of the switch (after the switch cost).
+        cycle: u64,
+    },
+    /// A simulated kernel lock was taken (see the `LOCK_*` constants).
+    LockAcquire {
+        /// Which lock.
+        id: u64,
+    },
+    /// A simulated kernel lock was dropped.
+    LockRelease {
+        /// Which lock.
+        id: u64,
+    },
 }
 
 /// An observer of the simulation event stream.
 pub trait Sanitizer {
-    /// Called for every emitted event, in program order.
-    fn on_event(&mut self, ev: &Event);
+    /// Called for every emitted event, in program order. `tid` is the
+    /// simulated kernel thread the event was emitted from.
+    fn on_event(&mut self, tid: ThreadId, ev: &Event);
 }
 
 /// The no-op sanitizer: observes nothing, changes nothing. Installing it is
@@ -136,7 +213,7 @@ pub struct NopSanitizer;
 
 impl Sanitizer for NopSanitizer {
     #[inline]
-    fn on_event(&mut self, _ev: &Event) {}
+    fn on_event(&mut self, _tid: ThreadId, _ev: &Event) {}
 }
 
 thread_local! {
@@ -153,6 +230,9 @@ pub struct Installed {
 impl Drop for Installed {
     fn drop(&mut self) {
         CURRENT.with(|c| c.borrow_mut().take());
+        // A machine that panicked mid-daemon must not leak its thread id
+        // into the next install on this host thread.
+        CURRENT_TID.with(|c| c.set(ThreadId::MAIN));
     }
 }
 
@@ -178,7 +258,7 @@ pub fn emit(make: impl FnOnce() -> Event) {
         if let Ok(mut slot) = c.try_borrow_mut() {
             if let Some(s) = slot.as_mut() {
                 let ev = make();
-                s.on_event(&ev);
+                s.on_event(current_thread(), &ev);
             }
         }
     });
@@ -235,6 +315,19 @@ pub enum Violation {
         /// Observed apply index.
         got: u64,
     },
+    /// Two simulated kernel threads wrote the same NVM line with no
+    /// happens-before edge (persist barrier or lock event) between the
+    /// writes — a data race on persistent state.
+    RacyNvmWrite {
+        /// Line-base physical address both threads dirtied.
+        line: u64,
+        /// Thread that wrote first.
+        first: ThreadId,
+        /// Thread whose write raced with it.
+        second: ThreadId,
+        /// Simulated time of the racing (second) write.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -260,6 +353,11 @@ impl fmt::Display for Violation {
             Violation::LogOutOfOrder { expected, got } => {
                 write!(f, "redo-log record {got} applied out of order (expected {expected})")
             }
+            Violation::RacyNvmWrite { line, first, second, cycle } => write!(
+                f,
+                "NVM line {line:#x} written by {second} at cycle {cycle} racing an \
+                 unsynchronized write by {first}"
+            ),
         }
     }
 }
@@ -315,6 +413,15 @@ pub struct InvariantChecker {
     ptes: BTreeMap<u64, BTreeSet<u64>>,
     /// Next expected redo-log apply index.
     next_apply: u64,
+    /// Synchronization epoch: bumped on every persist barrier and lock
+    /// event. Two writes in different epochs are ordered (happens-before);
+    /// two writes in the same epoch from different threads race. Thread
+    /// switches deliberately do NOT bump it — on one simulated CPU a switch
+    /// sits between every cross-thread pair, and a switch alone publishes
+    /// nothing about persistence order.
+    sync_epoch: u64,
+    /// NVM line → (thread, epoch) of its last uncommitted write.
+    last_writer: BTreeMap<u64, (ThreadId, u64)>,
 }
 
 impl InvariantChecker {
@@ -334,20 +441,32 @@ impl InvariantChecker {
         self.freed.clear();
         self.ptes.clear();
         self.next_apply = 0;
+        self.last_writer.clear();
+        self.sync_epoch = 0;
     }
 }
 
 impl Sanitizer for InvariantChecker {
-    fn on_event(&mut self, ev: &Event) {
+    fn on_event(&mut self, tid: ThreadId, ev: &Event) {
         match *ev {
             Event::NvmWrite { line, cycle } => {
                 self.pending.entry(line).or_insert(cycle);
+                if let Some(&(first, epoch)) = self.last_writer.get(&line) {
+                    if first != tid && epoch == self.sync_epoch {
+                        self.log.push(Violation::RacyNvmWrite { line, first, second: tid, cycle });
+                    }
+                }
+                self.last_writer.insert(line, (tid, self.sync_epoch));
             }
             Event::NvmCommit { line } => {
                 self.pending.remove(&line);
+                // A committed line left the write buffer; later writes start
+                // a fresh, ordered lifetime for it.
+                self.last_writer.remove(&line);
             }
             Event::NvmDrain { .. } => {
                 self.pending.clear();
+                self.sync_epoch += 1;
             }
             Event::Crash => {
                 // Volatile state is gone and the kernel restarts; tracked
@@ -432,6 +551,12 @@ impl Sanitizer for InvariantChecker {
             }
             Event::LogTruncate => {
                 self.next_apply = 0;
+            }
+            Event::ThreadSwitch { .. } => {
+                // Not a synchronization edge; see `sync_epoch`.
+            }
+            Event::LockAcquire { .. } | Event::LockRelease { .. } => {
+                self.sync_epoch += 1;
             }
         }
     }
@@ -619,5 +744,136 @@ mod tests {
         assert!(v.to_string().contains("double free"));
         let v = Violation::UndrainedCheckpoint { line: 0x40, written_at: 1, published_at: 2 };
         assert!(v.to_string().contains("undrained"));
+        let v = Violation::RacyNvmWrite {
+            line: 0x40,
+            first: ThreadId::MAIN,
+            second: ThreadId(1),
+            cycle: 7,
+        };
+        assert!(v.to_string().contains("racing"), "{v}");
+        assert!(v.to_string().contains("kthread1"), "{v}");
+    }
+
+    /// Runs `f` with `tid` as the ambient simulated thread, restoring the
+    /// previous id afterwards.
+    fn as_thread(tid: u32, f: impl FnOnce()) {
+        let prev = set_current_thread(ThreadId(tid));
+        f();
+        set_current_thread(prev);
+    }
+
+    #[test]
+    fn emit_stamps_ambient_thread_id() {
+        struct Recorder(Rc<RefCell<Vec<ThreadId>>>);
+        impl Sanitizer for Recorder {
+            fn on_event(&mut self, tid: ThreadId, _ev: &Event) {
+                self.0.borrow_mut().push(tid);
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let _guard = install(Box::new(Recorder(seen.clone())));
+        emit(|| Event::LogTruncate);
+        as_thread(3, || emit(|| Event::LogTruncate));
+        emit(|| Event::LogTruncate);
+        assert_eq!(*seen.borrow(), vec![ThreadId::MAIN, ThreadId(3), ThreadId::MAIN]);
+    }
+
+    #[test]
+    fn guard_drop_resets_ambient_thread() {
+        {
+            let _g = install(Box::new(NopSanitizer));
+            set_current_thread(ThreadId(9));
+        }
+        assert_eq!(current_thread(), ThreadId::MAIN);
+    }
+
+    #[test]
+    fn racy_cross_thread_write_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            as_thread(1, || emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 }));
+        });
+        assert_eq!(
+            v,
+            vec![Violation::RacyNvmWrite {
+                line: 0x1000,
+                first: ThreadId::MAIN,
+                second: ThreadId(1),
+                cycle: 9,
+            }]
+        );
+    }
+
+    #[test]
+    fn same_thread_rewrite_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cross_thread_different_lines_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            as_thread(1, || emit(|| Event::NvmWrite { line: 0x2000, cycle: 9 }));
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn drain_between_cross_thread_writes_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::NvmDrain { cycle: 6 });
+            as_thread(1, || emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 }));
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_event_between_cross_thread_writes_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::LockAcquire { id: LOCK_MIGRATION });
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::LockRelease { id: LOCK_MIGRATION });
+            as_thread(1, || {
+                emit(|| Event::LockAcquire { id: LOCK_MIGRATION });
+                emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 });
+                emit(|| Event::LockRelease { id: LOCK_MIGRATION });
+            });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn commit_between_cross_thread_writes_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::NvmCommit { line: 0x1000 });
+            as_thread(1, || emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 }));
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn thread_switch_is_not_a_sync_edge() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::ThreadSwitch { from: ThreadId::MAIN, to: ThreadId(1), cycle: 6 });
+            as_thread(1, || emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 }));
+        });
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn crash_clears_race_tracking() {
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x1000, cycle: 5 });
+            emit(|| Event::Crash);
+            as_thread(1, || emit(|| Event::NvmWrite { line: 0x1000, cycle: 9 }));
+        });
+        assert!(v.is_empty(), "{v:?}");
     }
 }

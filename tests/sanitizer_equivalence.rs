@@ -52,6 +52,30 @@ fn clean_run_has_no_violations() {
 }
 
 #[test]
+fn kthreads_flag_without_daemons_changes_nothing() {
+    // Enabling the scheduler spawns daemons only for engines that exist;
+    // with none configured, the thread table is just the main thread and
+    // the run must be byte-identical to a plain machine.
+    let run = |kthreads: bool| {
+        let mut cfg = MachineConfig::small();
+        if kthreads {
+            cfg = cfg.with_kthreads();
+        }
+        let mut m = Machine::new(cfg).expect("machine boots");
+        let pid = m.spawn_process().expect("spawn");
+        let va = m.mmap(pid, 8 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).expect("mmap");
+        for i in 0..8u64 {
+            m.access(pid, va + i * PAGE_SIZE as u64, AccessKind::Write).expect("write");
+        }
+        (m.now().as_u64(), format!("{:?}", m.report()))
+    };
+    let (plain_now, plain_report) = run(false);
+    let (threaded_now, threaded_report) = run(true);
+    assert_eq!(plain_now, threaded_now, "an empty thread table must cost nothing");
+    assert_eq!(plain_report, threaded_report);
+}
+
+#[test]
 fn checker_does_not_change_timing_either() {
     let (bare_now, _) = run_workload();
     let checker = InvariantChecker::new();

@@ -11,8 +11,8 @@ fn tiny_fig4a() -> Fig4aParams {
     Fig4aParams {
         sizes_mb: vec![4],
         interval: Cycles::from_millis(1),
-        list_op_instr: 2600,
         read_rounds: 1,
+        ..Fig4aParams::quick()
     }
 }
 

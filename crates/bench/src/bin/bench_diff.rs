@@ -1,0 +1,193 @@
+//! Golden-range diff for the bench JSON artifacts CI publishes.
+//!
+//! Usage: `bench_diff <golden.txt> <artifact.json>...`
+//!
+//! Each non-comment golden line is `<artifact> <field> <min> <max>`; the
+//! artifact is matched by file name among the paths on the command line,
+//! and every occurrence of `"<field>": <number>` in it must fall inside
+//! `[min, max]`. A field with zero occurrences fails too — a stale golden
+//! entry is a regression in the diff itself, not a pass.
+//!
+//! The scanner is deliberately dumb (substring + number parse) because
+//! the bench envelope is flat, machine-written JSON; it needs no real
+//! parser, and a dumb one cannot be fooled by formatting drift into
+//! silently checking nothing.
+
+use std::process::ExitCode;
+
+/// Every numeric value attached to `"<field>":` anywhere in `content`,
+/// in document order. Non-numeric values (e.g. hex-string digests) are
+/// skipped.
+fn scan_numbers(content: &str, field: &str) -> Vec<f64> {
+    let needle = format!("\"{field}\":");
+    let mut out = Vec::new();
+    let mut rest = content;
+    while let Some(pos) = rest.find(&needle) {
+        let after = &rest[pos + needle.len()..];
+        let trimmed = after.trim_start();
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            out.push(v);
+        }
+        rest = after;
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<String, Vec<String>> {
+    if args.len() < 3 {
+        return Err(vec!["usage: bench_diff <golden.txt> <artifact.json>...".to_string()]);
+    }
+    let golden = std::fs::read_to_string(&args[1])
+        .map_err(|e| vec![format!("cannot read golden file {}: {e}", args[1])])?;
+    let artifacts: Vec<(String, String)> = args[2..]
+        .iter()
+        .map(|path| {
+            let name = path.rsplit('/').next().unwrap_or(path).to_string();
+            let content = std::fs::read_to_string(path)
+                .map_err(|e| vec![format!("cannot read artifact {path}: {e}")])?;
+            Ok((name, content))
+        })
+        .collect::<Result<_, Vec<String>>>()?;
+    let mut failures = Vec::new();
+    let mut checks = 0usize;
+    for (lineno, line) in golden.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let (name, field, min, max) = match parts.as_slice() {
+            [name, field, min, max] => match (min.parse::<f64>(), max.parse::<f64>()) {
+                (Ok(min), Ok(max)) => (*name, *field, min, max),
+                _ => {
+                    failures.push(format!("golden line {}: bad range: {line}", lineno + 1));
+                    continue;
+                }
+            },
+            _ => {
+                failures.push(format!("golden line {}: expected 4 columns: {line}", lineno + 1));
+                continue;
+            }
+        };
+        let Some((_, content)) = artifacts.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("{name}: artifact named in golden file but not provided"));
+            continue;
+        };
+        let values = scan_numbers(content, field);
+        if values.is_empty() {
+            failures.push(format!("{name}: field \"{field}\" not found (stale golden entry?)"));
+            continue;
+        }
+        checks += 1;
+        for v in values {
+            if v < min || v > max {
+                failures
+                    .push(format!("{name}: \"{field}\" = {v} outside golden range [{min}, {max}]"));
+            }
+        }
+    }
+    if checks == 0 {
+        failures.push("golden file contains no checks".to_string());
+    }
+    if failures.is_empty() {
+        Ok(format!("bench_diff: {checks} golden checks over {} artifact(s): OK", artifacts.len()))
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("bench_diff: {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+"jobs": 4,
+"elapsed_ms": 120,
+"rows": [
+  {"mode": "a", "speedup": 2.5, "digest": "0xdeadbeef"},
+  {"mode": "b", "speedup": 3.125, "digest": "0x00c0ffee"}
+]
+}"#;
+
+    #[test]
+    fn scan_finds_every_occurrence_in_order() {
+        assert_eq!(scan_numbers(DOC, "speedup"), vec![2.5, 3.125]);
+        assert_eq!(scan_numbers(DOC, "jobs"), vec![4.0]);
+    }
+
+    #[test]
+    fn scan_skips_string_values_and_misses() {
+        assert!(scan_numbers(DOC, "digest").is_empty(), "hex strings are not numbers");
+        assert!(scan_numbers(DOC, "absent").is_empty());
+    }
+
+    #[test]
+    fn scan_handles_negative_and_exponent_forms() {
+        let doc = r#"{"x": -1.5, "y": 2e3}"#;
+        assert_eq!(scan_numbers(doc, "x"), vec![-1.5]);
+        assert_eq!(scan_numbers(doc, "y"), vec![2000.0]);
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("kindle-bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn in_range_artifact_passes() {
+        let art = write_temp("ok.json", DOC);
+        let gold = write_temp("ok.txt", "ok.json speedup 1.0 4.0\nok.json jobs 1 64\n");
+        let summary = run(&args(&["bench_diff", &gold, &art])).unwrap();
+        assert!(summary.contains("2 golden checks"), "{summary}");
+    }
+
+    #[test]
+    fn out_of_range_value_fails_with_context() {
+        let art = write_temp("bad.json", DOC);
+        let gold = write_temp("bad.txt", "bad.json speedup 3.0 4.0\n");
+        let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("\"speedup\" = 2.5 outside")), "{failures:?}");
+    }
+
+    #[test]
+    fn stale_field_missing_artifact_and_empty_golden_fail() {
+        let art = write_temp("stale.json", DOC);
+        let gold = write_temp("stale.txt", "stale.json absent 0 1\n");
+        let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("stale golden entry")), "{failures:?}");
+
+        let gold = write_temp("missing.txt", "nonexistent.json jobs 0 1\n");
+        let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("not provided")), "{failures:?}");
+
+        let gold = write_temp("empty.txt", "# only comments\n\n");
+        let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("no checks")), "{failures:?}");
+    }
+}

@@ -19,7 +19,7 @@ fn main() -> Result<()> {
     rule(66);
     let rows = run_fig4a(&p)?;
     maybe_csv(&rows);
-    maybe_json(&rows);
+    harness.maybe_json(&rows);
     for r in &rows {
         println!(
             "{:>8} | {:>12} | {:>14} | {:>8.2}x",

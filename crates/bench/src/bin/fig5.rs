@@ -18,6 +18,7 @@ fn main() -> Result<()> {
     rule(78);
     let rows = run_fig5(&p)?;
     maybe_csv(&rows);
+    harness.maybe_json(&rows);
     for r in &rows {
         println!(
             "{:<12} | {:>5} ms | {:>12} | {:>10} | {:>9.3}x | {:>8.1}%",

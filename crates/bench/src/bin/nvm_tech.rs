@@ -32,6 +32,7 @@ fn persistence_cell(nvm: NvmConfig, mode: PtMode) -> Result<f64> {
 }
 
 fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let ops = if quick_mode() { 100_000 } else { 1_000_000 };
     println!("ABLATION: NVM technology sweep");
     println!();
@@ -42,9 +43,12 @@ fn main() -> Result<()> {
         "technology", "rebuild ms", "persistent ms", "reb/pers"
     );
     rule(66);
-    for (name, nvm) in NvmConfig::technologies() {
+    let cells = parallel::par_map_cells(NvmConfig::technologies(), |(name, nvm)| {
         let reb = persistence_cell(nvm.clone(), PtMode::Rebuild)?;
         let per = persistence_cell(nvm, PtMode::Persistent)?;
+        Ok((name, reb, per))
+    })?;
+    for (name, reb, per) in cells {
         println!("{:<10} | {:>12} | {:>14} | {:>8.2}x", name, ms(reb), ms(per), reb / per);
     }
     println!();
@@ -53,14 +57,17 @@ fn main() -> Result<()> {
     println!("{:<10} | {:>12}", "technology", "exec ms");
     rule(40);
     let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, ops, 42);
-    for (name, nvm) in NvmConfig::technologies() {
+    let replays = parallel::par_map_cells(NvmConfig::technologies(), |(name, nvm)| {
         let cfg = MachineConfig::table_i().with_nvm_technology(nvm);
         let (run, _) = kindle.simulate(cfg, ReplayOptions::default())?;
-        println!("{:<10} | {:>12}", name, ms(run.cycles.as_millis_f64()));
+        Ok((name, run.cycles.as_millis_f64()))
+    })?;
+    for (name, exec_ms) in replays {
+        println!("{:<10} | {:>12}", name, ms(exec_ms));
     }
     println!();
     println!("takeaway: the persistent scheme's appeal tracks the NVM write path —");
     println!("fast-write technologies (STT-MRAM) shrink its consistency tax, while");
     println!("read-heavy replay tracks the read latency instead.");
-    Ok(())
+    harness.finish()
 }

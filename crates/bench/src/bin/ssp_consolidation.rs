@@ -6,6 +6,7 @@ use kindle_core::experiments::run_consolidation_sweep;
 use kindle_core::trace::WorkloadKind;
 
 fn main() -> Result<()> {
+    let harness = Harness::from_args();
     let ops = if quick_mode() { 150_000 } else { 2_000_000 };
     let sweeps = [1u64, 2, 5, 10];
     println!("ABLATION: SSP consolidation-thread interval (5 ms consistency interval, {ops} ops)");
@@ -15,16 +16,17 @@ fn main() -> Result<()> {
         "benchmark", "consolidation", "normalized", "consolidated"
     );
     rule(70);
-    for rows in [run_consolidation_sweep(WorkloadKind::YcsbMem, ops, 42, &sweeps)?] {
-        for r in rows {
-            println!(
-                "{:<12} | {:>11} ms | {:>9.3}x | {:>14}",
-                r.benchmark, r.consolidation_ms, r.normalized, r.pages_consolidated
-            );
-        }
+    let rows = run_consolidation_sweep(WorkloadKind::YcsbMem, ops, 42, &sweeps)?;
+    maybe_csv(&rows);
+    harness.maybe_json(&rows);
+    for r in &rows {
+        println!(
+            "{:<12} | {:>11} ms | {:>9.3}x | {:>14}",
+            r.benchmark, r.consolidation_ms, r.normalized, r.pages_consolidated
+        );
     }
     rule(70);
     println!("the paper fixes this at 1 ms, noting lower intervals would raise");
     println!("consolidation overhead — this sweep quantifies that trade-off.");
-    Ok(())
+    harness.finish()
 }

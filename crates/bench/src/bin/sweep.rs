@@ -1,0 +1,66 @@
+//! CI tier-2 sweep benchmark: runs the exhaustive write-granular crash
+//! sweep (`FaultPoint::NvmWrite` at stride 1) serially and on the resolved
+//! fork-join worker count, proves the two produce bit-identical outcomes,
+//! and records the measured speedup in the bench JSON envelope
+//! (`BENCH_sweep.json` in CI, diffed against golden ranges).
+//!
+//! This binary replaced the old `--ignored` exhaustive tests: the parallel
+//! executor makes the full sweep cheap enough to run on every push, and
+//! running serial-vs-parallel here doubles as the executor's end-to-end
+//! determinism check on a real workload.
+
+use kindle_bench::*;
+use kindle_core::os::PtMode;
+use kindle_faults::run_nvm_write_sweep_jobs;
+
+/// Fixed sweep seed (same one the crash-sweep acceptance tests pin).
+const SEED: u64 = 0x00c0_ffee_4b1d_0001;
+
+fn main() -> Result<()> {
+    let harness = Harness::from_args();
+    let stride = if quick_mode() { 64 } else { 1 };
+    let jobs = harness.jobs();
+    println!("SWEEP: write-granular crash sweep, stride {stride}, serial vs {jobs} workers");
+    rule(78);
+    println!(
+        "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>7}",
+        "mode", "points", "recovered", "serial ms", "par ms", "speedup"
+    );
+    rule(78);
+    let mut body = String::from("[");
+    for (i, (label, mode)) in
+        [("rebuild", PtMode::Rebuild), ("persistent", PtMode::Persistent)].into_iter().enumerate()
+    {
+        let t0 = std::time::Instant::now();
+        let serial = run_nvm_write_sweep_jobs(mode, SEED, stride, 1)?;
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let threaded = run_nvm_write_sweep_jobs(mode, SEED, stride, jobs)?;
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(serial, threaded, "jobs=1 vs jobs={jobs} must agree bit-for-bit");
+        let speedup = serial_ms / parallel_ms.max(1e-9);
+        println!(
+            "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>6.2}x",
+            label,
+            serial.boundaries,
+            serial.recovered,
+            ms(serial_ms),
+            ms(parallel_ms),
+            speedup
+        );
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "\n  {{\"mode\": \"{label}\", \"points\": {}, \"recovered\": {}, \
+             \"digest\": \"{:#018x}\", \"serial_ms\": {serial_ms:.1}, \
+             \"parallel_ms\": {parallel_ms:.1}, \"speedup\": {speedup:.3}}}",
+            serial.boundaries, serial.recovered, serial.digest
+        ));
+    }
+    body.push_str("\n]");
+    harness.maybe_json_body(&body);
+    rule(78);
+    println!("digest equality verified: parallel sweeps are byte-identical to serial.");
+    harness.finish()
+}

@@ -30,19 +30,15 @@ fn main() -> Result<()> {
         cfg.caches.llc.size_bytes >> 20
     );
     println!("{:<28} 3 GHz in-order x86-64", "CPU");
-    maybe_config_json(&cfg);
+    harness.maybe_json_body(&config_json(&cfg));
     harness.finish()
 }
 
-/// Writes the Table I configuration as JSON when `--json <path>` was
-/// passed. Table I has no experiment rows, so this is hand-written rather
-/// than going through `experiments::to_json`.
-fn maybe_config_json(cfg: &MachineConfig) {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)) else {
-        return;
-    };
-    let data = format!(
+/// Renders the Table I configuration as a JSON object. Table I has no
+/// experiment rows, so this is hand-written rather than going through
+/// `experiments::to_json`; the harness wraps it in the bench envelope.
+fn config_json(cfg: &MachineConfig) -> String {
+    format!(
         "{{\n  \"dram_banks\": {},\n  \"nvm_read_ns\": {},\n  \"nvm_write_service_ns\": {},\n  \
          \"nvm_write_buffer\": {},\n  \"nvm_read_buffer\": {},\n  \"dram_gb\": {},\n  \
          \"nvm_gb\": {},\n  \"l1_kib\": {},\n  \"l2_kib\": {},\n  \"llc_mib\": {},\n  \
@@ -58,9 +54,5 @@ fn maybe_config_json(cfg: &MachineConfig) {
         cfg.caches.l2.size_bytes >> 10,
         cfg.caches.llc.size_bytes >> 20,
         types::CPU_FREQ_GHZ
-    );
-    match std::fs::write(path, data) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("json write failed: {e}"),
-    }
+    )
 }

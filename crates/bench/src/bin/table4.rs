@@ -15,6 +15,7 @@ fn main() -> Result<()> {
     rule(70);
     let rows = run_table4(&p)?;
     maybe_csv(&rows);
+    harness.maybe_json(&rows);
     for r in &rows {
         let interval = if r.interval_ms >= 1000.0 {
             format!("{:.0} s", r.interval_ms / 1000.0)

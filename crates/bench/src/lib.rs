@@ -6,7 +6,12 @@ pub use kindle_core::*;
 
 use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationLog};
 
-/// Fault/sanitizer CLI harness shared by the `fig*`/`table*` binaries.
+/// Flag summary printed when an unknown or malformed argument is seen.
+pub const USAGE: &str =
+    "[--quick] [--sanitize] [--faults <seed>] [--jobs <N>] [--csv <path>] [--json <path>]";
+
+/// Fault/sanitizer/parallelism CLI harness shared by the `fig*`/`table*`
+/// binaries.
 ///
 /// * `--sanitize` installs the cross-layer [`InvariantChecker`] for the
 ///   whole run; [`Harness::finish`] prints anything it caught and fails
@@ -16,55 +21,157 @@ use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationL
 ///   (wear-out, stuck cells, retry-then-retire) in every machine the
 ///   experiment builds on this thread — the figures can be regenerated
 ///   on degrading media without touching experiment code.
+/// * `--jobs <N>` publishes the fork-join worker count the experiment
+///   grids run on (default: `KINDLE_JOBS`, else available parallelism).
+///   Results are byte-identical at any worker count.
+/// * `--json <path>` makes [`Harness::maybe_json`] write the rows inside
+///   an envelope carrying `jobs` and wall-clock `elapsed_ms`, which the
+///   CI bench-smoke job diffs against golden ranges.
+///
+/// Unknown `--*` flags are rejected: [`Harness::from_args`] prints the
+/// usage line and exits with status 2 rather than silently running the
+/// paper-scale default (the classic typo was `--quik`).
 pub struct Harness {
     _guard: Option<Installed>,
     log: Option<ViolationLog>,
+    jobs: usize,
+    json_path: Option<String>,
+    started: std::time::Instant,
 }
 
 impl Harness {
     /// Parses `std::env::args()` and activates the requested machinery.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `--faults` is passed without a `u64` seed.
+    /// On a malformed command line, prints the error plus usage and exits
+    /// with status 2.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        Self::from_arg_list(&args)
+        match Self::try_from_arg_list(&args) {
+            Ok(h) => h,
+            Err(e) => {
+                let bin = args.first().map_or("<bin>", String::as_str);
+                eprintln!("{e}");
+                eprintln!("usage: {bin} {USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Testable core of [`Harness::from_args`].
+    /// Infallible wrapper kept for tests and simple callers.
     ///
     /// # Panics
     ///
-    /// Panics when `--faults` is passed without a `u64` seed.
+    /// Panics on any malformed command line (unknown flag, missing or
+    /// unparsable value).
     #[must_use]
     pub fn from_arg_list(args: &[String]) -> Self {
-        if let Some(i) = args.iter().position(|a| a == "--faults") {
-            let seed = args
-                .get(i + 1)
-                .and_then(|s| s.parse::<u64>().ok())
-                .expect("--faults requires a u64 seed");
+        match Self::try_from_arg_list(args) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Testable core of [`Harness::from_args`]: validates every flag and
+    /// activates the requested machinery.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first unknown `--*` flag, or a flag whose required
+    /// value is missing or unparsable.
+    pub fn try_from_arg_list(args: &[String]) -> std::result::Result<Self, String> {
+        let mut sanitize_requested = false;
+        let mut fault_seed = None;
+        let mut jobs = None;
+        let mut json_path = None;
+        let mut it = args.iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--sanitize" => sanitize_requested = true,
+                "--quick" => {}
+                "--faults" => {
+                    let v = it.next().ok_or("--faults requires a u64 seed")?;
+                    let seed =
+                        v.parse::<u64>().map_err(|_| format!("--faults: not a u64 seed: {v:?}"))?;
+                    fault_seed = Some(seed);
+                }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs requires a worker count")?;
+                    let n = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs: not a positive integer: {v:?}"))?;
+                    jobs = Some(n);
+                }
+                "--csv" => {
+                    it.next().ok_or("--csv requires a path")?;
+                }
+                "--json" => {
+                    json_path = Some(it.next().ok_or("--json requires a path")?.clone());
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag: {other}"));
+                }
+                _ => {}
+            }
+        }
+        let jobs = jobs.unwrap_or_else(parallel::default_jobs);
+        parallel::set_thread_jobs(jobs);
+        if let Some(seed) = fault_seed {
             kindle_core::sim::set_thread_media_fault_seed(Some(seed));
         }
-        let (guard, log) = if args.iter().any(|a| a == "--sanitize") {
+        let (guard, log) = if sanitize_requested {
             let checker = InvariantChecker::new();
             let log = checker.log();
             (Some(sanitize::install(Box::new(checker))), Some(log))
         } else {
             (None, None)
         };
-        Harness { _guard: guard, log }
+        Ok(Harness { _guard: guard, log, jobs, json_path, started: std::time::Instant::now() })
     }
 
-    /// Tears the harness down: clears the ambient fault seed and reports
-    /// sanitizer violations.
+    /// The resolved fork-join worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Writes rows as JSON when `--json <path>` was passed, wrapped in the
+    /// bench envelope (`jobs`, `elapsed_ms`, `rows`) consumed by the CI
+    /// bench-smoke job's golden-range diff.
+    pub fn maybe_json<R: kindle_core::experiments::CsvRow>(&self, rows: &[R]) {
+        self.maybe_json_body(&kindle_core::experiments::to_json(rows));
+    }
+
+    /// [`Harness::maybe_json`] for a pre-rendered JSON value (used by
+    /// binaries whose payload is not a row array, e.g. Table I's config).
+    pub fn maybe_json_body(&self, body: &str) {
+        let Some(path) = &self.json_path else { return };
+        // Wall-clock time is confined to this envelope field: it is host
+        // time for CI trend lines, never simulated time (KD001 keeps wall
+        // clocks out of the simulation crates; the bench crate is exempt).
+        let elapsed_ms = self.started.elapsed().as_millis();
+        let data = format!(
+            "{{\n\"jobs\": {},\n\"elapsed_ms\": {},\n\"rows\": {}\n}}\n",
+            self.jobs,
+            elapsed_ms,
+            body.trim_end()
+        );
+        match std::fs::write(path, data) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("json write failed: {e}"),
+        }
+    }
+
+    /// Tears the harness down: clears the ambient fault seed, resets the
+    /// published worker count, and reports sanitizer violations.
     ///
     /// # Errors
     ///
     /// [`KindleError::Corrupted`] when the sanitizer recorded violations.
     pub fn finish(self) -> Result<()> {
         kindle_core::sim::set_thread_media_fault_seed(None);
+        parallel::set_thread_jobs(1);
         if let Some(log) = &self.log {
             let violations = log.take();
             if !violations.is_empty() {
@@ -116,22 +223,6 @@ pub fn maybe_csv<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
     }
 }
 
-/// Writes rows as a JSON array when `--json <path>` was passed — the
-/// machine-readable twin of [`maybe_csv`], consumed by the CI bench-smoke
-/// job's artifact upload.
-pub fn maybe_json<R: kindle_core::experiments::CsvRow>(rows: &[R]) {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--json") {
-        if let Some(path) = args.get(i + 1) {
-            let data = kindle_core::experiments::to_json(rows);
-            match std::fs::write(path, data) {
-                Ok(()) => eprintln!("wrote {path}"),
-                Err(e) => eprintln!("json write failed: {e}"),
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +256,59 @@ mod tests {
         h.finish().unwrap();
         let clean = Machine::new(MachineConfig::small()).unwrap();
         assert!(clean.config().mem.faults.is_none(), "finish must clear the ambient seed");
+    }
+
+    #[test]
+    fn harness_rejects_unknown_flags() {
+        let err = Harness::try_from_arg_list(&args(&["bin", "--quik"])).err().unwrap();
+        assert!(err.contains("unknown flag: --quik"), "{err}");
+        // Valid flags after the bad one must not mask the rejection.
+        let err = Harness::try_from_arg_list(&args(&["bin", "--bogus", "--sanitize"]));
+        assert!(err.is_err());
+        assert!(!sanitize::installed(), "rejected command lines must not install anything");
+    }
+
+    #[test]
+    fn harness_rejects_malformed_values() {
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--faults"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--faults", "pony"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--jobs"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--jobs", "0"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--csv"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--json"])).is_err());
+    }
+
+    #[test]
+    fn harness_publishes_and_resets_jobs() {
+        let h = Harness::from_arg_list(&args(&["bin", "--jobs", "3"]));
+        assert_eq!(h.jobs(), 3);
+        assert_eq!(parallel::thread_jobs(), 3, "drivers must see the published count");
+        h.finish().unwrap();
+        assert_eq!(parallel::thread_jobs(), 1, "finish must reset to serial");
+    }
+
+    #[test]
+    fn json_envelope_wraps_rows() {
+        let dir = std::env::temp_dir().join("kindle-bench-envelope-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.json");
+        let h = Harness::from_arg_list(&args(&[
+            "bin",
+            "--jobs",
+            "2",
+            "--json",
+            path.to_str().unwrap(),
+        ]));
+        let rows =
+            vec![experiments::Fig4aRow { size_mb: 64, rebuild_ms: 54.2, persistent_ms: 29.2 }];
+        h.maybe_json(&rows);
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert!(data.starts_with("{\n\"jobs\": 2,\n\"elapsed_ms\": "), "{data}");
+        assert!(data.contains("\"rows\": ["), "{data}");
+        assert!(data.contains("\"size_mib\": 64"), "{data}");
+        assert!(data.trim_end().ends_with('}'), "{data}");
+        h.finish().unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! | KD003 | truncating `as u8/u16/u32` casts on address/cycle values outside `crates/types` |
 //! | KD004 | `unwrap()`/`expect()` in non-test `crates/os` / `crates/persist` code |
 //! | KD006 | raw `+`/`-` arithmetic inside `Cycles::new(..)` outside `crates/types` |
+//! | KD007 | `std::thread` spawning/scoping outside `kindle_core::parallel` |
 //!
 //! (KD005, the external-dependency rule, lives in [`crate::manifest`].)
 //!
@@ -27,6 +28,15 @@ pub fn is_sim_crate(krate: &str) -> bool {
 pub fn is_no_panic_crate(krate: &str) -> bool {
     matches!(krate, "os" | "persist")
 }
+
+/// The one file allowed to touch host threads (KD007): the deterministic
+/// fork-join executor. Everything else — bench binaries included — must
+/// go through its `par_map`, so worker scheduling can never reach
+/// simulation state or reorder results.
+const THREAD_HOME: &str = "crates/core/src/parallel.rs";
+
+/// Host-thread primitives KD007 bans outside [`THREAD_HOME`].
+const THREAD_PATTERNS: &[&str] = &["std::thread", "thread::spawn", "thread::scope"];
 
 /// True if `word` occurs in `line` delimited by non-identifier characters.
 pub fn contains_word(line: &str, word: &str) -> bool {
@@ -190,6 +200,19 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
                  combine the newtypes so the saturation policy applies",
             ));
         }
+
+        if krate != Some("check")
+            && rel_path != THREAD_HOME
+            && THREAD_PATTERNS.iter().any(|p| line.contains(p))
+        {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD007",
+                "host threads outside kindle_core::parallel; route fork-join work \
+                 through par_map so results stay independent of worker count",
+            ));
+        }
     }
     out
 }
@@ -295,6 +318,30 @@ mod tests {
         assert_eq!(rules_of(&d), ["KD004"]);
         let d = check_source("crates/mem/src/x.rs", Some("mem"), "x.unwrap();\n");
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn kd007_flags_host_threads_everywhere_but_the_executor() {
+        let d = check_source("crates/sim/src/x.rs", Some("sim"), "std::thread::spawn(f);\n");
+        assert_eq!(rules_of(&d), ["KD007"]);
+        // bench is NOT exempt: its binaries must parallelize via par_map.
+        let d = check_source("crates/bench/src/x.rs", Some("bench"), "thread::scope(|s| {});\n");
+        assert_eq!(rules_of(&d), ["KD007"]);
+        let d = check_source("crates/os/src/x.rs", Some("os"), "use std::thread;\n");
+        assert_eq!(rules_of(&d), ["KD007"]);
+    }
+
+    #[test]
+    fn kd007_allowlists_parallel_and_check() {
+        let d = check_source(
+            "crates/core/src/parallel.rs",
+            Some("core"),
+            "std::thread::scope(|scope| {});\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // The linter's own sources name the patterns as string literals.
+        let d = check_source("crates/check/src/x.rs", Some("check"), "\"std::thread\";\n");
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use kindle_trace::WorkloadKind;
 use kindle_types::Result;
 
 use crate::framework::Kindle;
+use crate::parallel;
 
 /// Parameters for the HSCC sweep.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,38 +80,45 @@ pub struct Fig6Row {
 ///
 /// Propagates machine and replay failures.
 pub fn run_fig6(p: &Fig6Params) -> Result<Vec<Fig6Row>> {
-    let mut rows = Vec::new();
-    for &wl in &p.workloads {
-        let kindle = Kindle::prepare_streaming(wl, p.ops, p.seed);
+    // Prepared programs are plain data; (workload, threshold) cells share
+    // them by reference and run on the ambient worker count. Row order is
+    // the serial nesting order.
+    let prepared: Vec<Kindle> =
+        p.workloads.iter().map(|&wl| Kindle::prepare_streaming(wl, p.ops, p.seed)).collect();
+    let mut cells = Vec::new();
+    for (i, &wl) in p.workloads.iter().enumerate() {
         for &threshold in &p.thresholds {
-            let hscc = HsccConfig {
-                fetch_threshold: threshold,
-                pool_pages: p.pool_pages,
-                ..Default::default()
-            };
-            // Baseline: hardware migration activities only.
-            let hw_cfg = MachineConfig::table_i().with_hscc(hscc.clone(), false);
-            let (hw_run, _) = kindle.simulate(hw_cfg, ReplayOptions::default())?;
-            // Full run: hardware + OS migration activities.
-            let os_cfg = MachineConfig::table_i().with_hscc(hscc, true);
-            let (os_run, report) = kindle.simulate(os_cfg, ReplayOptions::default())?;
-            let stats = report.hscc.expect("hscc engine enabled");
-            let hw_only_ms = hw_run.cycles.as_millis_f64();
-            let with_os_ms = os_run.cycles.as_millis_f64();
-            rows.push(Fig6Row {
-                benchmark: wl.spec().name.to_string(),
-                threshold,
-                hw_only_ms,
-                with_os_ms,
-                normalized: with_os_ms / hw_only_ms,
-                pages_migrated: stats.pages_migrated,
-                selection_pct: stats.selection_share() * 100.0,
-                copy_pct: (1.0 - stats.selection_share()) * 100.0,
-                copybacks: stats.copybacks,
-            });
+            cells.push((i, wl, threshold));
         }
     }
-    Ok(rows)
+    parallel::par_map_cells(cells, |(i, wl, threshold)| {
+        let kindle = &prepared[i];
+        let hscc = HsccConfig {
+            fetch_threshold: threshold,
+            pool_pages: p.pool_pages,
+            ..Default::default()
+        };
+        // Baseline: hardware migration activities only.
+        let hw_cfg = MachineConfig::table_i().with_hscc(hscc.clone(), false);
+        let (hw_run, _) = kindle.simulate(hw_cfg, ReplayOptions::default())?;
+        // Full run: hardware + OS migration activities.
+        let os_cfg = MachineConfig::table_i().with_hscc(hscc, true);
+        let (os_run, report) = kindle.simulate(os_cfg, ReplayOptions::default())?;
+        let stats = report.hscc.expect("hscc engine enabled");
+        let hw_only_ms = hw_run.cycles.as_millis_f64();
+        let with_os_ms = os_run.cycles.as_millis_f64();
+        Ok(Fig6Row {
+            benchmark: wl.spec().name.to_string(),
+            threshold,
+            hw_only_ms,
+            with_os_ms,
+            normalized: with_os_ms / hw_only_ms,
+            pages_migrated: stats.pages_migrated,
+            selection_pct: stats.selection_share() * 100.0,
+            copy_pct: (1.0 - stats.selection_share()) * 100.0,
+            copybacks: stats.copybacks,
+        })
+    })
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! execution-context checkpointing under the *rebuild* and *persistent*
 //! page-table maintenance schemes.
 
+use crate::parallel;
 use kindle_os::PtMode;
 use kindle_sim::{Machine, MachineConfig};
 use kindle_types::{AccessKind, Cycles, MapFlags, Prot, Result, VirtAddr, PAGE_SIZE};
@@ -15,9 +16,11 @@ fn persistence_machine(
     mode: PtMode,
     interval: Cycles,
     list_op_instr: u64,
+    mru_page_cache: bool,
 ) -> Result<(Machine, u32)> {
     let mut cfg = MachineConfig::table_i().with_pt_mode(mode).with_checkpointing(interval);
     cfg.costs.mapping_list_op = list_op_instr;
+    cfg.mem.mru_page_cache = mru_page_cache;
     // The paper's micro-benchmark timings evidently exclude demand-zeroing
     // cost (gemOS hands out pre-zeroed frames); keep the comparison on the
     // page-table maintenance work itself.
@@ -60,6 +63,9 @@ pub struct Fig4aParams {
     /// Sequential re-read passes over the area after the touch (the
     /// paper's runs span many checkpoint intervals).
     pub read_rounds: u64,
+    /// Memory-controller MRU page cache (on by default; off exists so the
+    /// equivalence test can prove the fast path changes no row).
+    pub mru_page_cache: bool,
 }
 
 impl Fig4aParams {
@@ -70,6 +76,7 @@ impl Fig4aParams {
             interval: Cycles::from_millis(10),
             list_op_instr: 2600,
             read_rounds: 6,
+            mru_page_cache: true,
         }
     }
 
@@ -80,6 +87,7 @@ impl Fig4aParams {
             interval: Cycles::from_millis(1),
             list_op_instr: 2600,
             read_rounds: 2,
+            mru_page_cache: true,
         }
     }
 }
@@ -104,7 +112,7 @@ impl Fig4aRow {
 }
 
 fn seq_alloc_access(mode: PtMode, size: u64, p: &Fig4aParams) -> Result<f64> {
-    let (mut m, pid) = persistence_machine(mode, p.interval, p.list_op_instr)?;
+    let (mut m, pid) = persistence_machine(mode, p.interval, p.list_op_instr, p.mru_page_cache)?;
     let t0 = m.now();
     let va = m.mmap(pid, size, Prot::RW, MapFlags::NVM)?;
     touch_pages(&mut m, pid, va, size)?;
@@ -117,21 +125,21 @@ fn seq_alloc_access(mode: PtMode, size: u64, p: &Fig4aParams) -> Result<f64> {
 }
 
 /// Runs Fig. 4a: sequential allocation and access of increasing sizes.
+/// Grid cells (one per size) run on the ambient
+/// [`parallel::thread_jobs`] worker count; row order is always size order.
 ///
 /// # Errors
 ///
 /// Propagates machine failures (e.g. NVM exhaustion on oversized params).
 pub fn run_fig4a(p: &Fig4aParams) -> Result<Vec<Fig4aRow>> {
-    let mut rows = Vec::new();
-    for &size_mb in &p.sizes_mb {
+    parallel::par_map_cells(p.sizes_mb.clone(), |size_mb| {
         let size = size_mb * MIB;
-        rows.push(Fig4aRow {
+        Ok(Fig4aRow {
             size_mb,
             rebuild_ms: seq_alloc_access(PtMode::Rebuild, size, p)?,
             persistent_ms: seq_alloc_access(PtMode::Persistent, size, p)?,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -184,7 +192,7 @@ pub struct Fig4bRow {
 }
 
 fn stride_bench(mode: PtMode, stride: u64, p: &Fig4bParams) -> Result<f64> {
-    let (mut m, pid) = persistence_machine(mode, p.interval, p.list_op_instr)?;
+    let (mut m, pid) = persistence_machine(mode, p.interval, p.list_op_instr, true)?;
     let base = VirtAddr::new(0x10_0000_0000);
     let t0 = m.now();
     // Allocation phase: the stride decides how many page-table levels the
@@ -212,17 +220,15 @@ fn stride_bench(mode: PtMode, stride: u64, p: &Fig4bParams) -> Result<f64> {
 ///
 /// Propagates machine failures.
 pub fn run_fig4b(p: &Fig4bParams) -> Result<Vec<Fig4bRow>> {
-    let strides: [(&str, u64); 3] = [("1GB", 1 << 30), ("2MB", 2 << 20), ("4KB", 4096)];
-    let mut rows = Vec::new();
-    for (label, stride) in strides {
-        rows.push(Fig4bRow {
+    let strides: Vec<(&str, u64)> = vec![("1GB", 1 << 30), ("2MB", 2 << 20), ("4KB", 4096)];
+    parallel::par_map_cells(strides, |(label, stride)| {
+        Ok(Fig4bRow {
             stride: label.to_string(),
             stride_bytes: stride,
             rebuild_ms: stride_bench(PtMode::Rebuild, stride, p)?,
             persistent_ms: stride_bench(PtMode::Persistent, stride, p)?,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -286,7 +292,7 @@ fn churn_bench(
     list_op_instr: u64,
     access_rounds: u64,
 ) -> Result<f64> {
-    let (mut m, pid) = persistence_machine(mode, interval, list_op_instr)?;
+    let (mut m, pid) = persistence_machine(mode, interval, list_op_instr, true)?;
     let t0 = m.now();
     let va = m.mmap(pid, base, Prot::RW, MapFlags::NVM)?;
     touch_pages(&mut m, pid, va, base)?;
@@ -309,9 +315,8 @@ fn churn_bench(
 ///
 /// Propagates machine failures.
 pub fn run_table3(p: &Table3Params) -> Result<Vec<Table3Row>> {
-    let mut rows = Vec::new();
-    for &churn_mb in &p.churn_mb {
-        rows.push(Table3Row {
+    parallel::par_map_cells(p.churn_mb.clone(), |churn_mb| {
+        Ok(Table3Row {
             churn_mb,
             persistent_ms: churn_bench(
                 PtMode::Persistent,
@@ -329,9 +334,8 @@ pub fn run_table3(p: &Table3Params) -> Result<Vec<Table3Row>> {
                 p.list_op_instr,
                 0,
             )?,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -403,32 +407,34 @@ pub struct Table4Row {
 ///
 /// Propagates machine failures.
 pub fn run_table4(p: &Table4Params) -> Result<Vec<Table4Row>> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &churn_mb in &p.churn_mb {
         for &interval in &p.intervals {
-            rows.push(Table4Row {
-                churn_mb,
-                interval_ms: interval.as_millis_f64(),
-                persistent_ms: churn_bench(
-                    PtMode::Persistent,
-                    p.base_mb * MIB,
-                    churn_mb * MIB,
-                    interval,
-                    p.list_op_instr,
-                    p.access_rounds,
-                )?,
-                rebuild_ms: churn_bench(
-                    PtMode::Rebuild,
-                    p.base_mb * MIB,
-                    churn_mb * MIB,
-                    interval,
-                    p.list_op_instr,
-                    p.access_rounds,
-                )?,
-            });
+            cells.push((churn_mb, interval));
         }
     }
-    Ok(rows)
+    parallel::par_map_cells(cells, |(churn_mb, interval)| {
+        Ok(Table4Row {
+            churn_mb,
+            interval_ms: interval.as_millis_f64(),
+            persistent_ms: churn_bench(
+                PtMode::Persistent,
+                p.base_mb * MIB,
+                churn_mb * MIB,
+                interval,
+                p.list_op_instr,
+                p.access_rounds,
+            )?,
+            rebuild_ms: churn_bench(
+                PtMode::Rebuild,
+                p.base_mb * MIB,
+                churn_mb * MIB,
+                interval,
+                p.list_op_instr,
+                p.access_rounds,
+            )?,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -450,6 +456,25 @@ mod tests {
         }
         // Overhead grows with size.
         assert!(rows[1].overhead() > rows[0].overhead());
+    }
+
+    #[test]
+    fn fig4a_mru_cache_changes_no_row() {
+        // The memory-controller fast path must be invisible in the results:
+        // every simulated timing is identical with the cache off.
+        let with_cache = run_fig4a(&Fig4aParams::quick()).unwrap();
+        let without =
+            run_fig4a(&Fig4aParams { mru_page_cache: false, ..Fig4aParams::quick() }).unwrap();
+        assert_eq!(with_cache, without);
+    }
+
+    #[test]
+    fn fig4a_rows_are_jobs_invariant() {
+        let serial = run_fig4a(&Fig4aParams::quick()).unwrap();
+        parallel::set_thread_jobs(4);
+        let parallel_rows = run_fig4a(&Fig4aParams::quick()).unwrap();
+        parallel::set_thread_jobs(1);
+        assert_eq!(serial, parallel_rows, "jobs=1 vs jobs=4 must agree bit-for-bit");
     }
 
     #[test]

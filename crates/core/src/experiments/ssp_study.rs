@@ -7,6 +7,7 @@ use kindle_trace::WorkloadKind;
 use kindle_types::{Cycles, Result};
 
 use crate::framework::Kindle;
+use crate::parallel;
 
 /// Parameters for Fig. 5.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,30 +68,39 @@ pub struct Fig5Row {
 ///
 /// Propagates machine and replay failures.
 pub fn run_fig5(p: &Fig5Params) -> Result<Vec<Fig5Row>> {
-    let mut rows = Vec::new();
-    for &wl in &p.workloads {
-        let kindle = Kindle::prepare_streaming(wl, p.ops, p.seed);
-        // Baseline: no memory consistency.
-        let (base, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default())?;
-        let baseline_ms = base.cycles.as_millis_f64();
+    // Prepared programs are plain data; workers share them by reference.
+    let prepared: Vec<Kindle> =
+        p.workloads.iter().map(|&wl| Kindle::prepare_streaming(wl, p.ops, p.seed)).collect();
+    // Baselines (no memory consistency), one cell per workload.
+    let baselines = parallel::par_map_cells((0..prepared.len()).collect(), |i| {
+        let (base, _) = prepared[i].simulate(MachineConfig::table_i(), ReplayOptions::default())?;
+        Ok(base.cycles.as_millis_f64())
+    })?;
+    // SSP runs, one cell per (workload, interval); row order is the
+    // serial nesting order.
+    let mut cells = Vec::new();
+    for (i, &wl) in p.workloads.iter().enumerate() {
         for &interval_ms in &p.intervals_ms {
-            let cfg = MachineConfig::table_i().with_ssp(SspConfig {
-                consistency_interval: Cycles::from_millis(interval_ms),
-                consolidation_interval: Cycles::from_millis(p.consolidation_ms),
-            });
-            let (run, _) = kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
-            let ssp_ms = run.cycles.as_millis_f64();
-            rows.push(Fig5Row {
-                benchmark: wl.spec().name.to_string(),
-                interval_ms,
-                baseline_ms,
-                ssp_ms,
-                normalized: ssp_ms / baseline_ms,
-                overhead: ssp_ms / baseline_ms - 1.0,
-            });
+            cells.push((i, wl, interval_ms));
         }
     }
-    Ok(rows)
+    parallel::par_map_cells(cells, |(i, wl, interval_ms)| {
+        let cfg = MachineConfig::table_i().with_ssp(SspConfig {
+            consistency_interval: Cycles::from_millis(interval_ms),
+            consolidation_interval: Cycles::from_millis(p.consolidation_ms),
+        });
+        let (run, _) = prepared[i].simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
+        let ssp_ms = run.cycles.as_millis_f64();
+        let baseline_ms = baselines[i];
+        Ok(Fig5Row {
+            benchmark: wl.spec().name.to_string(),
+            interval_ms,
+            baseline_ms,
+            ssp_ms,
+            normalized: ssp_ms / baseline_ms,
+            overhead: ssp_ms / baseline_ms - 1.0,
+        })
+    })
 }
 
 /// One row of the consolidation-interval ablation.
@@ -123,21 +133,19 @@ pub fn run_consolidation_sweep(
     let kindle = Kindle::prepare_streaming(workload, ops, seed);
     let (base, _) = kindle.simulate(MachineConfig::table_i(), ReplayOptions::default())?;
     let baseline = base.cycles.as_millis_f64();
-    let mut rows = Vec::new();
-    for &ms in consolidation_ms {
+    parallel::par_map_cells(consolidation_ms.to_vec(), |ms| {
         let cfg = MachineConfig::table_i().with_ssp(SspConfig {
             consistency_interval: Cycles::from_millis(5),
             consolidation_interval: Cycles::from_millis(ms),
         });
         let (run, report) = kindle.simulate(cfg, ReplayOptions { fase: true, max_ops: None })?;
-        rows.push(ConsolidationRow {
+        Ok(ConsolidationRow {
             benchmark: workload.spec().name.to_string(),
             consolidation_ms: ms,
             normalized: run.cycles.as_millis_f64() / baseline,
             pages_consolidated: report.ssp.map(|s| s.pages_consolidated).unwrap_or(0),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 
 pub mod experiments;
 pub mod framework;
+pub mod parallel;
 
 pub use framework::Kindle;
 

@@ -22,9 +22,18 @@
 //! 3. every observable of every crash point is folded into a digest;
 //!    running the sweep twice with one seed must produce identical
 //!    digests, pinning byte-for-byte determinism of the fault machinery.
+//!
+//! Crash points are mutually independent (each builds a fresh machine with
+//! its own per-point RNG), so the sweep fans out over
+//! [`kindle_core::parallel::par_map`] workers. The digest folds each
+//! point's observables **in crash-point order** regardless of which worker
+//! finished first, so `KINDLE_JOBS=1` and `KINDLE_JOBS=8` produce
+//! identical [`SweepOutcome`]s — the determinism tests pin exactly that.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+
+use kindle_core::parallel;
 
 use kindle_os::PtMode;
 use kindle_sim::{Machine, MachineConfig};
@@ -159,16 +168,15 @@ fn expected_marker(golden: &GoldenRun, b: u64) -> Option<u64> {
 }
 
 /// Crashes one fresh machine at boundary `b` (tearing with `rng`),
-/// recovers, verifies, and appends this crash point's observables to
-/// `digest_words`. Returns whether the workload process survived.
+/// recovers, verifies, and returns whether the workload process survived
+/// plus this crash point's digest observables.
 fn crash_at_boundary(
     mode: PtMode,
     threaded: bool,
     golden: &GoldenRun,
     b: u64,
     rng: &mut Rng64,
-    digest_words: &mut Vec<u64>,
-) -> Result<bool> {
+) -> Result<(bool, Vec<u64>)> {
     let ic = InvariantChecker::new();
     let ic_log = ic.log();
     let rc = RecoveryChecker::new();
@@ -222,7 +230,7 @@ fn crash_at_boundary(
     let rc_violations = rc_log.take();
     assert!(rc_violations.is_empty(), "boundary {b}: recovery violations {rc_violations:?}");
 
-    digest_words.extend([
+    let words = vec![
         b,
         u64::from(recovered),
         if recovered { m.kernel.process(pid)?.regs.rip } else { 0 },
@@ -233,9 +241,9 @@ fn crash_at_boundary(
         report.pages_remapped,
         report.dram_entries_dropped,
         m.now().as_u64(),
-    ]);
+    ];
     drop(guard);
-    Ok(recovered)
+    Ok((recovered, words))
 }
 
 /// Runs the full sweep for one page-table scheme: golden enumeration, then
@@ -252,7 +260,17 @@ fn crash_at_boundary(
 /// Panics when a recovery check fails (wrong checkpoint recovered, checker
 /// violations, golden run out of sync).
 pub fn run_sweep(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
-    run_sweep_with(mode, seed, false)
+    run_sweep_with(mode, seed, false, parallel::default_jobs())
+}
+
+/// [`run_sweep`] with an explicit worker count (`jobs = 1` is the exact
+/// serial loop; any count produces the identical outcome).
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_jobs(mode: PtMode, seed: u64, jobs: usize) -> Result<SweepOutcome> {
+    run_sweep_with(mode, seed, false, jobs)
 }
 
 /// [`run_sweep`] with every checkpoint executing on the simulated
@@ -264,20 +282,28 @@ pub fn run_sweep(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
 ///
 /// As [`run_sweep`].
 pub fn run_sweep_threaded(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
-    run_sweep_with(mode, seed, true)
+    run_sweep_with(mode, seed, true, parallel::default_jobs())
 }
 
-fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool) -> Result<SweepOutcome> {
+fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool, jobs: usize) -> Result<SweepOutcome> {
     let golden = golden_run_with(mode, threaded)?;
-    let mut digest_words = vec![golden.boundaries, golden.nvm_writes];
-    let mut recovered = 0u64;
-    for b in 0..golden.boundaries {
+    // Workers have their own thread-locals: republish the caller's ambient
+    // media-fault model so the sweep is jobs-invariant even under --faults.
+    let ambient = kindle_sim::thread_media_faults();
+    let golden_ref = &golden;
+    let results = parallel::par_map(jobs, (0..golden.boundaries).collect(), move |b| {
+        kindle_sim::set_thread_media_faults(ambient);
         // A fresh generator per boundary keeps crash points independent:
         // inserting a boundary does not shift every later tear.
         let mut rng = Rng64::new(seed ^ (b + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        if crash_at_boundary(mode, threaded, &golden, b, &mut rng, &mut digest_words)? {
-            recovered += 1;
-        }
+        crash_at_boundary(mode, threaded, golden_ref, b, &mut rng)
+    });
+    let mut digest_words = vec![golden.boundaries, golden.nvm_writes];
+    let mut recovered = 0u64;
+    for point in results {
+        let (rec, words) = point?;
+        recovered += u64::from(rec);
+        digest_words.extend(words);
     }
     Ok(SweepOutcome { boundaries: golden.boundaries, recovered, digest: checksum64(&digest_words) })
 }
@@ -289,12 +315,7 @@ fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool) -> Result<SweepOutcom
 /// instead the check is that recovery lands on *some* phase checkpoint (or
 /// cleanly on none), with zero checker violations, and that the machine is
 /// operational afterwards.
-fn crash_at_nvm_write(
-    mode: PtMode,
-    w: u64,
-    rng: &mut Rng64,
-    digest_words: &mut Vec<u64>,
-) -> Result<bool> {
+fn crash_at_nvm_write(mode: PtMode, w: u64, rng: &mut Rng64) -> Result<(bool, Vec<u64>)> {
     let ic = InvariantChecker::new();
     let ic_log = ic.log();
     let rc = RecoveryChecker::new();
@@ -334,7 +355,7 @@ fn crash_at_nvm_write(
     let rc_violations = rc_log.take();
     assert!(rc_violations.is_empty(), "NVM write {w}: recovery violations {rc_violations:?}");
 
-    digest_words.extend([
+    let words = vec![
         w,
         u64::from(recovered),
         if recovered { m.kernel.process(pid)?.regs.rip } else { 0 },
@@ -345,15 +366,16 @@ fn crash_at_nvm_write(
         report.pages_remapped,
         report.dram_entries_dropped,
         m.now().as_u64(),
-    ]);
+    ];
     drop(guard);
-    Ok(recovered)
+    Ok((recovered, words))
 }
 
-/// ROADMAP item: the write-granular sweep. Cuts power after every
-/// `stride`-th NVM line write of the workload (stride 1 = exhaustive; the
-/// exhaustive run sits behind `--ignored` in CI's sweep job). Returns a
-/// [`SweepOutcome`] whose `boundaries` counts the crash points exercised.
+/// The write-granular sweep: cuts power after every `stride`-th NVM line
+/// write of the workload (stride 1 = exhaustive; the exhaustive run is
+/// CI tier 2 — the `sweep` job times it serial vs parallel via the bench
+/// `sweep` binary). Returns a [`SweepOutcome`] whose `boundaries` counts
+/// the crash points exercised.
 ///
 /// # Errors
 ///
@@ -363,21 +385,41 @@ fn crash_at_nvm_write(
 ///
 /// Panics when a recovery check fails.
 pub fn run_nvm_write_sweep(mode: PtMode, seed: u64, stride: u64) -> Result<SweepOutcome> {
+    run_nvm_write_sweep_jobs(mode, seed, stride, parallel::default_jobs())
+}
+
+/// [`run_nvm_write_sweep`] with an explicit worker count.
+///
+/// # Errors
+///
+/// As [`run_nvm_write_sweep`].
+pub fn run_nvm_write_sweep_jobs(
+    mode: PtMode,
+    seed: u64,
+    stride: u64,
+    jobs: usize,
+) -> Result<SweepOutcome> {
     let golden = golden_run(mode)?;
     let stride = stride.max(1);
+    let ambient = kindle_sim::thread_media_faults();
+    let points: Vec<u64> = (0..golden.nvm_writes).step_by(stride as usize).collect();
+    let results = parallel::par_map(jobs, points.clone(), move |w| {
+        kindle_sim::set_thread_media_faults(ambient);
+        let mut rng = Rng64::new(seed ^ (w + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        crash_at_nvm_write(mode, w, &mut rng)
+    });
     let mut digest_words = vec![golden.boundaries, golden.nvm_writes, stride];
     let mut recovered = 0u64;
-    let mut points = 0u64;
-    let mut w = 0u64;
-    while w < golden.nvm_writes {
-        let mut rng = Rng64::new(seed ^ (w + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        if crash_at_nvm_write(mode, w, &mut rng, &mut digest_words)? {
-            recovered += 1;
-        }
-        points += 1;
-        w += stride;
+    for point in results {
+        let (rec, words) = point?;
+        recovered += u64::from(rec);
+        digest_words.extend(words);
     }
-    Ok(SweepOutcome { boundaries: points, recovered, digest: checksum64(&digest_words) })
+    Ok(SweepOutcome {
+        boundaries: points.len() as u64,
+        recovered,
+        digest: checksum64(&digest_words),
+    })
 }
 
 #[cfg(test)]

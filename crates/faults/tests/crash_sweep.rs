@@ -5,7 +5,9 @@
 //! zero sanitizer violations, and that the whole sweep is byte-for-byte
 //! deterministic per seed.
 
-use kindle_faults::{run_nvm_write_sweep, run_sweep, run_sweep_threaded};
+use kindle_faults::{
+    run_nvm_write_sweep, run_nvm_write_sweep_jobs, run_sweep, run_sweep_jobs, run_sweep_threaded,
+};
 use kindle_os::PtMode;
 
 const SEED: u64 = 0x00c0_ffee_4b1d_0001;
@@ -61,7 +63,8 @@ fn threaded_sweep_replays_interleavings_deterministically() {
 #[test]
 fn nvm_write_sweep_strided_smoke() {
     // A strided pass over write-granular crash points: quick enough for
-    // the tier-1 test job, exhaustive stride-1 runs live behind --ignored.
+    // the tier-1 test job; the exhaustive stride-1 run is CI tier 2 (the
+    // `sweep` job runs it serial vs parallel via the bench sweep binary).
     let first = run_nvm_write_sweep(PtMode::Rebuild, SEED, 199).unwrap();
     assert!(first.boundaries > 3, "stride too coarse to exercise the sweep: {first:?}");
     let second = run_nvm_write_sweep(PtMode::Rebuild, SEED, 199).unwrap();
@@ -69,16 +72,17 @@ fn nvm_write_sweep_strided_smoke() {
 }
 
 #[test]
-#[ignore = "exhaustive write-granular sweep; run via the CI sweep job (cargo test -- --ignored)"]
-fn nvm_write_sweep_exhaustive_rebuild() {
-    let out = run_nvm_write_sweep(PtMode::Rebuild, SEED, 1).unwrap();
-    assert!(out.recovered > 0, "no write-granular crash recovered a process: {out:?}");
-    assert!(out.recovered < out.boundaries, "pre-checkpoint crashes must lose the process");
+fn boundary_sweep_is_jobs_invariant() {
+    // The acceptance property of the fork-join executor: one worker and
+    // eight workers must fold the identical digest, byte for byte.
+    let serial = run_sweep_jobs(PtMode::Rebuild, SEED, 1).unwrap();
+    let parallel = run_sweep_jobs(PtMode::Rebuild, SEED, 8).unwrap();
+    assert_eq!(serial, parallel, "jobs=1 vs jobs=8 must agree bit-for-bit");
 }
 
 #[test]
-#[ignore = "exhaustive write-granular sweep; run via the CI sweep job (cargo test -- --ignored)"]
-fn nvm_write_sweep_exhaustive_persistent() {
-    let out = run_nvm_write_sweep(PtMode::Persistent, SEED, 1).unwrap();
-    assert!(out.recovered > 0, "no write-granular crash recovered a process: {out:?}");
+fn nvm_write_sweep_is_jobs_invariant() {
+    let serial = run_nvm_write_sweep_jobs(PtMode::Rebuild, SEED, 199, 1).unwrap();
+    let parallel = run_nvm_write_sweep_jobs(PtMode::Rebuild, SEED, 199, 8).unwrap();
+    assert_eq!(serial, parallel, "jobs=1 vs jobs=8 must agree bit-for-bit");
 }

@@ -105,7 +105,7 @@ impl Default for NvmConfig {
 /// Deterministic NVM media-fault model: per-line wear-out plus stuck-at
 /// cells. All randomness is derived from `seed` through the in-tree
 /// `Rng64`, so a given seed reproduces the exact same fault history.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MediaFaultConfig {
     /// Seed for fault placement and transient-failure rolls.
@@ -151,6 +151,10 @@ pub struct MemConfig {
     pub layout: E820Map,
     /// Optional NVM media-fault injection (off by default).
     pub faults: Option<MediaFaultConfig>,
+    /// Single-entry MRU page cache in front of the controller's page map
+    /// (on by default; off exists so equivalence tests can prove the fast
+    /// path changes no observable output).
+    pub mru_page_cache: bool,
 }
 
 impl MemConfig {
@@ -163,6 +167,7 @@ impl MemConfig {
             nvm: NvmConfig::default(),
             layout: E820Map::flat(dram_bytes, nvm_bytes),
             faults: None,
+            mru_page_cache: true,
         }
     }
 }

@@ -69,6 +69,14 @@ pub struct MemoryController {
     nvm: NvmDevice,
     /// Sparse volatile image: what loads observe.
     pages: BTreeMap<u64, PageBox>,
+    /// Single-entry MRU page cache: the one page most recently touched,
+    /// held *out* of `pages` so the common same-page-as-last-access case
+    /// skips the tree walk entirely. Disjoint from `pages` by construction;
+    /// [`flush_mru`](Self::flush_mru) reunites them before any whole-map
+    /// operation.
+    mru: Option<(u64, PageBox)>,
+    /// MRU cache enabled (config; off only for equivalence testing).
+    mru_enabled: bool,
     /// Durable snapshots for dirtied-but-not-committed NVM lines, keyed by
     /// line base address.
     nvm_undo: BTreeMap<u64, [u8; 64]>,
@@ -114,6 +122,8 @@ impl MemoryController {
             dram: DramDevice::new(cfg.dram.clone()),
             nvm: NvmDevice::new(cfg.nvm.clone()),
             pages: BTreeMap::new(),
+            mru: None,
+            mru_enabled: cfg.mru_page_cache,
             nvm_undo: BTreeMap::new(),
             wbuf_undo: BTreeMap::new(),
             power: None,
@@ -241,7 +251,34 @@ impl MemoryController {
     // ---- data plane -----------------------------------------------------
 
     fn page_mut(&mut self, pfn: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(pfn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        if !self.mru_enabled {
+            return self.pages.entry(pfn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        }
+        if self.mru.as_ref().is_none_or(|&(cached, _)| cached != pfn) {
+            self.flush_mru();
+            let page = self.pages.remove(&pfn).unwrap_or_else(|| Box::new([0u8; PAGE_SIZE]));
+            self.mru = Some((pfn, page));
+        }
+        &mut self.mru.as_mut().expect("mru slot just filled").1
+    }
+
+    /// The page's bytes, if it was ever touched (MRU slot first).
+    fn page_ref(&self, pfn: u64) -> Option<&[u8; PAGE_SIZE]> {
+        if let Some((cached, page)) = &self.mru {
+            if *cached == pfn {
+                return Some(page);
+            }
+        }
+        self.pages.get(&pfn).map(|p| &**p)
+    }
+
+    /// Moves the MRU slot's page back into the map, restoring the
+    /// invariant that `pages` alone holds the whole image. Must run before
+    /// any operation that iterates or retains `pages` wholesale.
+    fn flush_mru(&mut self) {
+        if let Some((pfn, page)) = self.mru.take() {
+            self.pages.insert(pfn, page);
+        }
     }
 
     /// Reads bytes from the volatile image (zero-filled where untouched).
@@ -252,7 +289,7 @@ impl MemoryController {
             let pfn = addr >> PAGE_SHIFT;
             let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
             let chunk = (PAGE_SIZE - off).min(buf.len() - done);
-            match self.pages.get(&pfn) {
+            match self.page_ref(pfn) {
                 Some(p) => buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]),
                 None => buf[done..done + chunk].fill(0),
             }
@@ -459,6 +496,10 @@ impl MemoryController {
     /// Shared tail of both crash flavours: wipe DRAM, reset devices and
     /// fault-injection state, restore power for the reboot.
     fn power_off_cleanup(&mut self) {
+        // The MRU slot holds a page *out* of the map; reunite them first or
+        // a cached DRAM page would survive the wipe (and a cached NVM page
+        // would be dropped by the retain below).
+        self.flush_mru();
         let layout = self.layout.clone();
         self.pages
             .retain(|&pfn, _| layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm));
@@ -725,5 +766,70 @@ mod tests {
         let mut buf = [0u8; 5];
         m.load_bytes(nvm_pa, &mut buf);
         assert_eq!(&buf, b"first");
+    }
+
+    /// Runs the same mixed workload on a controller and returns everything
+    /// observable: the bytes read back plus the stats snapshot. Used to
+    /// prove the MRU fast path changes no output.
+    fn mru_workload(m: &mut MemoryController, dram_pa: PhysAddr, nvm_pa: PhysAddr) -> Vec<u8> {
+        let mut observed = Vec::new();
+        // Interleave pages so the MRU slot hits, misses, and swaps.
+        for round in 0..3u64 {
+            for page in 0..4u64 {
+                let pa = dram_pa + page * PAGE_SIZE as u64;
+                m.store_bytes(pa, &[(round * 4 + page) as u8; 100]);
+                m.store_bytes(nvm_pa + page * 64, &[(round + page) as u8; 8]);
+            }
+        }
+        m.commit_line(nvm_pa);
+        m.crash(); // exercise the wipe/retain path with the slot occupied
+        for page in 0..4u64 {
+            let mut buf = [0u8; 100];
+            m.load_bytes(dram_pa + page * PAGE_SIZE as u64, &mut buf);
+            observed.extend_from_slice(&buf);
+            let mut line = [0u8; 8];
+            m.load_bytes(nvm_pa + page * 64, &mut line);
+            observed.extend_from_slice(&line);
+        }
+        observed
+    }
+
+    #[test]
+    fn mru_page_cache_is_observation_equivalent() {
+        let cfg_on = MemConfig::with_capacities(16 << 20, 16 << 20);
+        let mut cfg_off = cfg_on.clone();
+        cfg_off.mru_page_cache = false;
+        assert!(cfg_on.mru_page_cache, "fast path must default on");
+        let dram_pa = PhysAddr::new(0x1000);
+        let nvm_pa = cfg_on.layout.range(MemKind::Nvm).base + 0x1000;
+        let mut fast = MemoryController::new(&cfg_on);
+        let mut slow = MemoryController::new(&cfg_off);
+        let a = mru_workload(&mut fast, dram_pa, nvm_pa);
+        let b = mru_workload(&mut slow, dram_pa, nvm_pa);
+        assert_eq!(a, b, "MRU cache must not change any observable byte");
+        assert_eq!(fast.stats(), slow.stats(), "nor any statistic");
+    }
+
+    #[test]
+    fn crash_wipes_dram_page_held_in_mru_slot() {
+        // The MRU slot holds its page *out* of the map; a crash must not
+        // let that page dodge the DRAM wipe.
+        let (mut m, dram_pa, _) = mc();
+        m.store_bytes(dram_pa, b"volatile!"); // now in the MRU slot
+        m.crash();
+        let mut buf = [0u8; 9];
+        m.load_bytes(dram_pa, &mut buf);
+        assert_eq!(buf, [0u8; 9], "MRU-cached DRAM page must not survive");
+    }
+
+    #[test]
+    fn crash_keeps_nvm_page_held_in_mru_slot() {
+        let (mut m, _, nvm_pa) = mc();
+        m.store_bytes(nvm_pa, b"keepme");
+        m.commit_line(nvm_pa); // durable; page sits in the MRU slot
+        m.crash();
+        let mut buf = [0u8; 6];
+        m.load_bytes(nvm_pa, &mut buf);
+        assert_eq!(&buf, b"keepme", "MRU-cached NVM page must persist");
     }
 }

@@ -1,7 +1,7 @@
 //! PCM NVM timing model: asymmetric latencies and a draining write buffer,
 //! plus the deterministic media-fault model (wear-out and stuck-at cells).
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use kindle_types::rng::Rng64;
 use kindle_types::{checksum64, AccessKind, Cycles, PhysAddr, CACHE_LINE};
@@ -173,20 +173,72 @@ pub struct MediaStats {
     pub stuck_line_writes: u64,
 }
 
+/// Cache lines per lazily allocated chunk of a [`LineTable`].
+const LINES_PER_CHUNK: usize = 64;
+
+/// A direct-indexed per-line `u64` table over the NVM range, chunked so
+/// storage is only allocated near lines actually touched. This replaces
+/// the per-access `BTreeMap` walks on the media-fault hot path (every NVM
+/// cell write consults wear *and* stuck state) with two array indexings.
+#[derive(Clone, Debug, Default)]
+struct LineTable {
+    chunks: Vec<Option<Box<[u64; LINES_PER_CHUNK]>>>,
+}
+
+impl LineTable {
+    /// The value at line index `idx` (0 where never set).
+    fn get(&self, idx: usize) -> u64 {
+        match self.chunks.get(idx / LINES_PER_CHUNK) {
+            Some(Some(chunk)) => chunk[idx % LINES_PER_CHUNK],
+            _ => 0,
+        }
+    }
+
+    /// Sets the value at line index `idx`, allocating its chunk if needed.
+    fn set(&mut self, idx: usize, v: u64) {
+        let c = idx / LINES_PER_CHUNK;
+        if c >= self.chunks.len() {
+            self.chunks.resize_with(c + 1, || None);
+        }
+        let chunk = self.chunks[c].get_or_insert_with(|| Box::new([0; LINES_PER_CHUNK]));
+        chunk[idx % LINES_PER_CHUNK] = v;
+    }
+
+    /// All `(index, value)` pairs with a non-zero value, in index order.
+    fn iter_set(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.chunks.iter().enumerate().flat_map(|(c, chunk)| {
+            chunk.iter().flat_map(move |chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &e)| e != 0)
+                    .map(move |(i, &e)| (c * LINES_PER_CHUNK + i, e))
+            })
+        })
+    }
+}
+
 /// Deterministic NVM media faults: per-line wear counters with jittered
 /// endurance budgets, a soft-failure zone near end of life, and stuck-at
 /// bit cells seeded over the NVM range. All decisions derive from the
 /// config seed, so a run's fault history is exactly reproducible.
+///
+/// Wear and stuck state live in direct-indexed [`LineTable`]s keyed by the
+/// line's offset into the NVM range; a line is worn exactly when its write
+/// count has reached its (frozen-at-limit) endurance budget, so no
+/// separate worn set is needed.
 #[derive(Clone, Debug)]
 pub struct MediaFaults {
     cfg: MediaFaultConfig,
     rng: Rng64,
-    /// Write count per line (only lines ever written).
-    wear: BTreeMap<u64, u64>,
-    /// Lines past their endurance budget.
-    worn: BTreeSet<u64>,
-    /// Stuck cells: line base → (bit index within the line, stuck value).
-    stuck: BTreeMap<u64, (u32, bool)>,
+    /// Base physical address of the NVM range the tables index.
+    nvm_base: u64,
+    /// Number of cache lines in the NVM range.
+    nvm_lines: u64,
+    /// Write count per line (counts freeze once the budget is reached).
+    wear: LineTable,
+    /// Stuck cells, encoded `1 + (bit_index << 1) + stuck_value` (0 = none).
+    stuck: LineTable,
     stats: MediaStats,
 }
 
@@ -195,22 +247,30 @@ impl MediaFaults {
     /// the NVM range `[nvm_base, nvm_base + nvm_size)`.
     pub fn new(cfg: MediaFaultConfig, nvm_base: u64, nvm_size: u64) -> Self {
         let mut rng = Rng64::new(cfg.seed);
-        let mut stuck = BTreeMap::new();
+        let mut stuck = LineTable::default();
         let lines = (nvm_size / CACHE_LINE as u64).max(1);
         for _ in 0..cfg.stuck_cells {
-            let line = nvm_base + rng.gen_below(lines) * CACHE_LINE as u64;
-            let bit = rng.gen_below(8 * CACHE_LINE as u64) as u32;
-            let val = rng.gen_below(2) == 1;
-            stuck.insert(line, (bit, val));
+            let idx = rng.gen_below(lines) as usize;
+            let bit = rng.gen_below(8 * CACHE_LINE as u64);
+            let val = rng.gen_below(2);
+            stuck.set(idx, 1 + (bit << 1) + val);
         }
         MediaFaults {
             cfg,
             rng,
-            wear: BTreeMap::new(),
-            worn: BTreeSet::new(),
+            nvm_base,
+            nvm_lines: lines,
+            wear: LineTable::default(),
             stuck,
             stats: MediaStats::default(),
         }
+    }
+
+    /// The line's index into the tables, or `None` outside the NVM range.
+    fn line_index(&self, line: u64) -> Option<usize> {
+        let off = line.checked_sub(self.nvm_base)?;
+        let idx = off / CACHE_LINE as u64;
+        (idx < self.nvm_lines).then_some(idx as usize)
     }
 
     /// Per-line endurance budget: the configured mean plus a deterministic
@@ -228,15 +288,18 @@ impl MediaFaults {
         if self.cfg.wear_limit == 0 {
             return WriteOutcome::Ok;
         }
-        if self.worn.contains(&line) {
+        let Some(idx) = self.line_index(line) else {
+            return WriteOutcome::Ok;
+        };
+        let limit = self.endurance(line);
+        let count = self.wear.get(idx);
+        if count >= limit {
+            // Already past the budget; the count froze when it got there.
             return WriteOutcome::WornOut;
         }
-        let count = self.wear.entry(line).or_insert(0);
-        *count += 1;
-        let count = *count;
-        let limit = self.endurance(line);
+        let count = count + 1;
+        self.wear.set(idx, count);
         if count >= limit {
-            self.worn.insert(line);
             self.stats.lines_worn_out += 1;
             return WriteOutcome::WornOut;
         }
@@ -252,22 +315,47 @@ impl MediaFaults {
 
     /// Stuck cell in `line`, if any: (bit index within the line, value).
     pub fn stuck_in_line(&mut self, line: u64) -> Option<(u32, bool)> {
-        let hit = self.stuck.get(&line).copied();
-        if hit.is_some() {
-            self.stats.stuck_line_writes += 1;
+        let e = self.line_index(line).map(|idx| self.stuck.get(idx)).unwrap_or(0);
+        if e == 0 {
+            return None;
         }
-        hit
+        self.stats.stuck_line_writes += 1;
+        Some(decode_stuck(e))
     }
 
     /// True once `line` is past its endurance budget.
     pub fn is_worn(&self, line: u64) -> bool {
-        self.worn.contains(&line)
+        if self.cfg.wear_limit == 0 {
+            return false;
+        }
+        match self.line_index(line) {
+            Some(idx) => self.wear.get(idx) >= self.endurance(line),
+            None => false,
+        }
+    }
+
+    /// All seeded stuck cells: line base address → (bit index, value), in
+    /// address order.
+    pub fn stuck_cells(&self) -> Vec<(u64, (u32, bool))> {
+        self.stuck
+            .iter_set()
+            .map(|(idx, e)| {
+                let base = self.nvm_base + idx as u64 * CACHE_LINE as u64;
+                (base, decode_stuck(e))
+            })
+            .collect()
     }
 
     /// Fault-model counters.
     pub fn stats(&self) -> &MediaStats {
         &self.stats
     }
+}
+
+/// Decodes a non-zero stuck-cell table entry into (bit index, value).
+fn decode_stuck(e: u64) -> (u32, bool) {
+    let bit = ((e - 1) >> 1) as u32;
+    (bit, (e - 1) & 1 == 1)
 }
 
 #[cfg(test)]
@@ -370,12 +458,38 @@ mod tests {
         let base = 1 << 30;
         let size = 1 << 20;
         let m = MediaFaults::new(MediaFaultConfig::with_seed(3), base, size);
-        assert_eq!(m.stuck.len(), MediaFaultConfig::with_seed(3).stuck_cells);
-        for (&line, &(bit, _)) in &m.stuck {
+        let cells = m.stuck_cells();
+        assert_eq!(cells.len(), MediaFaultConfig::with_seed(3).stuck_cells);
+        for (line, (bit, _)) in cells {
             assert!(line >= base && line < base + size);
             assert_eq!(line % CACHE_LINE as u64, 0);
             assert!(bit < 8 * CACHE_LINE as u32);
         }
+    }
+
+    #[test]
+    fn line_tables_match_map_semantics() {
+        let mut t = LineTable::default();
+        assert_eq!(t.get(0), 0);
+        assert_eq!(t.get(1_000_000), 0, "reads never allocate");
+        t.set(5, 7);
+        t.set(200, 9);
+        t.set(5, 8); // overwrite
+        assert_eq!(t.get(5), 8);
+        assert_eq!(t.get(200), 9);
+        assert_eq!(t.get(6), 0);
+        assert_eq!(t.iter_set().collect::<Vec<_>>(), vec![(5, 8), (200, 9)]);
+    }
+
+    #[test]
+    fn out_of_range_lines_never_wear() {
+        let cfg = MediaFaultConfig { wear_limit: 8, ..MediaFaultConfig::with_seed(2) };
+        let mut m = MediaFaults::new(cfg, 1 << 30, 1 << 20);
+        for _ in 0..100 {
+            assert_eq!(m.on_write(0x40), WriteOutcome::Ok, "below the NVM base");
+        }
+        assert!(!m.is_worn(0x40));
+        assert_eq!(m.stats().lines_worn_out, 0);
     }
 
     #[test]

@@ -126,22 +126,36 @@ impl MachineConfig {
 }
 
 thread_local! {
-    /// Ambient media-fault seed, so CLI flags can inject faults into
-    /// machines whose construction sites they do not control (mirrors the
-    /// thread-local sanitizer installation in `kindle_types::sanitize`).
-    static MEDIA_FAULT_SEED: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Ambient media-fault model, so CLI flags and sweep drivers can
+    /// inject faults into machines whose construction sites they do not
+    /// control (mirrors the thread-local sanitizer installation in
+    /// `kindle_types::sanitize`).
+    static MEDIA_FAULTS: Cell<Option<MediaFaultConfig>> = const { Cell::new(None) };
 }
 
-/// Sets (or with `None` clears) a thread-local media-fault seed. Machines
-/// built on this thread whose config leaves `mem.faults` unset pick it up;
-/// an explicit config always wins.
+/// Sets (or with `None` clears) the thread-local media-fault model.
+/// Machines built on this thread whose config leaves `mem.faults` unset
+/// pick it up; an explicit config always wins.
+pub fn set_thread_media_faults(faults: Option<MediaFaultConfig>) {
+    MEDIA_FAULTS.with(|s| s.set(faults));
+}
+
+/// The ambient media-fault model, if one is set on this thread. Public so
+/// fork-join executors can capture the caller's model and republish it on
+/// each worker thread (thread-locals do not cross host threads).
+pub fn thread_media_faults() -> Option<MediaFaultConfig> {
+    MEDIA_FAULTS.with(Cell::get)
+}
+
+/// Seed-only sugar over [`set_thread_media_faults`]: arms the default
+/// fault intensities ([`MediaFaultConfig::with_seed`]) for `seed`.
 pub fn set_thread_media_fault_seed(seed: Option<u64>) {
-    MEDIA_FAULT_SEED.with(|s| s.set(seed));
+    set_thread_media_faults(seed.map(MediaFaultConfig::with_seed));
 }
 
-/// The ambient seed, if one is set on this thread.
-pub(crate) fn thread_media_fault_seed() -> Option<u64> {
-    MEDIA_FAULT_SEED.with(Cell::get)
+/// The ambient model's seed, if one is set on this thread.
+pub fn thread_media_fault_seed() -> Option<u64> {
+    thread_media_faults().map(|f| f.seed)
 }
 
 impl Default for MachineConfig {

@@ -30,7 +30,10 @@ pub mod hw;
 pub mod machine;
 pub mod report;
 
-pub use config::{set_thread_media_fault_seed, CheckpointSetup, MachineConfig};
+pub use config::{
+    set_thread_media_fault_seed, set_thread_media_faults, thread_media_fault_seed,
+    thread_media_faults, CheckpointSetup, MachineConfig,
+};
 pub use hw::Hw;
 pub use machine::{Machine, ReplayOptions, ReplayReport};
 pub use report::SimReport;

@@ -94,9 +94,7 @@ impl Machine {
     /// Propagates kernel/engine construction failures.
     pub fn new(mut cfg: MachineConfig) -> Result<Self> {
         if cfg.mem.faults.is_none() {
-            if let Some(seed) = crate::config::thread_media_fault_seed() {
-                cfg = cfg.with_media_faults(seed);
-            }
+            cfg.mem.faults = crate::config::thread_media_faults();
         }
         let mut hw = Hw::new(&cfg);
         let kcfg = KernelConfig {

@@ -220,27 +220,35 @@ thread_local! {
     static CURRENT: RefCell<Option<Box<dyn Sanitizer>>> = const { RefCell::new(None) };
 }
 
-/// Uninstalls the thread's sanitizer when dropped (panic-safe, so seeded
-/// defects that also panic cannot leak a checker into the next test).
-#[derive(Debug)]
+/// Restores the thread's previous sanitizer when dropped (panic-safe, so
+/// seeded defects that also panic cannot leak a checker into the next
+/// test). Installs stack: a scoped checker (e.g. one experiment-grid cell)
+/// shadows an outer one and hands the event stream back on drop.
 pub struct Installed {
-    _priv: (),
+    prev: Option<Box<dyn Sanitizer>>,
+}
+
+impl fmt::Debug for Installed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Installed").field("shadows_previous", &self.prev.is_some()).finish()
+    }
 }
 
 impl Drop for Installed {
     fn drop(&mut self) {
-        CURRENT.with(|c| c.borrow_mut().take());
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
         // A machine that panicked mid-daemon must not leak its thread id
         // into the next install on this host thread.
         CURRENT_TID.with(|c| c.set(ThreadId::MAIN));
     }
 }
 
-/// Installs `sanitizer` for the current thread, replacing any previous one.
-/// The returned guard uninstalls it on drop.
+/// Installs `sanitizer` for the current thread, shadowing any previous one.
+/// The returned guard restores the shadowed sanitizer on drop.
 pub fn install(sanitizer: Box<dyn Sanitizer>) -> Installed {
-    CURRENT.with(|c| *c.borrow_mut() = Some(sanitizer));
-    Installed { _priv: () }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(sanitizer));
+    Installed { prev }
 }
 
 /// True if a sanitizer is installed on this thread.
@@ -587,6 +595,27 @@ mod tests {
             assert!(installed());
         }
         assert!(!installed());
+    }
+
+    #[test]
+    fn nested_install_restores_outer_sanitizer() {
+        let outer = InvariantChecker::new();
+        let outer_log = outer.log();
+        let _outer_guard = install(Box::new(outer));
+        {
+            let inner = InvariantChecker::new();
+            let inner_log = inner.log();
+            let _inner_guard = install(Box::new(inner));
+            emit(|| Event::FrameAlloc { pool: "nvm", pfn: 1 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 1 });
+            emit(|| Event::FrameFree { pool: "nvm", pfn: 1 });
+            assert_eq!(inner_log.take().len(), 1, "inner checker shadows the outer");
+        }
+        assert!(installed(), "outer sanitizer restored after inner guard drop");
+        emit(|| Event::FrameAlloc { pool: "nvm", pfn: 2 });
+        emit(|| Event::FrameFree { pool: "nvm", pfn: 2 });
+        emit(|| Event::FrameFree { pool: "nvm", pfn: 2 });
+        assert_eq!(outer_log.take().len(), 1, "outer checker sees events again");
     }
 
     #[test]

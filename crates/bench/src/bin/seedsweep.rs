@@ -9,7 +9,10 @@
 //! media-fault model, so the whole sweep scales with `--jobs` while
 //! every per-seed result stays byte-identical to a serial run.
 //!
-//! `--faults <seed>` moves the base of the swept seed range.
+//! `--faults <seed>` moves the base of the swept seed range;
+//! `--stuck <N>` scatters `N` stuck-at cells per seed on top of the wear
+//! model; `--plot <path>` renders the per-seed overheads as a
+//! self-contained SVG (pure markup, no external tooling).
 
 use kindle_bench::*;
 use kindle_core::mem::MediaFaultConfig;
@@ -17,15 +20,19 @@ use kindle_core::mem::MediaFaultConfig;
 /// The swept fault model: the wear budget is cranked far below the
 /// default (4096 writes/line) so the hot lines of even a quick run — the
 /// PTE consistency log ring and the page-table frames themselves — wear
-/// out and exercise the retry-then-retire loop. Stuck cells are
-/// deliberately *off*: a stuck bit silently corrupts stored data (that
-/// is its modeled physics), and with page tables resident in NVM a
-/// corrupted PTE is not a slowdown but an OS-fatal translation fault —
-/// a failure mode this overhead study is not about. Wear-out, by
-/// contrast, is detected by the controller's write-verify and costs only
-/// retries plus frame retirement, so every seed completes.
-fn sweep_faults(seed: u64) -> MediaFaultConfig {
-    MediaFaultConfig { wear_limit: 64, stuck_cells: 0, ..MediaFaultConfig::with_seed(seed) }
+/// out and exercise the retry-then-retire loop. Stuck cells default to
+/// *off* but `--stuck <N>` turns them on: with the per-line ECP
+/// correction budget armed, a stuck bit costs a correction entry at
+/// write time instead of silently corrupting stored data, so even the
+/// NVM-resident page tables survive and every seed completes.
+fn sweep_faults(seed: u64, stuck: usize) -> MediaFaultConfig {
+    let correction_entries = if stuck > 0 { STUCK_CORRECTION_ENTRIES } else { 0 };
+    MediaFaultConfig {
+        wear_limit: 64,
+        stuck_cells: stuck,
+        correction_entries,
+        ..MediaFaultConfig::with_seed(seed)
+    }
 }
 
 struct SeedRow {
@@ -53,10 +60,14 @@ fn main() -> Result<()> {
     } else {
         (experiments::Fig4aParams::paper(), experiments::Table4Params::paper(), 16u64)
     };
-    let base = sim::thread_media_fault_seed().unwrap_or(0xBAD_5EED);
+    let base = sim::thread_media_faults().map_or(0xBAD_5EED, |f| f.seed);
     let jobs = harness.jobs();
+    let stuck = harness.stuck().unwrap_or(0);
     println!("SEEDSWEEP: Fig. 4a + Table IV under media faults, {nseeds} seeds from {base:#x}");
-    println!("({jobs} workers; overhead = persistent-scheme ms vs fault-free baseline)");
+    println!(
+        "({jobs} workers, {stuck} stuck cells/seed; overhead = persistent-scheme ms vs \
+         fault-free baseline)"
+    );
     rule(74);
 
     // Fault-free baseline first, on a clean ambient model. `par_map_cells`
@@ -68,7 +79,7 @@ fn main() -> Result<()> {
 
     let seeds: Vec<u64> = (0..nseeds).map(|i| base.wrapping_add(i)).collect();
     let rows: Vec<SeedRow> = parallel::par_map(jobs, seeds, |seed| -> Result<SeedRow> {
-        sim::set_thread_media_faults(Some(sweep_faults(seed)));
+        sim::set_thread_media_faults(Some(sweep_faults(seed, stuck)));
         let fig4a = experiments::run_fig4a(&p4a);
         let table4 = experiments::run_table4(&pt4);
         sim::set_thread_media_faults(None);
@@ -127,5 +138,150 @@ fn main() -> Result<()> {
     }
     body.push_str("\n]");
     harness.maybe_json_body(&body);
+    if let Some(path) = harness.plot_path() {
+        match std::fs::write(path, render_svg(&rows)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("plot write failed: {e}"),
+        }
+    }
     harness.finish()
+}
+
+/// Renders the per-seed overhead factors as a self-contained SVG line
+/// chart: one polyline per artifact, a dashed 1.0x baseline, and the seed
+/// index on the x axis. Pure string assembly — the plot opens in any
+/// browser with no external tooling or fonts beyond `monospace`.
+fn render_svg(rows: &[SeedRow]) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 360.0;
+    const ML: f64 = 56.0; // left margin (y labels)
+    const MR: f64 = 16.0;
+    const MT: f64 = 34.0; // top margin (title)
+    const MB: f64 = 40.0; // bottom margin (x labels)
+    let ymax = rows
+        .iter()
+        .flat_map(|r| [r.fig4a_overhead, r.table4_overhead])
+        .fold(1.0f64, f64::max)
+        .mul_add(1.05, 0.0)
+        .max(1.1);
+    let n = rows.len().max(2);
+    let x = |i: usize| ML + (W - ML - MR) * i as f64 / (n - 1) as f64;
+    let y = |v: f64| MT + (H - MT - MB) * (1.0 - v / ymax);
+    let series = |pick: fn(&SeedRow) -> f64| -> String {
+        rows.iter().enumerate().map(|(i, r)| format!("{:.1},{:.1}", x(i), y(pick(r)))).fold(
+            String::new(),
+            |mut acc, p| {
+                if !acc.is_empty() {
+                    acc.push(' ');
+                }
+                acc.push_str(&p);
+                acc
+            },
+        )
+    };
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {W} {H}\" \
+         font-family=\"monospace\" font-size=\"11\">\n<rect width=\"{W}\" height=\"{H}\" \
+         fill=\"white\"/>\n<text x=\"{ML}\" y=\"20\" font-size=\"13\">seedsweep: \
+         persistent-scheme overhead vs fault-free baseline</text>\n"
+    ));
+    // y gridlines at even fractions of the range, labelled in overhead x.
+    for t in 0..=4 {
+        let v = ymax * f64::from(t) / 4.0;
+        let yy = y(v);
+        s.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{yy:.1}\" x2=\"{:.1}\" y2=\"{yy:.1}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{v:.2}x</text>\n",
+            W - MR,
+            ML - 6.0,
+            yy + 4.0
+        ));
+    }
+    // The 1.0x baseline: everything above it is fault-model cost.
+    s.push_str(&format!(
+        "<line x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1:.1}\" y2=\"{0:.1}\" stroke=\"#888\" \
+         stroke-dasharray=\"4 3\"/>\n",
+        y(1.0),
+        W - MR
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{:#x}</text>\n",
+            x(i),
+            H - MB + 16.0,
+            r.seed & 0xff
+        ));
+    }
+    for (pick, color, label, ly) in [
+        (fig4a_pick as fn(&SeedRow) -> f64, "#1f77b4", "fig4a", 0),
+        (table4_pick as fn(&SeedRow) -> f64, "#d62728", "table4", 1),
+    ] {
+        s.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
+            series(pick)
+        ));
+        for (i, r) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"{color}\"/>\n",
+                x(i),
+                y(pick(r))
+            ));
+        }
+        let yy = MT + 14.0 * f64::from(ly);
+        s.push_str(&format!(
+            "<line x1=\"{0:.1}\" y1=\"{yy:.1}\" x2=\"{1:.1}\" y2=\"{yy:.1}\" stroke=\"{color}\" \
+             stroke-width=\"1.5\"/>\n<text x=\"{2:.1}\" y=\"{3:.1}\">{label}</text>\n",
+            W - MR - 110.0,
+            W - MR - 90.0,
+            W - MR - 84.0,
+            yy + 4.0
+        ));
+    }
+    s.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">seed (low byte)</text>\n</svg>\n",
+        (ML + W - MR) / 2.0,
+        H - 8.0
+    ));
+    s
+}
+
+fn fig4a_pick(r: &SeedRow) -> f64 {
+    r.fig4a_overhead
+}
+
+fn table4_pick(r: &SeedRow) -> f64 {
+    r.table4_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_is_self_contained_and_covers_every_row() {
+        let rows = vec![
+            SeedRow {
+                seed: 0xA0,
+                fig4a_ms: 10.0,
+                table4_ms: 20.0,
+                fig4a_overhead: 1.1,
+                table4_overhead: 1.3,
+            },
+            SeedRow {
+                seed: 0xA1,
+                fig4a_ms: 11.0,
+                table4_ms: 21.0,
+                fig4a_overhead: 1.2,
+                table4_overhead: 1.25,
+            },
+        ];
+        let svg = render_svg(&rows);
+        assert!(svg.starts_with("<svg "), "{svg}");
+        assert!(svg.trim_end().ends_with("</svg>"), "{svg}");
+        assert_eq!(svg.matches("<polyline").count(), 2, "one line per artifact");
+        assert_eq!(svg.matches("<circle").count(), 4, "one marker per row per artifact");
+        assert!(svg.contains("fig4a") && svg.contains("table4"));
+        assert!(!svg.contains("href"), "self-contained: no external references");
+    }
 }

@@ -11,10 +11,13 @@
 
 use kindle_bench::*;
 use kindle_core::os::PtMode;
-use kindle_faults::run_nvm_write_sweep_jobs;
+use kindle_faults::{run_nvm_write_sweep_jobs, run_stuck_sweep_jobs};
 
 /// Fixed sweep seed (same one the crash-sweep acceptance tests pin).
 const SEED: u64 = 0x00c0_ffee_4b1d_0001;
+
+/// Stuck cells seeded for the degraded-media sweep regime.
+const STUCK_CELLS: usize = 4096;
 
 fn main() -> Result<()> {
     let harness = Harness::from_args();
@@ -58,6 +61,32 @@ fn main() -> Result<()> {
             serial.boundaries, serial.recovered, serial.digest
         ));
     }
+    // The degraded-media regime: the persistent-mode boundary sweep with
+    // thousands of stuck cells, the two-entry ECP budget and scrubd armed.
+    // Distinct JSON field names keep its (much smaller) point counts out
+    // of the write-sweep golden ranges above.
+    let t0 = std::time::Instant::now();
+    let serial = run_stuck_sweep_jobs(PtMode::Persistent, SEED, STUCK_CELLS, 1)?;
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let threaded = run_stuck_sweep_jobs(PtMode::Persistent, SEED, STUCK_CELLS, jobs)?;
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial, threaded, "stuck sweep: jobs=1 vs jobs={jobs} must agree bit-for-bit");
+    println!(
+        "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>7}",
+        "stuck",
+        serial.boundaries,
+        serial.recovered,
+        ms(serial_ms),
+        ms(parallel_ms),
+        format!("{STUCK_CELLS} cells")
+    );
+    body.push_str(&format!(
+        ",\n  {{\"mode\": \"stuck-persistent\", \"stuck_cells\": {STUCK_CELLS}, \
+         \"stuck_points\": {}, \"stuck_recovered\": {}, \"digest\": \"{:#018x}\", \
+         \"serial_ms\": {serial_ms:.1}, \"parallel_ms\": {parallel_ms:.1}}}",
+        serial.boundaries, serial.recovered, serial.digest
+    ));
     body.push_str("\n]");
     harness.maybe_json_body(&body);
     rule(78);

@@ -7,8 +7,14 @@ pub use kindle_core::*;
 use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationLog};
 
 /// Flag summary printed when an unknown or malformed argument is seen.
-pub const USAGE: &str =
-    "[--quick] [--sanitize] [--faults <seed>] [--jobs <N>] [--csv <path>] [--json <path>]";
+pub const USAGE: &str = "[--quick] [--sanitize] [--faults <seed>] [--stuck <N>] [--jobs <N>] \
+     [--csv <path>] [--json <path>] [--plot <path>]";
+
+/// Per-line ECP correction budget armed alongside `--stuck`: two entries
+/// absorb every realistically seeded cell (three uniform cells landing in
+/// one line is vanishingly rare at bench scales), so stuck media costs
+/// correction work instead of silently corrupting stored data.
+pub const STUCK_CORRECTION_ENTRIES: u32 = 2;
 
 /// Fault/sanitizer/parallelism CLI harness shared by the `fig*`/`table*`
 /// binaries.
@@ -21,6 +27,14 @@ pub const USAGE: &str =
 ///   (wear-out, stuck cells, retry-then-retire) in every machine the
 ///   experiment builds on this thread — the figures can be regenerated
 ///   on degrading media without touching experiment code.
+/// * `--stuck <N>` scatters `N` stuck-at cells over the NVM range and
+///   enables a two-entry per-line ECP correction budget so the cells are
+///   absorbed at write time rather than silently corrupting stored data.
+///   Folded into the `--faults` model when one is armed; experiments
+///   that build their own fault model read it via [`Harness::stuck`].
+/// * `--plot <path>` asks plot-capable binaries (`seedsweep`) to render
+///   their rows as a self-contained SVG at `path`
+///   ([`Harness::plot_path`]).
 /// * `--jobs <N>` publishes the fork-join worker count the experiment
 ///   grids run on (default: `KINDLE_JOBS`, else available parallelism).
 ///   Results are byte-identical at any worker count.
@@ -35,7 +49,9 @@ pub struct Harness {
     _guard: Option<Installed>,
     log: Option<ViolationLog>,
     jobs: usize,
+    stuck: Option<usize>,
     json_path: Option<String>,
+    plot_path: Option<String>,
     started: std::time::Instant,
 }
 
@@ -81,8 +97,10 @@ impl Harness {
     pub fn try_from_arg_list(args: &[String]) -> std::result::Result<Self, String> {
         let mut sanitize_requested = false;
         let mut fault_seed = None;
+        let mut stuck = None;
         let mut jobs = None;
         let mut json_path = None;
+        let mut plot_path = None;
         let mut it = args.iter().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -93,6 +111,13 @@ impl Harness {
                     let seed =
                         v.parse::<u64>().map_err(|_| format!("--faults: not a u64 seed: {v:?}"))?;
                     fault_seed = Some(seed);
+                }
+                "--stuck" => {
+                    let v = it.next().ok_or("--stuck requires a cell count")?;
+                    let n = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("--stuck: not a cell count: {v:?}"))?;
+                    stuck = Some(n);
                 }
                 "--jobs" => {
                     let v = it.next().ok_or("--jobs requires a worker count")?;
@@ -109,6 +134,9 @@ impl Harness {
                 "--json" => {
                     json_path = Some(it.next().ok_or("--json requires a path")?.clone());
                 }
+                "--plot" => {
+                    plot_path = Some(it.next().ok_or("--plot requires a path")?.clone());
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -118,7 +146,12 @@ impl Harness {
         let jobs = jobs.unwrap_or_else(parallel::default_jobs);
         parallel::set_thread_jobs(jobs);
         if let Some(seed) = fault_seed {
-            kindle_core::sim::set_thread_media_fault_seed(Some(seed));
+            let mut faults = mem::MediaFaultConfig::with_seed(seed);
+            if let Some(n) = stuck {
+                faults.stuck_cells = n;
+                faults.correction_entries = STUCK_CORRECTION_ENTRIES;
+            }
+            kindle_core::sim::set_thread_media_faults(Some(faults));
         }
         let (guard, log) = if sanitize_requested {
             let checker = InvariantChecker::new();
@@ -127,13 +160,33 @@ impl Harness {
         } else {
             (None, None)
         };
-        Ok(Harness { _guard: guard, log, jobs, json_path, started: std::time::Instant::now() })
+        Ok(Harness {
+            _guard: guard,
+            log,
+            jobs,
+            stuck,
+            json_path,
+            plot_path,
+            started: std::time::Instant::now(),
+        })
     }
 
     /// The resolved fork-join worker count.
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Stuck-cell count requested with `--stuck <N>`, if any.
+    #[must_use]
+    pub fn stuck(&self) -> Option<usize> {
+        self.stuck
+    }
+
+    /// SVG output path requested with `--plot <path>`, if any.
+    #[must_use]
+    pub fn plot_path(&self) -> Option<&str> {
+        self.plot_path.as_deref()
     }
 
     /// Writes rows as JSON when `--json <path>` was passed, wrapped in the
@@ -170,7 +223,7 @@ impl Harness {
     ///
     /// [`KindleError::Corrupted`] when the sanitizer recorded violations.
     pub fn finish(self) -> Result<()> {
-        kindle_core::sim::set_thread_media_fault_seed(None);
+        kindle_core::sim::set_thread_media_faults(None);
         parallel::set_thread_jobs(1);
         if let Some(log) = &self.log {
             let violations = log.take();
@@ -276,6 +329,28 @@ mod tests {
         assert!(Harness::try_from_arg_list(&args(&["bin", "--jobs", "0"])).is_err());
         assert!(Harness::try_from_arg_list(&args(&["bin", "--csv"])).is_err());
         assert!(Harness::try_from_arg_list(&args(&["bin", "--json"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--stuck"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--stuck", "many"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--plot"])).is_err());
+    }
+
+    #[test]
+    fn harness_stuck_folds_into_the_fault_model() {
+        let h = Harness::from_arg_list(&args(&["bin", "--faults", "9", "--stuck", "512"]));
+        assert_eq!(h.stuck(), Some(512));
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        let f = m.config().mem.faults.clone().unwrap();
+        assert_eq!(f.stuck_cells, 512);
+        assert_eq!(f.correction_entries, STUCK_CORRECTION_ENTRIES);
+        h.finish().unwrap();
+
+        // Standalone --stuck is an accessor only: no ambient model armed.
+        let h = Harness::from_arg_list(&args(&["bin", "--stuck", "16", "--plot", "p.svg"]));
+        assert_eq!(h.stuck(), Some(16));
+        assert_eq!(h.plot_path(), Some("p.svg"));
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        assert!(m.config().mem.faults.is_none());
+        h.finish().unwrap();
     }
 
     #[test]

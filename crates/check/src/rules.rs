@@ -8,6 +8,7 @@
 //! | KD004 | `unwrap()`/`expect()` in non-test `crates/os` / `crates/persist` code |
 //! | KD006 | raw `+`/`-` arithmetic inside `Cycles::new(..)` outside `crates/types` |
 //! | KD007 | `std::thread` spawning/scoping outside `kindle_core::parallel` |
+//! | KD008 | the removed seed-only fault channel (`set_thread_media_fault_seed`) |
 //!
 //! (KD005, the external-dependency rule, lives in [`crate::manifest`].)
 //!
@@ -37,6 +38,12 @@ const THREAD_HOME: &str = "crates/core/src/parallel.rs";
 
 /// Host-thread primitives KD007 bans outside [`THREAD_HOME`].
 const THREAD_PATTERNS: &[&str] = &["std::thread", "thread::spawn", "thread::scope"];
+
+/// The seed-only ambient fault channel removed in favor of the single
+/// `set_thread_media_faults(MediaFaultConfig)` entry point (KD008). Both
+/// the setter and its getter are banned so the old shape cannot creep
+/// back under either name.
+const FAULT_SEED_PATTERNS: &[&str] = &["set_thread_media_fault_seed", "thread_media_fault_seed"];
 
 /// True if `word` occurs in `line` delimited by non-identifier characters.
 pub fn contains_word(line: &str, word: &str) -> bool {
@@ -213,6 +220,17 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
                  through par_map so results stay independent of worker count",
             ));
         }
+
+        if krate != Some("check") && FAULT_SEED_PATTERNS.iter().any(|p| contains_word(line, p)) {
+            out.push(Diagnostic::new(
+                rel_path,
+                lineno,
+                "KD008",
+                "seed-only ambient fault channel; use \
+                 set_thread_media_faults(MediaFaultConfig) — the one entry point — \
+                 so every caller states the full fault model",
+            ));
+        }
     }
     out
 }
@@ -341,6 +359,35 @@ mod tests {
         assert!(d.is_empty(), "{d:?}");
         // The linter's own sources name the patterns as string literals.
         let d = check_source("crates/check/src/x.rs", Some("check"), "\"std::thread\";\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn kd008_flags_the_removed_seed_channel() {
+        let d = check_source(
+            "crates/bench/src/x.rs",
+            Some("bench"),
+            "kindle_core::sim::set_thread_media_fault_seed(Some(7));\n",
+        );
+        assert_eq!(rules_of(&d), ["KD008"]);
+        let d = check_source(
+            "crates/sim/src/x.rs",
+            Some("sim"),
+            "let s = thread_media_fault_seed();\n",
+        );
+        assert_eq!(rules_of(&d), ["KD008"]);
+        // The replacement API is fine, and the linter may name the pattern.
+        let d = check_source(
+            "crates/bench/src/x.rs",
+            Some("bench"),
+            "kindle_core::sim::set_thread_media_faults(None);\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = check_source(
+            "crates/check/src/x.rs",
+            Some("check"),
+            "\"set_thread_media_fault_seed\";\n",
+        );
         assert!(d.is_empty(), "{d:?}");
     }
 

@@ -261,15 +261,16 @@ mod tests {
     }
 
     #[test]
-    fn par_map_cells_republishes_fault_seed_on_workers() {
-        kindle_sim::set_thread_media_fault_seed(Some(77));
+    fn par_map_cells_republishes_fault_model_on_workers() {
+        kindle_sim::set_thread_media_faults(Some(kindle_mem::MediaFaultConfig::with_seed(77)));
         set_thread_jobs(4);
-        let seeds =
-            par_map_cells((0..8u64).collect(), |_| Ok(kindle_sim::thread_media_fault_seed()))
-                .unwrap();
+        let seeds = par_map_cells((0..8u64).collect(), |_| {
+            Ok(kindle_sim::thread_media_faults().map(|f| f.seed))
+        })
+        .unwrap();
         assert!(seeds.iter().all(|&s| s == Some(77)), "{seeds:?}");
         set_thread_jobs(1);
-        kindle_sim::set_thread_media_fault_seed(None);
+        kindle_sim::set_thread_media_faults(None);
     }
 
     #[test]

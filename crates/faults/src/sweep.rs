@@ -35,6 +35,7 @@ use std::rc::Rc;
 
 use kindle_core::parallel;
 
+use kindle_mem::MediaFaultConfig;
 use kindle_os::PtMode;
 use kindle_sim::{Machine, MachineConfig};
 use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer, ThreadId};
@@ -96,6 +97,32 @@ fn config(mode: PtMode, threaded: bool) -> MachineConfig {
     }
 }
 
+/// Scrubd period of the stuck-cell sweep: short enough that verify passes
+/// interleave the workload's checkpoint phases instead of landing after
+/// the whole run.
+const STUCK_SCRUB_INTERVAL: Cycles = Cycles::from_micros(40);
+
+/// ECP correction entries per line in the stuck-cell sweep: two covers
+/// every line uniform seeding realistically produces (a triple collision
+/// among ~2M lines is vanishingly rare), so the protocol state stays
+/// faithful at every crash point while the correction layer does real
+/// work.
+const STUCK_CORRECTION_ENTRIES: u32 = 2;
+
+/// The stuck-cell machine: the boundary-sweep config plus `stuck` seeded
+/// stuck-at cells (wear-out off, so every fault is a stuck cell), the ECP
+/// correction layer, and the scrub daemon verifying page-table frames.
+fn stuck_config(mode: PtMode, seed: u64, stuck: usize) -> MachineConfig {
+    let mut cfg = config(mode, false).with_scrub_interval(STUCK_SCRUB_INTERVAL);
+    cfg.mem.faults = Some(MediaFaultConfig {
+        wear_limit: 0,
+        stuck_cells: stuck,
+        correction_entries: STUCK_CORRECTION_ENTRIES,
+        ..MediaFaultConfig::with_seed(seed)
+    });
+    cfg
+}
+
 /// The deterministic workload: three phases, each mapping and touching NVM
 /// pages, stamping a phase marker into `rip` and checkpointing; between
 /// checkpoints it performs map/unmap churn that only the redo log records.
@@ -132,9 +159,15 @@ pub fn golden_run(mode: PtMode) -> Result<GoldenRun> {
 
 /// [`golden_run`] with checkpoints optionally on a daemon kthread.
 fn golden_run_with(mode: PtMode, threaded: bool) -> Result<GoldenRun> {
+    golden_run_cfg(&config(mode, threaded))
+}
+
+/// The golden enumeration for an explicit machine config (the stuck-cell
+/// sweep builds one with media faults and the scrub daemon armed).
+fn golden_run_cfg(cfg: &MachineConfig) -> Result<GoldenRun> {
     let counter = Rc::new(RefCell::new(BoundaryCounter::new()));
     let guard = sanitize::install(Box::new(SharedSanitizer(counter.clone())));
-    let mut m = Machine::new(config(mode, threaded))?;
+    let mut m = Machine::new(cfg.clone())?;
     let pid = m.spawn_process()?;
     run_workload(&mut m, pid)?;
     drop(guard);
@@ -171,8 +204,7 @@ fn expected_marker(golden: &GoldenRun, b: u64) -> Option<u64> {
 /// recovers, verifies, and returns whether the workload process survived
 /// plus this crash point's digest observables.
 fn crash_at_boundary(
-    mode: PtMode,
-    threaded: bool,
+    cfg: &MachineConfig,
     golden: &GoldenRun,
     b: u64,
     rng: &mut Rng64,
@@ -185,7 +217,7 @@ fn crash_at_boundary(
     let switch = trigger.switch();
     let guard = sanitize::install(Box::new(trigger));
 
-    let mut m = Machine::new(config(mode, threaded))?;
+    let mut m = Machine::new(cfg.clone())?;
     m.hw.mc.arm_power_cut(switch.clone());
     let pid = m.spawn_process()?;
     run_workload(&mut m, pid)?;
@@ -230,7 +262,7 @@ fn crash_at_boundary(
     let rc_violations = rc_log.take();
     assert!(rc_violations.is_empty(), "boundary {b}: recovery violations {rc_violations:?}");
 
-    let words = vec![
+    let mut words = vec![
         b,
         u64::from(recovered),
         if recovered { m.kernel.process(pid)?.regs.rip } else { 0 },
@@ -242,6 +274,21 @@ fn crash_at_boundary(
         report.dram_entries_dropped,
         m.now().as_u64(),
     ];
+    // With scrubd armed the scrub/correction work is part of what the seed
+    // must pin, so its counters join the digest (plain sweeps append
+    // nothing, keeping their digests comparable with older runs).
+    if let Some(s) = &m.scrub {
+        let st = s.stats();
+        let media = m.hw.mc.stats().media;
+        words.extend([
+            st.passes,
+            st.lines_detected,
+            st.lines_corrected,
+            st.frames_retired,
+            media.corrections_allocated,
+            media.uncorrectable_line_writes,
+        ]);
+    }
     drop(guard);
     Ok((recovered, words))
 }
@@ -286,7 +333,19 @@ pub fn run_sweep_threaded(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
 }
 
 fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool, jobs: usize) -> Result<SweepOutcome> {
-    let golden = golden_run_with(mode, threaded)?;
+    run_sweep_cfg(&config(mode, threaded), seed, jobs, &[])
+}
+
+/// The boundary sweep against an explicit machine config. `extra_words`
+/// prefixes the digest so variants (e.g. different stuck-cell counts)
+/// cannot collide.
+fn run_sweep_cfg(
+    cfg: &MachineConfig,
+    seed: u64,
+    jobs: usize,
+    extra_words: &[u64],
+) -> Result<SweepOutcome> {
+    let golden = golden_run_cfg(cfg)?;
     // Workers have their own thread-locals: republish the caller's ambient
     // media-fault model so the sweep is jobs-invariant even under --faults.
     let ambient = kindle_sim::thread_media_faults();
@@ -296,9 +355,10 @@ fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool, jobs: usize) -> Resul
         // A fresh generator per boundary keeps crash points independent:
         // inserting a boundary does not shift every later tear.
         let mut rng = Rng64::new(seed ^ (b + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        crash_at_boundary(mode, threaded, golden_ref, b, &mut rng)
+        crash_at_boundary(cfg, golden_ref, b, &mut rng)
     });
-    let mut digest_words = vec![golden.boundaries, golden.nvm_writes];
+    let mut digest_words = extra_words.to_vec();
+    digest_words.extend([golden.boundaries, golden.nvm_writes]);
     let mut recovered = 0u64;
     for point in results {
         let (rec, words) = point?;
@@ -306,6 +366,43 @@ fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool, jobs: usize) -> Resul
         digest_words.extend(words);
     }
     Ok(SweepOutcome { boundaries: golden.boundaries, recovered, digest: checksum64(&digest_words) })
+}
+
+/// The stuck-cell sweep: the full boundary crash/recovery sweep run
+/// against NVM media seeded with `stuck` stuck-at cells, with the ECP
+/// correction layer and the scrub daemon armed. Every crash point must
+/// still recover exactly the last durable checkpoint with zero sanitizer
+/// violations — the stuck cells the workload's write set crosses are
+/// absorbed by write-time correction, and scrubd verify passes (whose
+/// counters join the digest) keep the NVM-resident page tables honest
+/// across every crash and recovery.
+///
+/// # Errors
+///
+/// Propagates machine/workload/recovery failures.
+///
+/// # Panics
+///
+/// Panics when a recovery check fails (wrong checkpoint recovered, checker
+/// violations, golden run out of sync).
+pub fn run_stuck_sweep(mode: PtMode, seed: u64, stuck: usize) -> Result<SweepOutcome> {
+    run_stuck_sweep_jobs(mode, seed, stuck, parallel::default_jobs())
+}
+
+/// [`run_stuck_sweep`] with an explicit worker count (`jobs = 1` is the
+/// exact serial loop; any count produces the identical outcome).
+///
+/// # Errors
+///
+/// As [`run_stuck_sweep`].
+pub fn run_stuck_sweep_jobs(
+    mode: PtMode,
+    seed: u64,
+    stuck: usize,
+    jobs: usize,
+) -> Result<SweepOutcome> {
+    let cfg = stuck_config(mode, seed, stuck);
+    run_sweep_cfg(&cfg, seed, jobs, &[stuck as u64])
 }
 
 /// Crashes one fresh machine right after its `w`-th NVM line write,

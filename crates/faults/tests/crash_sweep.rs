@@ -6,7 +6,8 @@
 //! deterministic per seed.
 
 use kindle_faults::{
-    run_nvm_write_sweep, run_nvm_write_sweep_jobs, run_sweep, run_sweep_jobs, run_sweep_threaded,
+    run_nvm_write_sweep, run_nvm_write_sweep_jobs, run_stuck_sweep_jobs, run_sweep, run_sweep_jobs,
+    run_sweep_threaded,
 };
 use kindle_os::PtMode;
 
@@ -84,5 +85,21 @@ fn boundary_sweep_is_jobs_invariant() {
 fn nvm_write_sweep_is_jobs_invariant() {
     let serial = run_nvm_write_sweep_jobs(PtMode::Rebuild, SEED, 199, 1).unwrap();
     let parallel = run_nvm_write_sweep_jobs(PtMode::Rebuild, SEED, 199, 8).unwrap();
+    assert_eq!(serial, parallel, "jobs=1 vs jobs=8 must agree bit-for-bit");
+}
+
+#[test]
+fn stuck_cell_sweep_recovers_and_is_jobs_invariant() {
+    // The scrubbed machine: thousands of randomly seeded stuck cells, a
+    // two-entry ECP budget, scrubd armed — and the full crash/recovery
+    // sweep still holds at every persist boundary, with the scrub/media
+    // counters folded into the digest so the fault path itself is pinned
+    // by the determinism check.
+    let plain = run_sweep(PtMode::Persistent, SEED).unwrap();
+    let serial = run_stuck_sweep_jobs(PtMode::Persistent, SEED, 4096, 1).unwrap();
+    assert_eq!(serial.boundaries, plain.boundaries, "stuck cells must not move boundaries");
+    assert_eq!(serial.recovered, plain.recovered, "stuck cells must not change durability");
+
+    let parallel = run_stuck_sweep_jobs(PtMode::Persistent, SEED, 4096, 8).unwrap();
     assert_eq!(serial, parallel, "jobs=1 vs jobs=8 must agree bit-for-bit");
 }

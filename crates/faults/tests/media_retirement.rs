@@ -75,22 +75,22 @@ fn worn_out_nvm_frame_is_retired_and_remapped() {
 }
 
 #[test]
-fn ambient_seed_arms_machines_built_on_this_thread() {
-    kindle_sim::set_thread_media_fault_seed(Some(77));
+fn ambient_model_arms_machines_built_on_this_thread() {
+    kindle_sim::set_thread_media_faults(Some(MediaFaultConfig::with_seed(77)));
     let armed = Machine::new(MachineConfig::small()).unwrap();
-    kindle_sim::set_thread_media_fault_seed(None);
+    kindle_sim::set_thread_media_faults(None);
     let clean = Machine::new(MachineConfig::small()).unwrap();
 
     assert_eq!(
         armed.config().mem.faults.as_ref().map(|f| f.seed),
         Some(77),
-        "ambient seed must arm machines whose config left faults unset"
+        "ambient model must arm machines whose config left faults unset"
     );
-    assert!(clean.config().mem.faults.is_none(), "clearing the seed must stick");
+    assert!(clean.config().mem.faults.is_none(), "clearing the model must stick");
 
-    // An explicit config always beats the ambient seed.
-    kindle_sim::set_thread_media_fault_seed(Some(77));
+    // An explicit config always beats the ambient model.
+    kindle_sim::set_thread_media_faults(Some(MediaFaultConfig::with_seed(77)));
     let explicit = Machine::new(MachineConfig::small().with_media_faults(5)).unwrap();
-    kindle_sim::set_thread_media_fault_seed(None);
+    kindle_sim::set_thread_media_faults(None);
     assert_eq!(explicit.config().mem.faults.as_ref().map(|f| f.seed), Some(5));
 }

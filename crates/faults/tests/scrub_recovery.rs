@@ -1,0 +1,311 @@
+//! Directed stuck-cell recovery: corrupt page-table frames at *chosen*
+//! cells and prove the scrub/correction subsystem closes the loop.
+//!
+//! Stuck cells are placed at bit 63 of a table word — a bit the walker
+//! ignores (the PTE format uses bits 0..62) — so translation keeps
+//! working while the stored image diverges from the kernel's shadow
+//! metadata. That isolates exactly the property under test: detection
+//! and repair of silent NVM corruption, not collateral mistranslation.
+//!
+//! Four regimes:
+//! * budget 0 + scrubd — every corrupted frame is detected and retired
+//!   content-preservingly (the rewrite cannot heal a zero-budget line);
+//! * budget ≥ cells + scrubd — write-time ECP correction absorbs every
+//!   cell; scrub passes verify the tables clean;
+//! * budget < cells + scrubd — the line exhausts its budget, the
+//!   sanitizer catches the walker consuming the uncorrected line, and
+//!   frame retirement repairs it;
+//! * budget 0, no scrubd — the pre-scrubd failure mode: the durable
+//!   page tables stay silently corrupted forever.
+
+use kindle_mem::MediaFaultConfig;
+use kindle_os::PtMode;
+use kindle_sim::{Machine, MachineConfig};
+use kindle_types::pte::pte_addr;
+use kindle_types::sanitize::{self, InvariantChecker, Violation};
+use kindle_types::{
+    AccessKind, Cycles, MapFlags, MemKind, Pfn, PhysMem, Prot, Pte, VirtAddr, CACHE_LINE,
+    LINES_PER_PAGE, PAGE_SIZE,
+};
+
+/// Pages the workload maps and touches (enough for a full leaf line run).
+const PAGES: u64 = 16;
+
+/// The machine under test: persistent (NVM-resident) page tables, the
+/// media-fault model armed with *no* random faults (every stuck cell is
+/// placed by hand), and optionally the scrub daemon.
+fn cfg(correction_entries: u32, scrubd: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::small().with_pt_mode(PtMode::Persistent);
+    if scrubd {
+        cfg = cfg.with_scrub_interval(Cycles::from_micros(20));
+    }
+    cfg.mem.faults = Some(MediaFaultConfig {
+        wear_limit: 0,
+        stuck_cells: 0,
+        correction_entries,
+        ..MediaFaultConfig::with_seed(7)
+    });
+    cfg
+}
+
+/// Maps and touches the workload pages; returns the mapping base.
+fn touch_pages(m: &mut Machine, pid: u32) -> VirtAddr {
+    let va = m.mmap(pid, PAGES * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM).unwrap();
+    for p in 0..PAGES {
+        m.access(pid, va + p * PAGE_SIZE as u64, AccessKind::Write).unwrap();
+    }
+    va
+}
+
+/// Runs the workload once on a clean machine and reports the NVM table
+/// frames it built. Machine construction is deterministic, so an identical
+/// config re-allocates identical frames — which is how a fresh machine can
+/// be seeded with stuck cells at addresses its page tables will only
+/// occupy later.
+fn probe(config: &MachineConfig) -> Vec<Pfn> {
+    let mut m = Machine::new(config.clone()).unwrap();
+    let pid = m.spawn_process().unwrap();
+    touch_pages(&mut m, pid);
+    let tables: Vec<Pfn> = m
+        .kernel
+        .process(pid)
+        .unwrap()
+        .aspace
+        .table_frames()
+        .iter()
+        .copied()
+        .filter(|f| m.hw.mc.kind_of(f.base()) == Ok(MemKind::Nvm))
+        .collect();
+    assert!(tables.len() >= 4, "persistent mode must build NVM tables: {tables:?}");
+    tables
+}
+
+/// Current data-frame translation of every workload page.
+fn data_frames(m: &mut Machine, pid: u32, va: VirtAddr) -> Vec<Pfn> {
+    (0..PAGES)
+        .map(|p| {
+            let vap = va + p * PAGE_SIZE as u64;
+            m.kernel.translate(&mut m.hw, pid, vap).unwrap().unwrap().pfn()
+        })
+        .collect()
+}
+
+/// Sticks bit 63 of word 0 of every line of every frame at 1.
+fn corrupt_frames(m: &mut Machine, frames: &[Pfn]) {
+    let media = m.hw.mc.media_mut().expect("media-fault model armed");
+    for f in frames {
+        for line in 0..LINES_PER_PAGE {
+            let base = f.base().as_u64() + (line * CACHE_LINE) as u64;
+            assert!(media.add_stuck_cell(base, 63, true), "cell at {base:#x} not placed");
+        }
+    }
+}
+
+/// Keeps the machine busy until the scrub daemon has completed `passes`
+/// verify passes.
+fn drive_scrub(m: &mut Machine, pid: u32, va: VirtAddr, passes: u64) {
+    let done = |m: &Machine| m.scrub.as_ref().is_some_and(|s| s.stats().passes >= passes);
+    for i in 0..400_000u64 {
+        if done(m) {
+            return;
+        }
+        m.access(pid, va + (i % PAGES) * PAGE_SIZE as u64, AccessKind::Read).unwrap();
+    }
+    panic!("scrubd never completed {passes} passes: {:?}", m.scrub);
+}
+
+/// Reads frame `f`'s stored words back and diffs them against the shadow
+/// (ignoring hardware-managed accessed/dirty/count bits, which the walker
+/// legitimately sets behind the kernel's back); returns the number of
+/// mismatching words.
+fn stored_shadow_mismatches(m: &mut Machine, pid: u32, f: Pfn) -> usize {
+    let expected = *m.kernel.process(pid).unwrap().aspace.expected_table_words(f).unwrap();
+    (0..512)
+        .filter(|&w| {
+            let stored = m.hw.read_u64(f.base() + w as u64 * 8);
+            stored & !Pte::HW_MANAGED != expected[w] & !Pte::HW_MANAGED
+        })
+        .count()
+}
+
+#[test]
+fn every_stuck_cell_in_a_pt_frame_is_detected_and_the_frame_retired() {
+    let config = cfg(0, true);
+    let tables = probe(&config);
+
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let _guard = sanitize::install(Box::new(ic));
+
+    let mut m = Machine::new(config).unwrap();
+    corrupt_frames(&mut m, &tables);
+
+    let pid = m.spawn_process().unwrap();
+    let va = touch_pages(&mut m, pid);
+    // Scrubd interleaves with the workload (retirement can land between
+    // two page faults), so the stability reference is this machine's own
+    // post-workload translations, not the clean probe's.
+    let data = data_frames(&mut m, pid, va);
+    drive_scrub(&mut m, pid, va, 3);
+
+    // With a zero correction budget the rewrite cannot heal: every frame
+    // holding at least one stored line (all of them — their entries were
+    // just installed) must be detected and retired content-preservingly.
+    let st = m.scrub.as_ref().unwrap().stats().clone();
+    assert!(st.lines_detected >= tables.len() as u64, "stats: {st:?}");
+    assert_eq!(st.lines_corrected, 0, "budget 0 cannot heal a line: {st:?}");
+    assert_eq!(st.frames_retired, tables.len() as u64, "every corrupted frame retires: {st:?}");
+    assert_eq!(m.kernel.stats().pt_frames_retired, tables.len() as u64);
+    assert!(m.tlb_shootdowns() >= 1, "relocation must shoot down stale translations");
+
+    // The page tables moved off every seeded frame...
+    let now_tables = m.kernel.process(pid).unwrap().aspace.table_frames().to_vec();
+    for f in &tables {
+        assert!(!now_tables.contains(f), "frame {f:?} still live after retirement");
+    }
+    // ...while every data mapping survived: same frames, same
+    // translations, and the replacement tables match the shadow word for
+    // word.
+    for (p, &want) in data.iter().enumerate() {
+        let vap = va + p as u64 * PAGE_SIZE as u64;
+        let got = m.kernel.translate(&mut m.hw, pid, vap).unwrap().unwrap().pfn();
+        assert_eq!(got, want, "page {p} moved");
+    }
+    for &f in &now_tables {
+        assert_eq!(stored_shadow_mismatches(&mut m, pid, f), 0, "frame {f:?} still corrupt");
+    }
+    let out = m.kernel.scrub_pt_frames(&mut m.hw).unwrap();
+    assert_eq!(out.lines_detected, 0, "final verify pass must be clean: {out:?}");
+    assert_eq!(out.frames_clean, now_tables.len() as u64);
+
+    let violations = ic_log.take();
+    assert!(violations.is_empty(), "sanitizer violations: {violations:?}");
+}
+
+#[test]
+fn correction_budget_absorbs_stuck_cells_at_write_time() {
+    // One stuck cell per line, one correction entry per line: the ECP
+    // layer covers every cell the moment its line is first written.
+    let config = cfg(1, true);
+    let tables = probe(&config);
+
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let _guard = sanitize::install(Box::new(ic));
+
+    let mut m = Machine::new(config).unwrap();
+    corrupt_frames(&mut m, &tables);
+
+    let pid = m.spawn_process().unwrap();
+    let va = touch_pages(&mut m, pid);
+    drive_scrub(&mut m, pid, va, 3);
+
+    let st = m.scrub.as_ref().unwrap().stats().clone();
+    assert_eq!(st.lines_detected, 0, "corrected lines must verify clean: {st:?}");
+    assert_eq!(st.frames_retired, 0, "nothing to retire: {st:?}");
+    assert!(st.passes >= 3 && st.frames_clean >= st.passes * tables.len() as u64, "{st:?}");
+
+    let media = m.hw.mc.stats().media;
+    assert!(media.corrections_allocated >= tables.len() as u64, "{media:?}");
+    assert_eq!(media.uncorrectable_line_writes, 0, "{media:?}");
+
+    for &f in &tables {
+        assert_eq!(stored_shadow_mismatches(&mut m, pid, f), 0, "frame {f:?} corrupt");
+    }
+    let violations = ic_log.take();
+    assert!(violations.is_empty(), "sanitizer violations: {violations:?}");
+}
+
+#[test]
+fn exhausted_budget_is_caught_by_the_sanitizer_and_repaired_by_retirement() {
+    // Two stuck cells in one leaf-table line against a one-entry budget:
+    // the first PTE store to that line exhausts the ECP layer, leaving
+    // the line corrupted with a `ScrubDetect` flag raised.
+    let config = cfg(1, true);
+    let probe_line = {
+        let mut m = Machine::new(config.clone()).unwrap();
+        let pid = m.spawn_process().unwrap();
+        let va = touch_pages(&mut m, pid);
+        let aspace = &m.kernel.process(pid).unwrap().aspace;
+        let mut table = aspace.root();
+        for level in (2..=4u8).rev() {
+            let words = aspace.expected_table_words(table).unwrap();
+            let entry = pte_addr(table, va, level);
+            let idx = ((entry.as_u64() - table.base().as_u64()) / 8) as usize;
+            table = Pte::from_bits(words[idx]).pfn();
+        }
+        pte_addr(table, va, 1).line_base().as_u64()
+    };
+
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let _guard = sanitize::install(Box::new(ic));
+
+    let mut m = Machine::new(config).unwrap();
+    {
+        let media = m.hw.mc.media_mut().unwrap();
+        assert!(media.add_stuck_cell(probe_line, 63, true));
+        assert!(media.add_stuck_cell(probe_line, 127, true));
+    }
+
+    let pid = m.spawn_process().unwrap();
+    let va = touch_pages(&mut m, pid);
+
+    // The walker consumed entries from the exhausted line before the
+    // frame could be retired — exactly the window the PR-1 sanitizer's
+    // new invariant exists to catch.
+    let violations = ic_log.take();
+    assert!(!violations.is_empty(), "sanitizer must catch the uncorrected-line window");
+    assert!(
+        violations.iter().all(|v| matches!(v, Violation::PteFromUncorrectedLine { .. })),
+        "unexpected violations: {violations:?}"
+    );
+
+    // Retirement (driven from the timer poll via the failed-frame queue)
+    // relocated the leaf table; afterwards the machine is clean.
+    assert!(m.kernel.stats().pt_frames_retired >= 1, "{:?}", m.kernel.stats());
+    let media = m.hw.mc.stats().media;
+    assert!(media.uncorrectable_line_writes >= 1, "{media:?}");
+    for p in 0..PAGES {
+        m.access(pid, va + p * PAGE_SIZE as u64, AccessKind::Read).unwrap();
+    }
+    let out = m.kernel.scrub_pt_frames(&mut m.hw).unwrap();
+    assert_eq!(out.lines_detected, 0, "retirement must have repaired the tables: {out:?}");
+    let violations = ic_log.take();
+    assert!(violations.is_empty(), "violations after retirement: {violations:?}");
+}
+
+#[test]
+fn without_scrubd_the_corruption_stays_silent_forever() {
+    // Same corruption as the retirement test, but no scrub daemon and no
+    // correction budget: the pre-scrubd machine.
+    let config = cfg(0, false);
+    let tables = probe(&config);
+
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let _guard = sanitize::install(Box::new(ic));
+
+    let mut m = Machine::new(config).unwrap();
+    corrupt_frames(&mut m, &tables);
+
+    let pid = m.spawn_process().unwrap();
+    let va = touch_pages(&mut m, pid);
+    for i in 0..10_000u64 {
+        m.access(pid, va + (i % PAGES) * PAGE_SIZE as u64, AccessKind::Read).unwrap();
+    }
+
+    // The durable page tables diverged from the kernel's intent and
+    // nothing in the machine ever notices: no detection, no correction,
+    // no retirement, no sanitizer signal — silent corruption, exactly
+    // the failure mode the scrub subsystem was built to close.
+    assert!(m.scrub.is_none());
+    let corrupt: usize = tables.iter().map(|&f| stored_shadow_mismatches(&mut m, pid, f)).sum();
+    assert!(corrupt >= tables.len(), "stuck cells must have bitten: {corrupt}");
+    assert_eq!(m.kernel.stats().pt_frames_retired, 0);
+    let media = m.hw.mc.stats().media;
+    assert!(media.stuck_line_writes >= 1, "{media:?}");
+    assert_eq!(media.corrections_allocated, 0, "{media:?}");
+    let violations = ic_log.take();
+    assert!(violations.is_empty(), "silent means silent: {violations:?}");
+}

@@ -121,6 +121,11 @@ pub struct MediaFaultConfig {
     pub retry_limit: u32,
     /// Extra latency charged per retry, in nanoseconds (bounded backoff).
     pub retry_backoff_ns: u64,
+    /// ECP-style correction entries available per cache line. Each entry
+    /// permanently replaces one stuck cell; a line needing more than this
+    /// budget stays corrupted and its frame must be retired. `0` (the
+    /// default) disables correction, reproducing raw stuck-at corruption.
+    pub correction_entries: u32,
 }
 
 impl MediaFaultConfig {
@@ -134,6 +139,7 @@ impl MediaFaultConfig {
             stuck_cells: 4,
             retry_limit: 3,
             retry_backoff_ns: 200,
+            correction_entries: 0,
         }
     }
 }

@@ -32,5 +32,7 @@ pub use config::{DramConfig, MediaFaultConfig, MemConfig, NvmConfig};
 pub use controller::{MemoryController, PowerSwitch};
 pub use dram::DramDevice;
 pub use e820::{E820Entry, E820Map};
-pub use nvm::{MediaFaults, MediaStats, NvmDevice, WriteOutcome};
+pub use nvm::{
+    CorrectionOutcome, MediaFaults, MediaStats, NvmDevice, WriteOutcome, CELLS_PER_LINE,
+};
 pub use stats::MemStats;

@@ -171,6 +171,31 @@ pub struct MediaStats {
     pub lines_worn_out: u64,
     /// Writes that landed in a line with a stuck-at cell.
     pub stuck_line_writes: u64,
+    /// ECP correction entries allocated (each permanently heals one cell).
+    pub corrections_allocated: u64,
+    /// Writes that landed in a line whose stuck cells exceed the ECP
+    /// budget: the stored data is corrupted and the frame must be retired.
+    pub uncorrectable_line_writes: u64,
+}
+
+/// Outcome of asking the ECP layer to cover a line's stuck cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorrectionOutcome {
+    /// No stuck cells in the line; nothing to correct.
+    Clean,
+    /// Every stuck cell is covered by a correction entry
+    /// (`newly_allocated` of them were consumed by this call).
+    Corrected {
+        /// Correction entries allocated by this call (0 = already covered).
+        newly_allocated: u32,
+    },
+    /// The line needs more correction entries than the per-line budget.
+    Exhausted {
+        /// Stuck cells in the line.
+        cells: u32,
+        /// The configured per-line correction-entry budget.
+        budget: u32,
+    },
 }
 
 /// Cache lines per lazily allocated chunk of a [`LineTable`].
@@ -237,14 +262,21 @@ pub struct MediaFaults {
     nvm_lines: u64,
     /// Write count per line (counts freeze once the budget is reached).
     wear: LineTable,
-    /// Stuck cells, encoded `1 + (bit_index << 1) + stuck_value` (0 = none).
+    /// Stuck cells, up to [`CELLS_PER_LINE`] packed per entry (see
+    /// [`encode_cell`]); 0 = none.
     stuck: LineTable,
+    /// ECP correction entries allocated per line. The first `n` stuck
+    /// cells (in slot order) are permanently healed; allocation is capped
+    /// by `cfg.correction_entries`.
+    corrected: LineTable,
     stats: MediaStats,
 }
 
 impl MediaFaults {
     /// Creates the model, scattering `cfg.stuck_cells` stuck bits across
-    /// the NVM range `[nvm_base, nvm_base + nvm_size)`.
+    /// the NVM range `[nvm_base, nvm_base + nvm_size)`. Cells landing in
+    /// the same line stack (up to [`CELLS_PER_LINE`]), which is how a
+    /// line can come to need more correction entries than its budget.
     pub fn new(cfg: MediaFaultConfig, nvm_base: u64, nvm_size: u64) -> Self {
         let mut rng = Rng64::new(cfg.seed);
         let mut stuck = LineTable::default();
@@ -253,7 +285,7 @@ impl MediaFaults {
             let idx = rng.gen_below(lines) as usize;
             let bit = rng.gen_below(8 * CACHE_LINE as u64);
             let val = rng.gen_below(2);
-            stuck.set(idx, 1 + (bit << 1) + val);
+            stuck.set(idx, append_cell(stuck.get(idx), encode_cell(bit as u32, val == 1)));
         }
         MediaFaults {
             cfg,
@@ -262,8 +294,25 @@ impl MediaFaults {
             nvm_lines: lines,
             wear: LineTable::default(),
             stuck,
+            corrected: LineTable::default(),
             stats: MediaStats::default(),
         }
+    }
+
+    /// Places one stuck cell directly: bit `bit` (0..512) of the line
+    /// holding physical address `line` sticks at `val`. Returns `false`
+    /// (placing nothing) outside the NVM range or once the line already
+    /// carries [`CELLS_PER_LINE`] cells. Directed fault-injection
+    /// harnesses use this to corrupt a *chosen* structure — e.g. every
+    /// line of a page-table frame — which uniform seeding cannot arrange.
+    pub fn add_stuck_cell(&mut self, line: u64, bit: u32, val: bool) -> bool {
+        let Some(idx) = self.line_index(line) else {
+            return false;
+        };
+        let before = self.stuck.get(idx);
+        let after = append_cell(before, encode_cell(bit, val));
+        self.stuck.set(idx, after);
+        after != before
     }
 
     /// The line's index into the tables, or `None` outside the NVM range.
@@ -313,14 +362,51 @@ impl MediaFaults {
         WriteOutcome::Ok
     }
 
-    /// Stuck cell in `line`, if any: (bit index within the line, value).
-    pub fn stuck_in_line(&mut self, line: u64) -> Option<(u32, bool)> {
-        let e = self.line_index(line).map(|idx| self.stuck.get(idx)).unwrap_or(0);
+    /// Stuck cells in `line` that are NOT healed by a correction entry,
+    /// in slot order. `None` (without counting a stuck write) when the
+    /// line has no stuck cells at all; an empty vec means every cell is
+    /// covered and stored data is trustworthy.
+    pub fn uncorrected_stuck_in_line(&mut self, line: u64) -> Option<Vec<(u32, bool)>> {
+        let idx = self.line_index(line)?;
+        let e = self.stuck.get(idx);
         if e == 0 {
             return None;
         }
         self.stats.stuck_line_writes += 1;
-        Some(decode_stuck(e))
+        let healed = self.corrected.get(idx) as usize;
+        Some(decode_cells(e).skip(healed).collect())
+    }
+
+    /// Asks the ECP layer to cover every stuck cell in `line`: correction
+    /// entries are allocated (within the per-line budget) for cells not
+    /// already healed. An allocation is permanent — the entry replaces the
+    /// stuck cell for the rest of the device's life.
+    pub fn correct_line(&mut self, line: u64) -> CorrectionOutcome {
+        let Some(idx) = self.line_index(line) else {
+            return CorrectionOutcome::Clean;
+        };
+        let e = self.stuck.get(idx);
+        if e == 0 {
+            return CorrectionOutcome::Clean;
+        }
+        let cells = decode_cells(e).count() as u32;
+        let have = self.corrected.get(idx) as u32;
+        if cells <= have {
+            return CorrectionOutcome::Corrected { newly_allocated: 0 };
+        }
+        if cells > self.cfg.correction_entries {
+            self.stats.uncorrectable_line_writes += 1;
+            return CorrectionOutcome::Exhausted { cells, budget: self.cfg.correction_entries };
+        }
+        let newly = cells - have;
+        self.corrected.set(idx, u64::from(cells));
+        self.stats.corrections_allocated += u64::from(newly);
+        CorrectionOutcome::Corrected { newly_allocated: newly }
+    }
+
+    /// True when ECP correction is enabled (a non-zero per-line budget).
+    pub fn correction_enabled(&self) -> bool {
+        self.cfg.correction_entries > 0
     }
 
     /// True once `line` is past its endurance budget.
@@ -334,14 +420,14 @@ impl MediaFaults {
         }
     }
 
-    /// All seeded stuck cells: line base address → (bit index, value), in
-    /// address order.
+    /// All seeded stuck cells, one tuple per cell: line base address →
+    /// (bit index, value), in address then slot order.
     pub fn stuck_cells(&self) -> Vec<(u64, (u32, bool))> {
         self.stuck
             .iter_set()
-            .map(|(idx, e)| {
+            .flat_map(|(idx, e)| {
                 let base = self.nvm_base + idx as u64 * CACHE_LINE as u64;
-                (base, decode_stuck(e))
+                decode_cells(e).map(move |cell| (base, cell))
             })
             .collect()
     }
@@ -352,10 +438,36 @@ impl MediaFaults {
     }
 }
 
-/// Decodes a non-zero stuck-cell table entry into (bit index, value).
-fn decode_stuck(e: u64) -> (u32, bool) {
-    let bit = ((e - 1) >> 1) as u32;
-    (bit, (e - 1) & 1 == 1)
+/// Stuck cells tracked per line (packed 16 bits each into one table entry).
+/// Matches the granularity real ECP proposals reason about: a handful of
+/// failed cells per 64-byte line before the line must be retired.
+pub const CELLS_PER_LINE: usize = 4;
+
+/// Packs one stuck cell into a 16-bit slot: valid flag (bit 15), stuck
+/// value (bit 14), bit index within the line (0..512) in the low 9 bits.
+fn encode_cell(bit: u32, val: bool) -> u64 {
+    0x8000 | (u64::from(val) << 14) | u64::from(bit & 0x1ff)
+}
+
+/// Appends `cell` to packed entry `e` in the first free slot. A full entry
+/// is returned unchanged (further cells in an already-dead line change
+/// nothing observable: the line is uncorrectable either way).
+fn append_cell(e: u64, cell: u64) -> u64 {
+    for slot in 0..CELLS_PER_LINE {
+        if (e >> (16 * slot)) & 0x8000 == 0 {
+            return e | (cell << (16 * slot));
+        }
+    }
+    e
+}
+
+/// Decodes the packed stuck cells of entry `e` as (bit index, value), in
+/// slot order (the order ECP entries are consumed in).
+fn decode_cells(e: u64) -> impl Iterator<Item = (u32, bool)> {
+    (0..CELLS_PER_LINE).filter_map(move |slot| {
+        let s = (e >> (16 * slot)) & 0xffff;
+        (s & 0x8000 != 0).then(|| ((s & 0x1ff) as u32, (s >> 14) & 1 == 1))
+    })
 }
 
 #[cfg(test)]
@@ -465,6 +577,49 @@ mod tests {
             assert_eq!(line % CACHE_LINE as u64, 0);
             assert!(bit < 8 * CACHE_LINE as u32);
         }
+    }
+
+    #[test]
+    fn packed_cells_roundtrip_in_slot_order() {
+        let mut e = 0u64;
+        e = append_cell(e, encode_cell(5, true));
+        e = append_cell(e, encode_cell(511, false));
+        assert_eq!(decode_cells(e).collect::<Vec<_>>(), vec![(5, true), (511, false)]);
+        for b in 0..3 {
+            e = append_cell(e, encode_cell(b, false));
+        }
+        assert_eq!(decode_cells(e).count(), CELLS_PER_LINE, "overflow cells are dropped");
+    }
+
+    #[test]
+    fn correct_line_allocates_within_budget() {
+        let cfg = MediaFaultConfig { correction_entries: 2, ..MediaFaultConfig::with_seed(3) };
+        let mut m = MediaFaults::new(cfg, 0, 1 << 20);
+        assert!(m.correction_enabled());
+        let (line, _) = m.stuck_cells()[0];
+        assert!(matches!(
+            m.correct_line(line),
+            CorrectionOutcome::Corrected { newly_allocated: 1.. }
+        ));
+        assert!(matches!(
+            m.correct_line(line),
+            CorrectionOutcome::Corrected { newly_allocated: 0 }
+        ));
+        assert_eq!(m.uncorrected_stuck_in_line(line), Some(vec![]), "every cell healed");
+        assert!(m.stats().corrections_allocated >= 1);
+        assert_eq!(m.correct_line(1 << 19 | 0x3f << 6), CorrectionOutcome::Clean);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_uncorrectable() {
+        let cfg = MediaFaultConfig { correction_entries: 0, ..MediaFaultConfig::with_seed(3) };
+        let mut m = MediaFaults::new(cfg, 0, 1 << 20);
+        assert!(!m.correction_enabled());
+        let (line, _) = m.stuck_cells()[0];
+        assert!(matches!(m.correct_line(line), CorrectionOutcome::Exhausted { budget: 0, .. }));
+        assert_eq!(m.stats().uncorrectable_line_writes, 1);
+        let cells = m.uncorrected_stuck_in_line(line).expect("seeded cells stay uncorrected");
+        assert!(!cells.is_empty());
     }
 
     #[test]

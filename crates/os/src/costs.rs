@@ -41,6 +41,12 @@ pub struct KernelCosts {
     /// and remap orchestration (the page copy's traffic is charged for
     /// real on top of this).
     pub frame_retire_op: u64,
+    /// Per-frame fixed overhead of one scrubd verify pass over an NVM
+    /// page-table frame (loop setup, checksum bookkeeping).
+    pub scrub_frame_op: u64,
+    /// Per-line overhead of reading back and checksumming one cache line
+    /// during a scrub pass.
+    pub scrub_line_op: u64,
     /// Zero newly allocated frames (gemOS zeroes on demand-alloc) — setting
     /// this false skips the 64-line clear, useful for microbenchmarks.
     pub zero_new_frames: bool,
@@ -61,6 +67,8 @@ impl Default for KernelCosts {
             migration_page_op: 600,
             kthread_switch: 600,
             frame_retire_op: 800,
+            scrub_frame_op: 400,
+            scrub_line_op: 40,
             zero_new_frames: true,
         }
     }
@@ -83,6 +91,8 @@ impl KernelCosts {
             migration_page_op: 1,
             kthread_switch: 1,
             frame_retire_op: 1,
+            scrub_frame_op: 1,
+            scrub_line_op: 1,
             zero_new_frames: false,
         }
     }

@@ -3,9 +3,10 @@
 use std::collections::BTreeMap;
 
 use kindle_mem::E820Map;
+use kindle_types::sanitize::{self, Event};
 use kindle_types::{
-    AccessKind, Cycles, KindleError, MapFlags, MemKind, PhysMem, Prot, Pte, Result, VirtAddr, Vpn,
-    PAGE_SIZE,
+    checksum64, AccessKind, Cycles, KindleError, MapFlags, MemKind, Pfn, PhysMem, Prot, Pte,
+    Result, VirtAddr, Vpn, CACHE_LINE, LINES_PER_PAGE, PAGE_SIZE,
 };
 
 use crate::costs::KernelCosts;
@@ -15,6 +16,7 @@ use crate::meta::MetaRecord;
 use crate::pagetable::{vpn_va, AddressSpace, PtMode};
 use crate::process::{ProcState, Process};
 use crate::sched::Scheduler;
+use crate::scrub::ScrubPassOutcome;
 use crate::vma::{vma_from_request, Vma};
 
 /// Kernel construction parameters.
@@ -73,6 +75,36 @@ pub struct KernelStats {
     pub pages_unmapped: u64,
     /// NVM frames permanently retired after media-fault retry exhaustion.
     pub frames_retired: u64,
+    /// Retired frames that were live page tables (relocated, not remapped).
+    pub pt_frames_retired: u64,
+}
+
+/// What retiring a failing NVM frame did (see [`Kernel::retire_nvm_frame`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetireOutcome {
+    /// The frame was unmapped (quarantined in place) or outside the general
+    /// pool (reserved-region frames cannot be retired — ignored). Either
+    /// way no translation changed.
+    Quarantined,
+    /// A mapped data frame: contents were copied to `new_pfn` and the
+    /// mapping moved. The caller must shoot down the stale translation for
+    /// `vpn`.
+    Remapped {
+        /// Owning process.
+        pid: u32,
+        /// Virtual page whose translation changed.
+        vpn: Vpn,
+        /// Replacement frame now backing `vpn`.
+        new_pfn: Pfn,
+    },
+    /// A live page-table frame: the table was relocated to a fresh frame
+    /// and its parent entry (or PTBR) repointed. The caller must flush all
+    /// of `pid`'s cached translations — any walk may have gone through the
+    /// old frame.
+    TableRelocated {
+        /// Process whose address space was restructured.
+        pid: u32,
+    },
 }
 
 /// Result of an munmap/mremap: pages whose translations must be shot down.
@@ -536,26 +568,32 @@ impl Kernel {
         Ok(child)
     }
 
-    /// Retires a failing NVM frame reported by the memory controller
-    /// (write retries exhausted): the frame is permanently removed from the
-    /// pool and, if some process maps it, its contents are copied to a
-    /// fresh NVM frame and the mapping is moved over. Returns the remap
-    /// `(pid, vpn, new_pfn)` so the caller can shoot down stale TLB
-    /// entries, or `None` if the frame was unmapped (or outside the
-    /// general pool — reserved-region frames cannot be retired).
+    /// Retires a failing NVM frame reported by the memory controller (write
+    /// retries exhausted, or a scrub pass giving up on a line): the frame
+    /// is permanently removed from the pool, and its role decides the
+    /// recovery. A mapped data frame has its contents copied to a fresh NVM
+    /// frame and the mapping moved; a live *page-table* frame is relocated
+    /// content-preservingly (intended entries rewritten into a fresh frame,
+    /// parent entry or PTBR repointed) — retiring it like a data frame
+    /// would silently orphan every translation below it. The
+    /// [`RetireOutcome`] tells the caller which TLB scope to shoot down.
     ///
     /// # Errors
     ///
     /// Propagates NVM pool exhaustion while allocating the replacement.
-    pub fn retire_nvm_frame(
-        &mut self,
-        mem: &mut dyn PhysMem,
-        pfn: kindle_types::Pfn,
-    ) -> Result<Option<(u32, Vpn, kindle_types::Pfn)>> {
+    pub fn retire_nvm_frame(&mut self, mem: &mut dyn PhysMem, pfn: Pfn) -> Result<RetireOutcome> {
         if !self.pools.nvm.inner().contains(pfn) {
-            return Ok(None);
+            return Ok(RetireOutcome::Quarantined);
         }
         mem.advance(Cycles::new(self.costs.frame_retire_op));
+        // A live table frame never shows up as a leaf mapping: route it to
+        // the relocation path before the leaf-owner scan below.
+        if let Some(pid) =
+            self.procs.iter().find(|(_, p)| p.aspace.owns_table_frame(pfn)).map(|(&pid, _)| pid)
+        {
+            self.retire_pt_frame(mem, pid, pfn)?;
+            return Ok(RetireOutcome::TableRelocated { pid });
+        }
         // Find the (single) mapping of the failing frame, if any.
         let mut owner: Option<(u32, Vpn, Pte)> = None;
         for (&pid, proc) in &self.procs {
@@ -572,7 +610,7 @@ impl Kernel {
             // Unmapped: just take it out of circulation.
             self.pools.nvm.retire(mem, pfn);
             self.stats.frames_retired += 1;
-            return Ok(None);
+            return Ok(RetireOutcome::Quarantined);
         };
         mem.advance(Cycles::new(self.costs.frame_op));
         let new_pfn = self.pools.nvm.alloc(mem)?;
@@ -591,7 +629,125 @@ impl Kernel {
             pfn: new_pfn,
             kind: MemKind::Nvm,
         });
-        Ok(Some((pid, vpn, new_pfn)))
+        Ok(RetireOutcome::Remapped { pid, vpn, new_pfn })
+    }
+
+    /// Relocates `pid`'s page-table frame `pfn` into a fresh NVM frame and
+    /// quarantines the old one.
+    fn retire_pt_frame(&mut self, mem: &mut dyn PhysMem, pid: u32, pfn: Pfn) -> Result<()> {
+        mem.advance(Cycles::new(self.costs.frame_op));
+        let new_pfn = self.pools.nvm.alloc(mem)?;
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        proc.aspace.relocate_table_frame(mem, &self.costs, pfn, new_pfn)?;
+        self.pools.nvm.retire(mem, pfn);
+        self.stats.frames_retired += 1;
+        self.stats.pt_frames_retired += 1;
+        sanitize::emit(|| Event::ScrubRetire { pfn: pfn.as_u64() });
+        Ok(())
+    }
+
+    /// Rebuilds every adopted process's shadow table metadata by walking
+    /// its live tables (crash recovery only reconstructs the PTBR; the
+    /// scrub daemon needs the intended entry values to verify against).
+    pub fn rehydrate_all_tables(&mut self, mem: &mut dyn PhysMem) {
+        for proc in self.procs.values_mut() {
+            proc.aspace.rehydrate_tables(mem);
+        }
+    }
+
+    /// One scrubd verify pass: reads back every NVM page-table frame and
+    /// checksums its 512 stored entries against the kernel's shadow
+    /// metadata. Hardware-managed bits ([`Pte::HW_MANAGED`] — accessed,
+    /// dirty, HSCC count) are excluded from the compare, since the walker
+    /// updates those in the stored entries without informing the kernel.
+    /// A mismatching line is flagged, rewritten from the shadow
+    /// through the scheme's consistency discipline (which routes it through
+    /// the media correction layer) and re-verified; a line that stays
+    /// corrupted retires the whole frame content-preservingly. Frames
+    /// without shadow metadata (adopted spaces before
+    /// [`rehydrate_all_tables`](Self::rehydrate_all_tables)) are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM pool exhaustion while relocating a retired frame.
+    pub fn scrub_pt_frames(&mut self, mem: &mut dyn PhysMem) -> Result<ScrubPassOutcome> {
+        let mut out = ScrubPassOutcome::default();
+        for pid in self.pids() {
+            // Snapshot the frame list first: retirement rewrites it.
+            let frames: Vec<Pfn> = match self.procs.get(&pid) {
+                Some(proc) => proc
+                    .aspace
+                    .table_frames()
+                    .iter()
+                    .copied()
+                    .filter(|&f| self.pools.nvm.inner().contains(f))
+                    .collect(),
+                None => continue,
+            };
+            for frame in frames {
+                let Some(expected) = self
+                    .procs
+                    .get(&pid)
+                    .and_then(|p| p.aspace.expected_table_words(frame))
+                    .copied()
+                else {
+                    continue;
+                };
+                mem.advance(Cycles::new(self.costs.scrub_frame_op));
+                // Verify kernel intent only: the walker sets accessed/dirty
+                // (and HSCC count) bits directly in the stored entries, so
+                // those hardware-managed bits are masked out of the compare.
+                let mut actual = [0u64; 512];
+                for (line_idx, chunk) in actual.chunks_mut(WORDS_PER_LINE).enumerate() {
+                    mem.advance(Cycles::new(self.costs.scrub_line_op));
+                    for (j, word) in chunk.iter_mut().enumerate() {
+                        *word = scrub_mask(mem.read_u64(line_pa(frame, line_idx) + j as u64 * 8));
+                    }
+                }
+                let expected = expected.map(scrub_mask);
+                if checksum64(&actual) == checksum64(&expected) {
+                    out.frames_clean += 1;
+                    continue;
+                }
+                let mut retire = false;
+                for line_idx in 0..LINES_PER_PAGE {
+                    let span = line_idx * WORDS_PER_LINE..(line_idx + 1) * WORDS_PER_LINE;
+                    if actual[span.clone()] == expected[span.clone()] {
+                        continue;
+                    }
+                    out.lines_detected += 1;
+                    let line = line_pa(frame, line_idx).as_u64();
+                    sanitize::emit(|| Event::ScrubDetect { line });
+                    {
+                        let proc =
+                            self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+                        proc.aspace.rewrite_table_line(mem, &self.costs, frame, line_idx)?;
+                    }
+                    mem.advance(Cycles::new(self.costs.scrub_line_op));
+                    let healed = (0..WORDS_PER_LINE).all(|j| {
+                        scrub_mask(mem.read_u64(line_pa(frame, line_idx) + j as u64 * 8))
+                            == expected[line_idx * WORDS_PER_LINE + j]
+                    });
+                    if healed {
+                        out.lines_corrected += 1;
+                        sanitize::emit(|| Event::ScrubCorrect { line });
+                    } else {
+                        // Correction budget exhausted: the frame is beyond
+                        // in-place repair.
+                        retire = true;
+                        break;
+                    }
+                }
+                if retire {
+                    if let RetireOutcome::TableRelocated { pid } =
+                        self.retire_nvm_frame(mem, frame)?
+                    {
+                        out.frames_retired.push((pid, frame));
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Software translation for a process (charges the walk).
@@ -613,6 +769,19 @@ impl Kernel {
 
 fn round_up(len: u64) -> u64 {
     (len + PAGE_SIZE as u64 - 1) & !(PAGE_SIZE as u64 - 1)
+}
+
+const WORDS_PER_LINE: usize = CACHE_LINE / 8;
+
+/// Strips the hardware-managed PTE bits before a scrub compare: the walker
+/// sets accessed/dirty (and the HSCC count) in the stored entries without
+/// going through the kernel shadow, so those bits legitimately diverge.
+fn scrub_mask(word: u64) -> u64 {
+    word & !Pte::HW_MANAGED
+}
+
+fn line_pa(frame: Pfn, line_idx: usize) -> kindle_types::PhysAddr {
+    frame.base() + (line_idx * CACHE_LINE) as u64
 }
 
 #[cfg(test)]
@@ -835,7 +1004,11 @@ mod tests {
         let old = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
         mem.write_bytes(old.base() + 5, b"keep");
 
-        let (rpid, rvpn, new_pfn) = k.retire_nvm_frame(&mut mem, old).unwrap().unwrap();
+        let RetireOutcome::Remapped { pid: rpid, vpn: rvpn, new_pfn } =
+            k.retire_nvm_frame(&mut mem, old).unwrap()
+        else {
+            panic!("mapped data frame must be remapped");
+        };
         assert_eq!(rpid, pid);
         assert_eq!(rvpn, va.page_number());
         assert_ne!(new_pfn, old);
@@ -856,9 +1029,84 @@ mod tests {
     fn retire_outside_general_pool_is_ignored() {
         let (mut mem, mut k, _pid) = boot();
         // A DRAM pfn is outside the NVM general pool.
-        let out = k.retire_nvm_frame(&mut mem, kindle_types::Pfn::new(0)).unwrap();
-        assert!(out.is_none());
+        let out = k.retire_nvm_frame(&mut mem, Pfn::new(0)).unwrap();
+        assert_eq!(out, RetireOutcome::Quarantined);
         assert_eq!(k.stats().frames_retired, 0);
+    }
+
+    fn boot_persistent() -> (FlatMem, Kernel, u32) {
+        let mut mem = FlatMem::new(96 << 20);
+        let mut cfg = KernelConfig::for_test(96 << 20);
+        cfg.pt_mode = PtMode::Persistent;
+        let mut k = Kernel::new(cfg, &mut mem).unwrap();
+        let pid = k.create_process(&mut mem).unwrap();
+        (mem, k, pid)
+    }
+
+    #[test]
+    fn retiring_live_table_frame_relocates_it() {
+        let (mut mem, mut k, pid) = boot_persistent();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        let data_pfn = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        let root = k.process(pid).unwrap().aspace.root();
+        let out = k.retire_nvm_frame(&mut mem, root).unwrap();
+        assert_eq!(out, RetireOutcome::TableRelocated { pid });
+        let new_root = k.process(pid).unwrap().aspace.root();
+        assert_ne!(new_root, root, "PTBR moved to the replacement frame");
+        assert!(k.pools.nvm.is_allocated(root), "retired table frame never returns to the pool");
+        let pte = k.translate(&mut mem, pid, va).unwrap().unwrap();
+        assert_eq!(pte.pfn(), data_pfn, "translations survive the relocation");
+        assert_eq!(k.stats().pt_frames_retired, 1);
+    }
+
+    #[test]
+    fn scrub_pass_detects_and_heals_corrupted_table_line() {
+        let (mut mem, mut k, pid) = boot_persistent();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        // Flip one bit of a stored table entry behind the kernel's back
+        // (what a stuck NVM cell does to a PTE store). Bit 63 is ignored by
+        // the walker but covered by the scrub verify.
+        let frame = *k.process(pid).unwrap().aspace.table_frames().last().unwrap();
+        let pa = frame.base() + 8;
+        let orig = mem.read_u64(pa);
+        mem.write_u64(pa, orig ^ (1 << 63));
+
+        // A divergence confined to hardware-managed bits is not corruption:
+        // the walker owns accessed/dirty, so scrub must leave it alone.
+        let hw_pa = frame.base() + (CACHE_LINE as u64) + 8;
+        let hw_word = mem.read_u64(hw_pa) | Pte::ACCESSED | Pte::DIRTY;
+        mem.write_u64(hw_pa, hw_word);
+
+        let out = k.scrub_pt_frames(&mut mem).unwrap();
+        assert_eq!(out.lines_detected, 1);
+        assert_eq!(out.lines_corrected, 1);
+        assert!(out.frames_retired.is_empty());
+        assert_eq!(mem.read_u64(pa), orig, "line rewritten from the shadow");
+        assert_eq!(mem.read_u64(hw_pa), hw_word, "hardware-managed bits untouched");
+        assert!(k.translate(&mut mem, pid, va).unwrap().is_some());
+
+        // A clean image scrubs clean.
+        let out = k.scrub_pt_frames(&mut mem).unwrap();
+        assert_eq!(out.lines_detected, 0);
+        assert_eq!(out.frames_clean, 4, "root + three levels all verified");
     }
 
     #[test]

@@ -42,14 +42,16 @@ pub mod meta;
 pub mod pagetable;
 pub mod process;
 pub mod sched;
+pub mod scrub;
 pub mod vma;
 
 pub use costs::KernelCosts;
 pub use frame::{FrameAllocator, FramePools, PersistentFrameAllocator};
-pub use kernel::{Kernel, KernelConfig, KernelStats, UnmapOutcome};
+pub use kernel::{Kernel, KernelConfig, KernelStats, RetireOutcome, UnmapOutcome};
 pub use layout::{NvmLayout, Region};
 pub use meta::MetaRecord;
 pub use pagetable::{AddressSpace, PtMode};
 pub use process::{ProcState, Process};
-pub use sched::{KThread, KThreadKind, Scheduler, ThreadState};
+pub use sched::{DaemonKind, KThread, KThreadKind, Scheduler, ThreadState};
+pub use scrub::{ScrubPassOutcome, ScrubState, ScrubStats};
 pub use vma::{Vma, VmaList};

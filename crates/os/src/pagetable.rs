@@ -65,6 +65,14 @@ pub struct AddressSpace {
     /// Reclamation is disabled for adopted (recovered) NVM tables whose
     /// counts are unknown.
     reclaim: bool,
+    /// Shadow of each table frame's *intended* 512 entries, keyed by frame
+    /// number and maintained by every [`write_pte`](Self::write_pte). This
+    /// is the kernel-metadata ground truth scrubd verifies NVM table frames
+    /// against — media corruption (stuck cells) changes the stored bits but
+    /// never the shadow — and the source for content-preserving frame
+    /// retirement. Empty for adopted tables until
+    /// [`rehydrate_tables`](Self::rehydrate_tables) runs.
+    shadow: BTreeMap<u64, Box<[u64; 512]>>,
 }
 
 #[derive(Clone, Debug)]
@@ -112,6 +120,7 @@ impl AddressSpace {
             wrapped_stores: 0,
             entry_counts: BTreeMap::new(),
             reclaim: true,
+            shadow: BTreeMap::from([(root.as_u64(), Box::new([0u64; 512]))]),
         })
     }
 
@@ -127,7 +136,46 @@ impl AddressSpace {
             wrapped_stores: 0,
             entry_counts: BTreeMap::new(),
             reclaim: false,
+            shadow: BTreeMap::new(),
         }
+    }
+
+    /// Re-learns the adopted tables by walking them in memory: fills
+    /// `table_frames` with every reachable table and rebuilds the shadow
+    /// from the stored entries. Charges every table-entry read. Only
+    /// machines running scrubd call this (after recovery) — the plain
+    /// persistent scheme's "just restore the PTBR" stays as cheap as ever.
+    ///
+    /// The rebuilt shadow trusts the bits currently on media, so corruption
+    /// that happened *before* rehydration is adopted as ground truth;
+    /// scrubd guards the frames from that point on.
+    pub fn rehydrate_tables(&mut self, mem: &mut dyn PhysMem) {
+        if !self.shadow.is_empty() {
+            return;
+        }
+        let mut frames = vec![self.root];
+        let mut i = 0;
+        // The root sits at depth 0; entries of depth-3 tables are leaves.
+        let mut depth = BTreeMap::from([(self.root.as_u64(), 0u8)]);
+        while i < frames.len() {
+            let frame = frames[i];
+            i += 1;
+            let d = depth.get(&frame.as_u64()).copied().unwrap_or(3);
+            let mut words = Box::new([0u64; 512]);
+            for (idx, word) in words.iter_mut().enumerate() {
+                let bits = mem.read_u64(frame.base() + idx as u64 * 8);
+                *word = bits;
+                let pte = Pte::from_bits(bits);
+                if d < 3 && pte.is_present() && !depth.contains_key(&pte.pfn().as_u64()) {
+                    // The depth map doubles as the visited set, so a
+                    // corrupted entry cannot send the walk in circles.
+                    depth.insert(pte.pfn().as_u64(), d + 1);
+                    frames.push(pte.pfn());
+                }
+            }
+            self.shadow.insert(frame.as_u64(), words);
+        }
+        self.table_frames = frames;
     }
 
     /// Root table frame (the PTBR value).
@@ -150,8 +198,129 @@ impl AddressSpace {
         self.table_frames.len()
     }
 
+    /// The table frames themselves (root first), for scrub passes.
+    pub fn table_frames(&self) -> &[Pfn] {
+        &self.table_frames
+    }
+
+    /// The intended 512 entries of table frame `frame`, if it belongs to
+    /// this space and its shadow is known.
+    pub fn expected_table_words(&self, frame: Pfn) -> Option<&[u64; 512]> {
+        self.shadow.get(&frame.as_u64()).map(|b| &**b)
+    }
+
+    /// True when `frame` is one of this space's table frames.
+    pub fn owns_table_frame(&self, frame: Pfn) -> bool {
+        self.table_frames.contains(&frame)
+    }
+
+    /// Moves the table held in `old` into the freshly allocated frame `new`,
+    /// preserving content: every intended entry is rewritten into `new`
+    /// under the scheme's write discipline, and the parent entry (or the
+    /// PTBR, when `old` is the root) is repointed. The caller allocates
+    /// `new` and retires `old` afterwards; leaf mappings are untouched, so
+    /// no process-visible translation changes.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` when `old`'s shadow is unknown (an adopted table
+    /// that was never rehydrated); `Corrupted` when no parent entry points
+    /// at `old`.
+    pub fn relocate_table_frame(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        costs: &KernelCosts,
+        old: Pfn,
+        new: Pfn,
+    ) -> Result<()> {
+        let words = self
+            .shadow
+            .remove(&old.as_u64())
+            .ok_or(KindleError::InvalidArgument("no shadow for retired table frame"))?;
+        mem.zero_page(new.base());
+        self.shadow.insert(new.as_u64(), Box::new([0u64; 512]));
+        for (idx, &bits) in words.iter().enumerate() {
+            if bits != 0 {
+                self.write_pte(mem, costs, new.base() + idx as u64 * 8, Pte::from_bits(bits));
+            }
+        }
+        if let Some(pos) = self.table_frames.iter().position(|&f| f == old) {
+            self.table_frames[pos] = new;
+        }
+        if let Some(count) = self.entry_counts.remove(&old.as_u64()) {
+            self.entry_counts.insert(new.as_u64(), count);
+        }
+        if self.root == old {
+            self.root = new;
+            return Ok(());
+        }
+        // Table frames have exactly one parent entry; find it through the
+        // shadow (data-frame PTEs cannot collide with a live table frame).
+        let parent = self.shadow.iter().find_map(|(&frame, page)| {
+            page.iter()
+                .position(|&b| {
+                    let p = Pte::from_bits(b);
+                    p.is_present() && p.pfn() == old
+                })
+                .map(|idx| (frame, idx))
+        });
+        let Some((parent_frame, idx)) = parent else {
+            return Err(KindleError::Corrupted("retired table frame has no parent entry"));
+        };
+        let parent_pa = Pfn::new(parent_frame).base() + idx as u64 * 8;
+        let parent_pte = Pte::from_bits(self.shadow[&parent_frame][idx]);
+        self.write_pte(mem, costs, parent_pa, parent_pte.with_pfn(new));
+        Ok(())
+    }
+
+    /// Rewrites the eight entries of cache line `line_idx` (0..64) of table
+    /// frame `frame` from the shadow, through the scheme's write discipline
+    /// — scrubd's in-place repair of a corrupted line. The stores route
+    /// through the media correction layer, so the line comes back verified
+    /// only if correction entries covered every stuck cell.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidArgument` when the frame's shadow is unknown.
+    pub fn rewrite_table_line(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        costs: &KernelCosts,
+        frame: Pfn,
+        line_idx: usize,
+    ) -> Result<()> {
+        let base = line_idx * 8;
+        let words: [u64; 8] = {
+            let page = self
+                .shadow
+                .get(&frame.as_u64())
+                .ok_or(KindleError::InvalidArgument("no shadow for scrubbed table frame"))?;
+            let mut w = [0u64; 8];
+            w.copy_from_slice(&page[base..base + 8]);
+            w
+        };
+        for (j, &bits) in words.iter().enumerate() {
+            self.write_pte(
+                mem,
+                costs,
+                frame.base() + ((base + j) * 8) as u64,
+                Pte::from_bits(bits),
+            );
+        }
+        Ok(())
+    }
+
+    /// Records the intended value of the table entry at `pa` in the shadow.
+    fn shadow_store(&mut self, pa: PhysAddr, bits: u64) {
+        let frame = pa.as_u64() >> PAGE_SHIFT;
+        let slot = ((pa.as_u64() >> 3) & 511) as usize;
+        let words = self.shadow.entry(frame).or_insert_with(|| Box::new([0u64; 512]));
+        words[slot] = bits;
+    }
+
     /// Stores a PTE with the scheme's write discipline.
     fn write_pte(&mut self, mem: &mut dyn PhysMem, costs: &KernelCosts, pa: PhysAddr, pte: Pte) {
+        self.shadow_store(pa, pte.bits());
         match self.mode {
             PtMode::Rebuild => {
                 mem.write_u64(pa, pte.bits());
@@ -195,6 +364,7 @@ impl AddressSpace {
             } else {
                 let frame = pools.alloc(mem, self.mode.table_pool())?;
                 mem.zero_page(frame.base());
+                self.shadow.insert(frame.as_u64(), Box::new([0u64; 512]));
                 if self.mode == PtMode::Persistent {
                     // Initialising a table page *is* a page-table
                     // modification: every line of it is zeroed under the
@@ -279,6 +449,7 @@ impl AddressSpace {
                 self.entry_counts.remove(&child.as_u64());
                 let (parent, parent_pa) = path[i];
                 self.write_pte(mem, costs, parent_pa, Pte::EMPTY);
+                self.shadow.remove(&child.as_u64());
                 if let Some(pos) = self.table_frames.iter().position(|&f| f == child) {
                     self.table_frames.swap_remove(pos);
                 }
@@ -515,6 +686,52 @@ mod tests {
         let old = asp.update_leaf(&mut mem, &costs, va, |p| p.with_pfn(Pfn::new(99))).unwrap();
         assert_eq!(old.pfn(), Pfn::new(10));
         assert_eq!(asp.translate(&mut mem, va).unwrap().pfn(), Pfn::new(99));
+    }
+
+    #[test]
+    fn relocate_table_frame_preserves_translations() {
+        let (mut mem, mut pools, log) = setup();
+        let costs = KernelCosts::for_test();
+        let mut asp = AddressSpace::new(&mut mem, &mut pools, PtMode::Persistent, log).unwrap();
+        let va = VirtAddr::new(0x4000_0000);
+        asp.map(&mut mem, &mut pools, &costs, va, Pfn::new(5), Pte::WRITABLE).unwrap();
+        // Relocate every table frame in turn, root included.
+        for old in asp.table_frames().to_vec() {
+            let new = pools.alloc(&mut mem, MemKind::Nvm).unwrap();
+            asp.relocate_table_frame(&mut mem, &costs, old, new).unwrap();
+            assert!(!asp.owns_table_frame(old));
+            assert!(asp.owns_table_frame(new));
+            pools.free(&mut mem, old);
+            let pte = asp.translate(&mut mem, va).expect("still mapped");
+            assert_eq!(pte.pfn(), Pfn::new(5));
+            assert!(pte.is_writable());
+        }
+        assert!(asp.translate(&mut mem, VirtAddr::new(0x5000_0000)).is_none());
+    }
+
+    #[test]
+    fn adopted_tables_need_rehydration_before_relocation() {
+        let (mut mem, mut pools, log) = setup();
+        let costs = KernelCosts::for_test();
+        let mut asp = AddressSpace::new(&mut mem, &mut pools, PtMode::Persistent, log).unwrap();
+        let va = VirtAddr::new(0x4000_0000);
+        asp.map(&mut mem, &mut pools, &costs, va, Pfn::new(5), 0).unwrap();
+        let frames: Vec<Pfn> = asp.table_frames().to_vec();
+        let mut adopted = AddressSpace::adopt_persistent(asp.root(), log, asp.mapped_pages());
+        assert!(
+            adopted.relocate_table_frame(&mut mem, &costs, asp.root(), Pfn::new(2000)).is_err(),
+            "no shadow yet"
+        );
+        adopted.rehydrate_tables(&mut mem);
+        let mut rehydrated: Vec<Pfn> = adopted.table_frames().to_vec();
+        let mut expect = frames;
+        rehydrated.sort();
+        expect.sort();
+        assert_eq!(rehydrated, expect, "walk must find every table frame");
+        let new = pools.alloc(&mut mem, MemKind::Nvm).unwrap();
+        let leaf_table = *adopted.table_frames().last().unwrap();
+        adopted.relocate_table_frame(&mut mem, &costs, leaf_table, new).unwrap();
+        assert_eq!(adopted.translate(&mut mem, va).unwrap().pfn(), Pfn::new(5));
     }
 
     #[test]

@@ -29,6 +29,24 @@ pub enum KThreadKind {
     CheckpointDaemon,
     /// Background HSCC migration daemon (drives `HsccEngine::migrate`).
     MigrationDaemon,
+    /// Background NVM page-table scrub daemon (read-verifies PT frames).
+    ScrubDaemon,
+}
+
+/// A background kernel service that experiments can opt in through
+/// `MachineConfig::with_daemon`. The machine resolves each kind to a
+/// `KernelDaemon` dispatcher (in `kindle_sim`) and registers its kthread
+/// via [`Scheduler::register_daemon`]; a kind whose engine is not
+/// configured (e.g. `Checkpoint` without checkpointing) is skipped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DaemonKind {
+    /// `ckptd`: periodic checkpoint flushes.
+    Checkpoint,
+    /// `migrated`: HSCC migration passes (OS mode only).
+    Migration,
+    /// `scrubd`: periodic NVM page-table scrub/verify passes.
+    Scrub,
 }
 
 /// Run state of a simulated kernel thread.
@@ -85,9 +103,11 @@ impl Scheduler {
         }
     }
 
-    /// Adds a daemon thread to the table. It starts [`ThreadState::Sleeping`];
+    /// Registers a daemon kthread in the table — the single entry point
+    /// through which every background daemon (ckptd, migrated, scrubd)
+    /// gets a scheduling context. It starts [`ThreadState::Sleeping`];
     /// wake it to make it dispatchable. Returns its id.
-    pub fn spawn(&mut self, name: &'static str, kind: KThreadKind) -> ThreadId {
+    pub fn register_daemon(&mut self, name: &'static str, kind: KThreadKind) -> ThreadId {
         let tid = ThreadId(u32::try_from(self.threads.len()).unwrap_or(u32::MAX));
         self.threads.push(KThread { tid, name, kind, state: ThreadState::Sleeping, runs: 0 });
         tid
@@ -181,7 +201,7 @@ mod tests {
     #[test]
     fn spawned_daemons_sleep_until_woken() {
         let mut s = Scheduler::new();
-        let ckpt = s.spawn("ckptd", KThreadKind::CheckpointDaemon);
+        let ckpt = s.register_daemon("ckptd", KThreadKind::CheckpointDaemon);
         assert_eq!(ckpt, ThreadId(1));
         assert_eq!(s.pick_next(), ThreadId::MAIN, "sleeping daemon must not be picked");
         s.wake(ckpt);
@@ -191,8 +211,8 @@ mod tests {
     #[test]
     fn round_robin_cycles_runnable_threads() {
         let mut s = Scheduler::new();
-        let a = s.spawn("a", KThreadKind::CheckpointDaemon);
-        let b = s.spawn("b", KThreadKind::MigrationDaemon);
+        let a = s.register_daemon("a", KThreadKind::CheckpointDaemon);
+        let b = s.register_daemon("b", KThreadKind::MigrationDaemon);
         s.wake(a);
         s.wake(b);
         let first = s.pick_next();
@@ -208,7 +228,7 @@ mod tests {
     #[test]
     fn sleep_returns_control_to_main() {
         let mut s = Scheduler::new();
-        let a = s.spawn("a", KThreadKind::CheckpointDaemon);
+        let a = s.register_daemon("a", KThreadKind::CheckpointDaemon);
         s.wake(a);
         s.switch_to(s.pick_next());
         assert_eq!(s.current(), a);
@@ -241,7 +261,7 @@ mod tests {
     #[test]
     fn runs_counted_per_dispatch() {
         let mut s = Scheduler::new();
-        let a = s.spawn("a", KThreadKind::CheckpointDaemon);
+        let a = s.register_daemon("a", KThreadKind::CheckpointDaemon);
         for _ in 0..3 {
             s.wake(a);
             s.switch_to(a);

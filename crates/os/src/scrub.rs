@@ -1,0 +1,124 @@
+//! Scrubd: periodic read-verify of NVM page-table frames.
+//!
+//! Stuck NVM cells corrupt page-table entries silently: a wear-worn line at
+//! least fails its writes loudly (retry exhaustion reaches the controller's
+//! failed-frame queue), but a stuck bit "succeeds" and the walker later
+//! consumes the flipped entry. The scrub daemon closes that window. Each
+//! pass re-reads every NVM table frame and compares a checksum of the 512
+//! stored entries against the kernel's shadow metadata (the intended
+//! values, maintained by every PTE store — see
+//! `AddressSpace::expected_table_words`). A mismatching line is flagged
+//! ([`ScrubDetect`]), rewritten from the shadow through the scheme's
+//! consistency discipline — which routes it through the ECP correction
+//! layer, permanently healing the line when budget remains
+//! ([`ScrubCorrect`]) — and re-verified; a line that stays corrupted means
+//! the budget is exhausted and the whole frame is retired
+//! content-preservingly ([`ScrubRetire`]), reusing the wear-out remap path.
+//!
+//! This module holds the daemon's engine state (schedule + counters); the
+//! verify pass itself is `Kernel::scrub_pt_frames`, and dispatch happens on
+//! the `scrubd` kthread registered through `Scheduler::register_daemon`.
+//!
+//! [`ScrubDetect`]: kindle_types::sanitize::Event::ScrubDetect
+//! [`ScrubCorrect`]: kindle_types::sanitize::Event::ScrubCorrect
+//! [`ScrubRetire`]: kindle_types::sanitize::Event::ScrubRetire
+
+use kindle_types::{Cycles, Pfn};
+
+/// Result of one scrub pass over every NVM page-table frame.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubPassOutcome {
+    /// Table frames whose checksum matched the shadow (nothing to do).
+    pub frames_clean: u64,
+    /// Lines found holding corrupted entries.
+    pub lines_detected: u64,
+    /// Lines healed by the rewrite (ECP entries covered every stuck cell).
+    pub lines_corrected: u64,
+    /// Table frames retired because a line stayed corrupted after the
+    /// rewrite, with the owning pid: the caller must flush that process's
+    /// cached translations.
+    pub frames_retired: Vec<(u32, Pfn)>,
+}
+
+/// Cumulative scrubd counters, reported through `SimReport`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScrubStats {
+    /// Verify passes completed.
+    pub passes: u64,
+    /// Clean frames seen across all passes.
+    pub frames_clean: u64,
+    /// Corrupted lines detected.
+    pub lines_detected: u64,
+    /// Lines healed in place.
+    pub lines_corrected: u64,
+    /// Table frames retired and relocated.
+    pub frames_retired: u64,
+}
+
+/// Schedule + counters for the scrub daemon (held by the machine, rebuilt
+/// on reboot like the other engines).
+#[derive(Clone, Debug)]
+pub struct ScrubState {
+    interval: Cycles,
+    next_due: Cycles,
+    stats: ScrubStats,
+}
+
+impl ScrubState {
+    /// An engine that first fires one full `interval` after boot.
+    pub fn new(interval: Cycles) -> Self {
+        ScrubState { interval, next_due: interval, stats: ScrubStats::default() }
+    }
+
+    /// True once the next pass is due at `now`.
+    pub fn due(&self, now: Cycles) -> bool {
+        now >= self.next_due
+    }
+
+    /// Re-anchors the schedule one interval after `now` (used on reboot,
+    /// where the clock keeps running across the crash).
+    pub fn reset_schedule(&mut self, now: Cycles) {
+        self.next_due = now + self.interval;
+    }
+
+    /// Folds one pass's outcome into the counters and schedules the next
+    /// pass one interval after `now` (passes never queue up).
+    pub fn complete_pass(&mut self, now: Cycles, outcome: &ScrubPassOutcome) {
+        self.stats.passes += 1;
+        self.stats.frames_clean += outcome.frames_clean;
+        self.stats.lines_detected += outcome.lines_detected;
+        self.stats.lines_corrected += outcome.lines_corrected;
+        self.stats.frames_retired += outcome.frames_retired.len() as u64;
+        self.next_due = now + self.interval;
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &ScrubStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fires_then_rearms() {
+        let mut s = ScrubState::new(Cycles::new(100));
+        assert!(!s.due(Cycles::new(99)));
+        assert!(s.due(Cycles::new(100)));
+        let outcome = ScrubPassOutcome {
+            frames_clean: 3,
+            lines_detected: 2,
+            lines_corrected: 1,
+            frames_retired: vec![(1, Pfn::new(9))],
+        };
+        s.complete_pass(Cycles::new(150), &outcome);
+        assert!(!s.due(Cycles::new(249)), "next pass one interval after completion");
+        assert!(s.due(Cycles::new(250)));
+        assert_eq!(s.stats().passes, 1);
+        assert_eq!(s.stats().frames_retired, 1);
+        assert_eq!(s.stats().lines_detected, 2);
+    }
+}

@@ -5,7 +5,7 @@ use std::cell::Cell;
 use kindle_cache::HierarchyConfig;
 use kindle_hscc::HsccConfig;
 use kindle_mem::{MediaFaultConfig, MemConfig};
-use kindle_os::{KernelCosts, PtMode};
+use kindle_os::{DaemonKind, KernelCosts, PtMode};
 use kindle_ssp::SspConfig;
 use kindle_tlb::TwoLevelTlbConfig;
 use kindle_types::Cycles;
@@ -49,12 +49,25 @@ pub struct MachineConfig {
     /// Charge HSCC's OS-mode migration work (false = the paper's
     /// "hardware migration activities only" baseline).
     pub hscc_os_mode: bool,
-    /// Run background engine work (checkpoint flushes, HSCC migration) on
-    /// simulated kernel daemon threads scheduled by `Machine::step`, with
-    /// the `kthread_switch` cost charged per dispatch. Off by default:
-    /// single-threaded runs stay byte-identical to pre-scheduler builds.
+    /// Run background engine work (checkpoint flushes, HSCC migration,
+    /// page-table scrubbing) on simulated kernel daemon threads scheduled
+    /// by `Machine::step`, with the `kthread_switch` cost charged per
+    /// dispatch. Off by default: single-threaded runs stay byte-identical
+    /// to pre-scheduler builds.
     pub kthreads: bool,
+    /// Background daemons the machine registers (see `Machine` and the
+    /// daemon registry). A listed daemon only gets a kthread when
+    /// `kthreads` is on and its engine is configured; its work runs inline
+    /// from the timer loop otherwise.
+    pub daemons: Vec<DaemonKind>,
+    /// Scrub daemon schedule: `Some(interval)` arms periodic page-table
+    /// read-verify against the kernel's shadow metadata (usually set via
+    /// [`MachineConfig::with_daemon`]).
+    pub scrub_interval: Option<Cycles>,
 }
+
+/// Default scrubd period (one pass per simulated millisecond).
+pub const DEFAULT_SCRUB_INTERVAL: Cycles = Cycles::from_millis(1);
 
 impl MachineConfig {
     /// Full-size machine: 3 GB DRAM + 2 GB NVM, no prototype engines.
@@ -70,6 +83,8 @@ impl MachineConfig {
             hscc: None,
             hscc_os_mode: true,
             kthreads: false,
+            daemons: vec![DaemonKind::Checkpoint, DaemonKind::Migration],
+            scrub_interval: None,
         }
     }
 
@@ -123,6 +138,25 @@ impl MachineConfig {
         self.kthreads = true;
         self
     }
+
+    /// Adds a background daemon to the registry. Adding
+    /// [`DaemonKind::Scrub`] also arms the scrub engine at
+    /// [`DEFAULT_SCRUB_INTERVAL`] unless an interval is already set.
+    pub fn with_daemon(mut self, kind: DaemonKind) -> Self {
+        if !self.daemons.contains(&kind) {
+            self.daemons.push(kind);
+        }
+        if kind == DaemonKind::Scrub && self.scrub_interval.is_none() {
+            self.scrub_interval = Some(DEFAULT_SCRUB_INTERVAL);
+        }
+        self
+    }
+
+    /// Arms the scrub daemon with an explicit pass interval.
+    pub fn with_scrub_interval(mut self, interval: Cycles) -> Self {
+        self.scrub_interval = Some(interval);
+        self.with_daemon(DaemonKind::Scrub)
+    }
 }
 
 thread_local! {
@@ -145,17 +179,6 @@ pub fn set_thread_media_faults(faults: Option<MediaFaultConfig>) {
 /// each worker thread (thread-locals do not cross host threads).
 pub fn thread_media_faults() -> Option<MediaFaultConfig> {
     MEDIA_FAULTS.with(Cell::get)
-}
-
-/// Seed-only sugar over [`set_thread_media_faults`]: arms the default
-/// fault intensities ([`MediaFaultConfig::with_seed`]) for `seed`.
-pub fn set_thread_media_fault_seed(seed: Option<u64>) {
-    set_thread_media_faults(seed.map(MediaFaultConfig::with_seed));
-}
-
-/// The ambient model's seed, if one is set on this thread.
-pub fn thread_media_fault_seed() -> Option<u64> {
-    thread_media_faults().map(|f| f.seed)
 }
 
 impl Default for MachineConfig {

@@ -1,0 +1,188 @@
+//! The kernel-daemon registry.
+//!
+//! Background kernel work — checkpoint flushes, HSCC migration scans,
+//! page-table scrubbing — used to be wired ad hoc into `Machine::step` with
+//! one hand-rolled thread-id field and `match` arm per engine. This module
+//! replaces that with a single [`KernelDaemon`] abstraction: each daemon
+//! names itself, says which [`KThreadKind`] its kthread carries, whether its
+//! engine is configured on a given machine, when a pass is due, and how to
+//! run one pass. The machine registers every configured daemon through
+//! [`kindle_os::Scheduler::register_daemon`] and dispatches them
+//! generically — adding a daemon no longer touches the scheduler plumbing.
+//!
+//! A daemon holds no state of its own: engine state lives on the [`Machine`]
+//! (so crash/reboot rebuilds it with the kernel), and the dispatch path
+//! hands the daemon a `&mut Machine` for one pass.
+
+use std::rc::Rc;
+
+use kindle_cpu::Activity;
+use kindle_os::{DaemonKind, KThreadKind};
+use kindle_types::sanitize::ThreadId;
+use kindle_types::Result;
+
+use crate::machine::Machine;
+
+/// One background kernel daemon, dispatched on its own simulated kthread
+/// when `kthreads` is on (or inline from the timer loop when off).
+pub trait KernelDaemon: std::fmt::Debug {
+    /// Thread-table name (`ckptd`, `migrated`, `scrubd`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Kind tag the daemon's kthread carries in the scheduler.
+    fn thread_kind(&self) -> KThreadKind;
+
+    /// True when the machine's configuration actually runs this daemon
+    /// (its engine exists). Disabled daemons are never registered.
+    fn enabled(&self, m: &Machine) -> bool;
+
+    /// True when the next pass is due.
+    fn due(&self, m: &Machine) -> bool;
+
+    /// Runs one pass on behalf of foreground process `pid`, then returns
+    /// control (the machine puts the kthread back to sleep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    fn run(&self, m: &mut Machine, pid: u32) -> Result<()>;
+}
+
+/// A registered daemon: the implementation plus its kthread id (`None`
+/// when `kthreads` is off or the engine is not configured — the daemon
+/// then runs inline on the main context).
+#[derive(Clone, Debug)]
+pub(crate) struct DaemonSlot {
+    pub(crate) kind: DaemonKind,
+    pub(crate) daemon: Rc<dyn KernelDaemon>,
+    pub(crate) tid: Option<ThreadId>,
+}
+
+/// The built-in daemon for `kind`.
+pub fn builtin(kind: DaemonKind) -> Rc<dyn KernelDaemon> {
+    match kind {
+        DaemonKind::Checkpoint => Rc::new(CheckpointDaemon),
+        DaemonKind::Migration => Rc::new(MigrationDaemon),
+        DaemonKind::Scrub => Rc::new(ScrubDaemon),
+    }
+}
+
+/// `ckptd`: periodic process-persistence checkpoints.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointDaemon;
+
+impl KernelDaemon for CheckpointDaemon {
+    fn name(&self) -> &'static str {
+        "ckptd"
+    }
+
+    fn thread_kind(&self) -> KThreadKind {
+        KThreadKind::CheckpointDaemon
+    }
+
+    fn enabled(&self, m: &Machine) -> bool {
+        m.persist.is_some()
+    }
+
+    fn due(&self, m: &Machine) -> bool {
+        m.persist.as_ref().is_some_and(|e| e.due(m.now()))
+    }
+
+    fn run(&self, m: &mut Machine, _pid: u32) -> Result<()> {
+        let mut result = Ok(());
+        if let Some(engine) = m.persist.as_mut() {
+            let prev = m.hw.set_activity(Activity::Checkpoint);
+            result = engine.tick(&mut m.hw, &mut m.kernel).map(|_| ());
+            m.hw.set_activity(prev);
+        }
+        result
+    }
+}
+
+/// `migrated`: HSCC page-migration scans.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationDaemon;
+
+impl KernelDaemon for MigrationDaemon {
+    fn name(&self) -> &'static str {
+        "migrated"
+    }
+
+    fn thread_kind(&self) -> KThreadKind {
+        KThreadKind::MigrationDaemon
+    }
+
+    fn enabled(&self, m: &Machine) -> bool {
+        // The hardware-only baseline keeps migrations off the thread table:
+        // there is no OS context to charge.
+        m.hscc.is_some() && m.config().hscc_os_mode
+    }
+
+    fn due(&self, m: &Machine) -> bool {
+        m.hscc.as_ref().is_some_and(|e| e.due(m.now()))
+    }
+
+    fn run(&self, m: &mut Machine, pid: u32) -> Result<()> {
+        let os_mode = m.config().hscc_os_mode;
+        let mut result = Ok(());
+        let prev = m.hw.set_activity(Activity::MigrationScan);
+        let was_free = if os_mode {
+            m.hw.free_mode()
+        } else {
+            // Hardware-only baseline: migrations happen with no OS time
+            // charged.
+            m.hw.set_free_mode(true)
+        };
+        if let Some(engine) = m.hscc.as_mut() {
+            result = engine.migrate(&mut m.hw, &mut m.kernel, &mut m.tlb, pid).map(|_| ());
+        }
+        if !os_mode {
+            m.hw.set_free_mode(was_free);
+        }
+        m.hw.set_activity(prev);
+        result
+    }
+}
+
+/// `scrubd`: page-table read-verify against the kernel's shadow metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrubDaemon;
+
+impl KernelDaemon for ScrubDaemon {
+    fn name(&self) -> &'static str {
+        "scrubd"
+    }
+
+    fn thread_kind(&self) -> KThreadKind {
+        KThreadKind::ScrubDaemon
+    }
+
+    fn enabled(&self, m: &Machine) -> bool {
+        m.scrub.is_some()
+    }
+
+    fn due(&self, m: &Machine) -> bool {
+        m.scrub.as_ref().is_some_and(|s| s.due(m.now()))
+    }
+
+    fn run(&self, m: &mut Machine, _pid: u32) -> Result<()> {
+        if m.scrub.is_none() {
+            return Ok(());
+        }
+        let prev = m.hw.set_activity(Activity::Os);
+        let outcome = m.kernel.scrub_pt_frames(&mut m.hw);
+        m.hw.set_activity(prev);
+        let outcome = outcome?;
+        for &(owner, _old_frame) in &outcome.frames_retired {
+            // The table moved: any cached translation may have been filled
+            // through the old frame.
+            m.flush_process_tlb(owner)?;
+        }
+        m.drain_meta()?;
+        let now = m.now();
+        if let Some(state) = m.scrub.as_mut() {
+            state.complete_pass(now, &outcome);
+        }
+        Ok(())
+    }
+}

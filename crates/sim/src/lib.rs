@@ -26,14 +26,16 @@
 //! ```
 
 pub mod config;
+pub mod daemon;
 pub mod hw;
 pub mod machine;
 pub mod report;
 
 pub use config::{
-    set_thread_media_fault_seed, set_thread_media_faults, thread_media_fault_seed,
-    thread_media_faults, CheckpointSetup, MachineConfig,
+    set_thread_media_faults, thread_media_faults, CheckpointSetup, MachineConfig,
+    DEFAULT_SCRUB_INTERVAL,
 };
+pub use daemon::{CheckpointDaemon, KernelDaemon, MigrationDaemon, ScrubDaemon};
 pub use hw::Hw;
 pub use machine::{Machine, ReplayOptions, ReplayReport};
 pub use report::SimReport;

@@ -1,9 +1,13 @@
 //! The full simulated machine.
 
+use std::rc::Rc;
+
 use kindle_cpu::Activity;
 use kindle_hscc::HsccEngine;
 use kindle_mem::PowerSwitch;
-use kindle_os::{KThreadKind, Kernel, KernelConfig, UnmapOutcome};
+use kindle_os::{
+    DaemonKind, KThreadKind, Kernel, KernelConfig, RetireOutcome, ScrubState, UnmapOutcome,
+};
 use kindle_persist::{recover_all, CheckpointEngine, RecoveryReport};
 use kindle_ssp::SspEngine;
 use kindle_tlb::{MsrFile, PageWalker, TlbEntry, TwoLevelTlb};
@@ -15,6 +19,7 @@ use kindle_types::{
 };
 
 use crate::config::MachineConfig;
+use crate::daemon::{self, DaemonSlot, KernelDaemon};
 use crate::hw::Hw;
 use crate::report::SimReport;
 
@@ -74,16 +79,15 @@ pub struct Machine {
     pub ssp: Option<SspEngine>,
     /// HSCC prototype engine.
     pub hscc: Option<HsccEngine>,
+    /// Scrub daemon engine state (schedule + counters), when configured.
+    pub scrub: Option<ScrubState>,
     tlb_shootdowns: u64,
     /// Process whose translations currently occupy the TLB (no ASIDs, as
     /// in gemOS: a context switch flushes).
     active_pid: Option<u32>,
-    /// Checkpoint daemon kthread (spawned when `kthreads` is on and
-    /// checkpointing is enabled).
-    ckpt_tid: Option<ThreadId>,
-    /// HSCC migration daemon kthread (spawned when `kthreads` is on and
-    /// HSCC runs in OS mode).
-    mig_tid: Option<ThreadId>,
+    /// Registered background daemons (see [`crate::daemon`]); each carries
+    /// its kthread id when `kthreads` is on and its engine is configured.
+    daemons: Vec<DaemonSlot>,
 }
 
 impl Machine {
@@ -113,6 +117,7 @@ impl Machine {
             Some(h) => Some(HsccEngine::new(&mut hw, &mut kernel, h.clone())?),
             None => None,
         };
+        let scrub = cfg.scrub_interval.map(ScrubState::new);
         let mut m = Machine {
             hw,
             tlb: TwoLevelTlb::new(&cfg.tlb),
@@ -123,30 +128,58 @@ impl Machine {
             ssp,
             hscc,
             cfg,
+            scrub,
             tlb_shootdowns: 0,
             active_pid: None,
-            ckpt_tid: None,
-            mig_tid: None,
+            daemons: Vec::new(),
         };
-        m.spawn_daemons();
+        m.register_daemons();
         Ok(m)
     }
 
-    /// Registers the background daemon kthreads with the scheduler. A
-    /// daemon only exists when its engine does; HSCC's hardware-only
-    /// baseline keeps migrations off the thread table (no OS context to
-    /// charge).
-    fn spawn_daemons(&mut self) {
-        if !self.cfg.kthreads {
-            return;
-        }
+    /// Builds the daemon registry from the configured kinds and, when
+    /// `kthreads` is on, registers each enabled daemon's kthread with the
+    /// scheduler. A daemon whose engine is absent (or that runs without
+    /// kthreads) keeps `tid = None` and is dispatched inline from the
+    /// timer loop instead.
+    fn register_daemons(&mut self) {
         sanitize::set_current_thread(ThreadId::MAIN);
-        self.ckpt_tid = self
-            .persist
-            .is_some()
-            .then(|| self.kernel.sched.spawn("ckptd", KThreadKind::CheckpointDaemon));
-        self.mig_tid = (self.hscc.is_some() && self.cfg.hscc_os_mode)
-            .then(|| self.kernel.sched.spawn("migrated", KThreadKind::MigrationDaemon));
+        let kinds = self.cfg.daemons.clone();
+        let mut slots = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            let daemon = daemon::builtin(kind);
+            let tid = (self.cfg.kthreads && daemon.enabled(self))
+                .then(|| self.kernel.sched.register_daemon(daemon.name(), daemon.thread_kind()));
+            slots.push(DaemonSlot { kind, daemon, tid });
+        }
+        self.daemons = slots;
+    }
+
+    /// The registered daemon of `kind`, with its kthread id if any.
+    fn daemon_slot(&self, kind: DaemonKind) -> Option<(Rc<dyn KernelDaemon>, Option<ThreadId>)> {
+        self.daemons.iter().find(|s| s.kind == kind).map(|s| (s.daemon.clone(), s.tid))
+    }
+
+    /// The kthread id registered for daemon `kind`, if any.
+    fn daemon_tid(&self, kind: DaemonKind) -> Option<ThreadId> {
+        self.daemons.iter().find(|s| s.kind == kind).and_then(|s| s.tid)
+    }
+
+    /// Dispatches one due pass of daemon `kind`: on its kthread when one is
+    /// registered (wake + drive the scheduler until daemons drain), inline
+    /// on the current context otherwise.
+    fn dispatch_daemon(&mut self, kind: DaemonKind, pid: u32) -> Result<()> {
+        match self.daemon_slot(kind) {
+            Some((_, Some(tid))) => {
+                self.kernel.sched.wake(tid);
+                while self.step(pid)? {}
+                Ok(())
+            }
+            Some((daemon, None)) => daemon.run(self, pid),
+            // Not in the registry (e.g. an engine armed without its daemon
+            // kind configured): still run the work inline.
+            None => daemon::builtin(kind).run(self, pid),
+        }
     }
 
     /// Switches the running simulated thread to `next`, charging the
@@ -182,37 +215,20 @@ impl Machine {
             None => return Ok(false),
         };
         self.context_switch_to(next);
-        match kind {
-            KThreadKind::Main => Ok(false),
-            KThreadKind::CheckpointDaemon => {
-                let mut result = Ok(());
-                if let Some(engine) = self.persist.as_mut() {
-                    if engine.due(self.hw.now()) {
-                        let prev = self.hw.set_activity(Activity::Checkpoint);
-                        result = engine.tick(&mut self.hw, &mut self.kernel).map(|_| ());
-                        self.hw.set_activity(prev);
-                    }
-                }
-                self.kernel.sched.sleep(next);
-                result?;
-                Ok(true)
-            }
-            KThreadKind::MigrationDaemon => {
-                let mut result = Ok(());
-                if let Some(engine) = self.hscc.as_mut() {
-                    if engine.due(self.hw.now()) {
-                        let prev = self.hw.set_activity(Activity::MigrationScan);
-                        result = engine
-                            .migrate(&mut self.hw, &mut self.kernel, &mut self.tlb, pid)
-                            .map(|_| ());
-                        self.hw.set_activity(prev);
-                    }
-                }
-                self.kernel.sched.sleep(next);
-                result?;
-                Ok(true)
+        if kind == KThreadKind::Main {
+            return Ok(false);
+        }
+        let daemon =
+            self.daemons.iter().find(|s| s.daemon.thread_kind() == kind).map(|s| s.daemon.clone());
+        let mut result = Ok(());
+        if let Some(daemon) = daemon {
+            if daemon.due(self) {
+                result = daemon.run(self, pid);
             }
         }
+        self.kernel.sched.sleep(next);
+        result?;
+        Ok(true)
     }
 
     /// Active configuration.
@@ -244,7 +260,7 @@ impl Machine {
         Ok(pid)
     }
 
-    fn drain_meta(&mut self) -> Result<()> {
+    pub(crate) fn drain_meta(&mut self) -> Result<()> {
         if let Some(engine) = self.persist.as_mut() {
             let recs = self.kernel.take_meta_records();
             if !recs.is_empty() {
@@ -266,6 +282,18 @@ impl Machine {
                 self.tlb_shootdowns += 1;
                 self.on_tlb_dropped(pid, entry)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Flushes every cached translation of `pid` — a page-table frame was
+    /// relocated, so any entry may have been filled through the old frame.
+    pub(crate) fn flush_process_tlb(&mut self, pid: u32) -> Result<()> {
+        self.hw.advance(Cycles::new(20));
+        self.tlb_shootdowns += 1;
+        let dropped = self.tlb.flush_all();
+        for entry in dropped {
+            self.on_tlb_dropped(pid, entry)?;
         }
         Ok(())
     }
@@ -557,7 +585,7 @@ impl Machine {
     }
 
     /// Hardware-side handling of an entry leaving the TLB hierarchy.
-    fn on_tlb_dropped(&mut self, pid: u32, entry: TlbEntry) -> Result<()> {
+    pub(crate) fn on_tlb_dropped(&mut self, pid: u32, entry: TlbEntry) -> Result<()> {
         if entry.ssp.is_some() {
             if let Some(engine) = self.ssp.as_mut() {
                 engine.on_tlb_evict(&mut self.hw, &entry);
@@ -577,18 +605,26 @@ impl Machine {
         loop {
             let mut fired = false;
 
-            // Frames whose media wore out since the last poll: the OS
-            // retires them (remapping any mapped page onto a fresh frame).
+            // Frames whose media failed since the last poll — wear-out
+            // retries exhausted, or a scrub pass out of correction budget:
+            // the OS retires them (remapping a mapped data page onto a
+            // fresh frame; relocating a live page table).
             for raw in self.hw.mc.take_failed_frames() {
                 let prev = self.hw.set_activity(Activity::Os);
                 let r = self.kernel.retire_nvm_frame(&mut self.hw, Pfn::new(raw));
                 self.hw.set_activity(prev);
-                if let Some((owner, vpn, _new_pfn)) = r? {
-                    self.hw.advance(Cycles::new(20));
-                    if let Some(entry) = self.tlb.invalidate(vpn) {
-                        self.tlb_shootdowns += 1;
-                        self.on_tlb_dropped(owner, entry)?;
+                match r? {
+                    RetireOutcome::Remapped { pid: owner, vpn, .. } => {
+                        self.hw.advance(Cycles::new(20));
+                        if let Some(entry) = self.tlb.invalidate(vpn) {
+                            self.tlb_shootdowns += 1;
+                            self.on_tlb_dropped(owner, entry)?;
+                        }
                     }
+                    RetireOutcome::TableRelocated { pid: owner } => {
+                        self.flush_process_tlb(owner)?;
+                    }
+                    RetireOutcome::Quarantined => {}
                 }
                 self.drain_meta()?;
                 fired = true;
@@ -597,16 +633,7 @@ impl Machine {
             let now = self.hw.now();
 
             if self.persist.as_ref().is_some_and(|e| e.due(now)) {
-                if let Some(tid) = self.ckpt_tid {
-                    // Checkpoint work runs on its daemon kthread.
-                    self.kernel.sched.wake(tid);
-                    while self.step(pid)? {}
-                } else if let Some(engine) = self.persist.as_mut() {
-                    let prev = self.hw.set_activity(Activity::Checkpoint);
-                    let r = engine.tick(&mut self.hw, &mut self.kernel);
-                    self.hw.set_activity(prev);
-                    r?;
-                }
+                self.dispatch_daemon(DaemonKind::Checkpoint, pid)?;
                 fired = true;
             }
 
@@ -626,27 +653,12 @@ impl Machine {
             }
 
             if self.hscc.as_ref().is_some_and(|e| e.due(now)) {
-                if let Some(tid) = self.mig_tid {
-                    // Migration work runs on its daemon kthread (OS mode
-                    // only; the hardware baseline has no kernel context).
-                    self.kernel.sched.wake(tid);
-                    while self.step(pid)? {}
-                } else if let Some(engine) = self.hscc.as_mut() {
-                    let prev = self.hw.set_activity(Activity::MigrationScan);
-                    let was_free = if self.cfg.hscc_os_mode {
-                        self.hw.free_mode()
-                    } else {
-                        // Hardware-only baseline: migrations happen with no
-                        // OS time charged.
-                        self.hw.set_free_mode(true)
-                    };
-                    let r = engine.migrate(&mut self.hw, &mut self.kernel, &mut self.tlb, pid);
-                    if !self.cfg.hscc_os_mode {
-                        self.hw.set_free_mode(was_free);
-                    }
-                    self.hw.set_activity(prev);
-                    r?;
-                }
+                self.dispatch_daemon(DaemonKind::Migration, pid)?;
+                fired = true;
+            }
+
+            if self.scrub.as_ref().is_some_and(|s| s.due(self.hw.now())) {
+                self.dispatch_daemon(DaemonKind::Scrub, pid)?;
                 fired = true;
             }
 
@@ -779,12 +791,18 @@ impl Machine {
         if let Some(hscc_cfg) = self.cfg.hscc.clone() {
             self.hscc = Some(HsccEngine::new(&mut self.hw, &mut self.kernel, hscc_cfg)?);
         }
+        // Scrub state is rebuilt like the engines; the clock keeps running
+        // across the crash, so re-anchor the schedule at the current time.
+        self.scrub = self.cfg.scrub_interval.map(ScrubState::new);
+        let now = self.hw.now();
+        if let Some(s) = self.scrub.as_mut() {
+            s.reset_schedule(now);
+        }
         // The fresh kernel rebuilt the thread table; re-register daemons
         // and drop back to the main context.
-        self.ckpt_tid = None;
-        self.mig_tid = None;
+        self.daemons.clear();
         sanitize::set_current_thread(ThreadId::MAIN);
-        self.spawn_daemons();
+        self.register_daemons();
         Ok(())
     }
 
@@ -803,6 +821,14 @@ impl Machine {
         let log = *engine.log();
         let prev = self.hw.set_activity(Activity::Recovery);
         let report = recover_all(&mut self.hw, &mut self.kernel, &area, &log);
+        if report.is_ok() && self.scrub.is_some() {
+            // Scrubd verifies against shadow metadata, which "just restore
+            // the PTBR" recovery does not rebuild: walk the adopted tables
+            // once (charged as recovery work). Machines without scrubd
+            // skip this, keeping plain persistent recovery as cheap as
+            // ever.
+            self.kernel.rehydrate_all_tables(&mut self.hw);
+        }
         self.hw.set_activity(prev);
         report
     }
@@ -818,7 +844,7 @@ impl Machine {
         }
         // With kthreads on, even explicit checkpoints execute on the
         // daemon's context, so their NVM writes carry its thread id.
-        if let Some(tid) = self.ckpt_tid {
+        if let Some(tid) = self.daemon_tid(DaemonKind::Checkpoint) {
             self.kernel.sched.wake(tid);
             self.context_switch_to(tid);
             let mut r = Ok(());

@@ -4,7 +4,7 @@ use kindle_cache::HierarchyStats;
 use kindle_cpu::{Activity, ActivityBreakdown, CpuStats};
 use kindle_hscc::HsccStats;
 use kindle_mem::MemStats;
-use kindle_os::KernelStats;
+use kindle_os::{KernelStats, ScrubStats};
 use kindle_persist::CheckpointStats;
 use kindle_ssp::SspStats;
 use kindle_tlb::TlbStats;
@@ -40,6 +40,8 @@ pub struct SimReport {
     pub ssp: Option<SspStats>,
     /// HSCC counters, if enabled.
     pub hscc: Option<HsccStats>,
+    /// Scrub daemon counters, if enabled.
+    pub scrub: Option<ScrubStats>,
     /// TLB shootdowns performed by the OS.
     pub tlb_shootdowns: u64,
     /// Simulated kernel-thread context switches (0 unless `kthreads` on).
@@ -62,6 +64,7 @@ impl SimReport {
             checkpoint: m.persist.as_ref().map(|e| e.stats().clone()),
             ssp: m.ssp.as_ref().map(|e| e.stats().clone()),
             hscc: m.hscc.as_ref().map(|e| e.stats().clone()),
+            scrub: m.scrub.as_ref().map(|s| s.stats().clone()),
             tlb_shootdowns: m.tlb_shootdowns(),
             kthread_switches: m.kernel.sched.switches(),
         }
@@ -133,6 +136,12 @@ impl SimReport {
             stat("hscc.copybacks", h.copybacks, "Dirty copy-backs to NVM");
             stat("hscc.selection_cycles", h.selection_cycles.as_u64(), "Page-selection cycles");
             stat("hscc.copy_cycles", h.copy_cycles.as_u64(), "Page-copy cycles");
+        }
+        if let Some(sc) = &self.scrub {
+            stat("scrub.passes", sc.passes, "Scrub verify passes");
+            stat("scrub.lines_detected", sc.lines_detected, "Corrupted table lines found");
+            stat("scrub.lines_corrected", sc.lines_corrected, "Table lines healed in place");
+            stat("scrub.frames_retired", sc.frames_retired, "Table frames retired");
         }
         let mut s = String::new();
         let _ = writeln!(s, "---------- Begin Simulation Statistics ----------");

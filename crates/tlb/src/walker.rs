@@ -4,7 +4,8 @@
 //! [`PhysMem`], so every walk is charged the latency of wherever the tables
 //! physically live (DRAM or NVM) — including cache hits on hot table lines.
 
-use kindle_types::{Pfn, PhysAddr, PhysMem, Pte, VirtAddr};
+use kindle_types::sanitize::{self, Event};
+use kindle_types::{Pfn, PhysAddr, PhysMem, Pte, VirtAddr, CACHE_LINE};
 
 pub use kindle_types::pte::pte_addr;
 
@@ -61,6 +62,9 @@ impl PageWalker {
         for level in (1..=4u8).rev() {
             let pa = pte_addr(table, va, level);
             self.pte_loads += 1;
+            // The sanitizer cross-checks every consumed table line against
+            // scrubd's uncorrected-corruption set.
+            sanitize::emit(|| Event::PtLineRead { line: pa.as_u64() & !(CACHE_LINE as u64 - 1) });
             let pte = Pte::from_bits(mem.read_u64(pa));
             if !pte.is_present() {
                 self.faults += 1;

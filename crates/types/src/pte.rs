@@ -55,6 +55,13 @@ impl Pte {
     /// Maximum value of the saturating access counter.
     pub const COUNT_MAX: u64 = (1 << 10) - 1;
 
+    /// Bits the hardware maintains behind the OS's back: access/dirty
+    /// tracking plus the HSCC count field. A stored entry legitimately
+    /// diverges from the kernel's intended value in exactly these bits,
+    /// so integrity checks (the scrub daemon's shadow verify) must mask
+    /// them out.
+    pub const HW_MANAGED: u64 = Self::ACCESSED | Self::DIRTY | Self::COUNT_MASK;
+
     /// The all-zero (non-present) entry.
     pub const EMPTY: Pte = Pte(0);
 

@@ -196,6 +196,32 @@ pub enum Event {
         /// Which lock.
         id: u64,
     },
+    /// Uncorrectable stuck-cell corruption was detected in an NVM line
+    /// (by the controller at write time, or by scrubd's read-verify pass).
+    /// The line's contents are untrustworthy until corrected or retired.
+    ScrubDetect {
+        /// Line-base physical address.
+        line: u64,
+    },
+    /// An NVM line's stuck cells are now fully covered by ECP correction
+    /// entries; its stored data is trustworthy again.
+    ScrubCorrect {
+        /// Line-base physical address.
+        line: u64,
+    },
+    /// Scrubd retired an NVM page-table frame whose corruption could not
+    /// be corrected in place; its content was remapped to a fresh frame.
+    ScrubRetire {
+        /// The retired frame number.
+        pfn: u64,
+    },
+    /// The page walker consumed a table entry from the NVM line at `line`
+    /// (line-base address). Lets the checker prove no PTE is ever read
+    /// from a line flagged uncorrected.
+    PtLineRead {
+        /// Line-base physical address.
+        line: u64,
+    },
 }
 
 /// An observer of the simulation event stream.
@@ -336,6 +362,13 @@ pub enum Violation {
         /// Simulated time of the racing (second) write.
         cycle: u64,
     },
+    /// The page walker consumed a table entry from an NVM line flagged as
+    /// holding uncorrected stuck-cell corruption — a translation was built
+    /// from untrustworthy bits.
+    PteFromUncorrectedLine {
+        /// The corrupted line-base physical address.
+        line: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -365,6 +398,11 @@ impl fmt::Display for Violation {
                 f,
                 "NVM line {line:#x} written by {second} at cycle {cycle} racing an \
                  unsynchronized write by {first}"
+            ),
+            Violation::PteFromUncorrectedLine { line } => write!(
+                f,
+                "page-table entry consumed from NVM line {line:#x} holding uncorrected \
+                 stuck-cell corruption"
             ),
         }
     }
@@ -430,6 +468,11 @@ pub struct InvariantChecker {
     sync_epoch: u64,
     /// NVM line → (thread, epoch) of its last uncommitted write.
     last_writer: BTreeMap<u64, (ThreadId, u64)>,
+    /// NVM lines flagged as holding uncorrected stuck-cell corruption
+    /// ([`Event::ScrubDetect`]); cleared per line on [`Event::ScrubCorrect`]
+    /// and per frame on retirement. A page walk touching one of these is a
+    /// [`Violation::PteFromUncorrectedLine`].
+    dirty_lines: BTreeSet<u64>,
 }
 
 impl InvariantChecker {
@@ -451,6 +494,10 @@ impl InvariantChecker {
         self.next_apply = 0;
         self.last_writer.clear();
         self.sync_epoch = 0;
+        // Conservative: a torn-undo crash revert may or may not leave a
+        // flagged line corrupted on media, so stale flags would be
+        // ambiguous. Recovery re-detects corruption on its next write.
+        self.dirty_lines.clear();
     }
 }
 
@@ -530,6 +577,8 @@ impl Sanitizer for InvariantChecker {
                         self.log.push(Violation::DanglingPte { pfn, vpn });
                     }
                 }
+                // Its corrupted lines leave service with it.
+                self.dirty_lines.retain(|&l| l >> crate::PAGE_SHIFT != pfn);
             }
             Event::PteInstall { pfn, vpn } => {
                 if self.freed.contains(&pfn) {
@@ -565,6 +614,20 @@ impl Sanitizer for InvariantChecker {
             }
             Event::LockAcquire { .. } | Event::LockRelease { .. } => {
                 self.sync_epoch += 1;
+            }
+            Event::ScrubDetect { line } => {
+                self.dirty_lines.insert(line);
+            }
+            Event::ScrubCorrect { line } => {
+                self.dirty_lines.remove(&line);
+            }
+            Event::ScrubRetire { pfn } => {
+                self.dirty_lines.retain(|&l| l >> crate::PAGE_SHIFT != pfn);
+            }
+            Event::PtLineRead { line } => {
+                if self.dirty_lines.contains(&line) {
+                    self.log.push(Violation::PteFromUncorrectedLine { line });
+                }
             }
         }
     }
@@ -763,6 +826,56 @@ mod tests {
             emit(|| Event::Crash);
             emit(|| Event::CheckpointPublish { lo: 0, hi: u64::MAX, copy: 0, cycle: 2 });
             emit(|| Event::FrameFree { pool: "nvm", pfn: 9 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pte_read_from_uncorrected_line_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::ScrubDetect { line: 0x2040 });
+            emit(|| Event::PtLineRead { line: 0x2040 });
+        });
+        assert_eq!(v, vec![Violation::PteFromUncorrectedLine { line: 0x2040 }]);
+    }
+
+    #[test]
+    fn corrected_line_reads_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::ScrubDetect { line: 0x2040 });
+            emit(|| Event::ScrubCorrect { line: 0x2040 });
+            emit(|| Event::PtLineRead { line: 0x2040 });
+            emit(|| Event::PtLineRead { line: 0x3000 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn retirement_clears_the_frames_dirty_lines() {
+        let v = with_checker(|| {
+            // Two dirty lines inside frame 2, one in frame 3.
+            emit(|| Event::ScrubDetect { line: 2 << crate::PAGE_SHIFT });
+            emit(|| Event::ScrubDetect { line: (2 << crate::PAGE_SHIFT) + 0x40 });
+            emit(|| Event::ScrubDetect { line: 3 << crate::PAGE_SHIFT });
+            emit(|| Event::ScrubRetire { pfn: 2 });
+            emit(|| Event::PtLineRead { line: 2 << crate::PAGE_SHIFT });
+            emit(|| Event::PtLineRead { line: (2 << crate::PAGE_SHIFT) + 0x40 });
+        });
+        assert!(v.is_empty(), "retired frame's lines no longer flag: {v:?}");
+        let v = with_checker(|| {
+            emit(|| Event::ScrubDetect { line: 3 << crate::PAGE_SHIFT });
+            emit(|| Event::FrameRetired { pool: "nvm", pfn: 3 });
+            emit(|| Event::PtLineRead { line: 3 << crate::PAGE_SHIFT });
+        });
+        assert!(v.is_empty(), "wear retirement clears dirty lines too: {v:?}");
+    }
+
+    #[test]
+    fn crash_clears_dirty_line_tracking() {
+        let v = with_checker(|| {
+            emit(|| Event::ScrubDetect { line: 0x2040 });
+            emit(|| Event::Crash);
+            emit(|| Event::PtLineRead { line: 0x2040 });
         });
         assert!(v.is_empty(), "{v:?}");
     }

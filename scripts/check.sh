@@ -11,7 +11,7 @@ cargo build --release
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
-echo "== kindle-check (KD001-KD007) =="
+echo "== kindle-check (KD001-KD008) =="
 cargo run -q -p kindle-check
 
 if cargo fmt --version >/dev/null 2>&1; then

@@ -1,0 +1,11 @@
+//@path crates/core/src/wallclock.rs
+use std::time::Instant;
+
+pub struct Stamp {
+    started: Instant,
+}
+
+pub fn wall_now() -> u64 {
+    let t = SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

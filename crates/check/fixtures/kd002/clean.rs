@@ -1,0 +1,11 @@
+//@path crates/bench/src/host_index.rs
+// bench is host-side tooling, not simulation state: hash order is fine.
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u64]) -> usize {
+    let mut m = HashMap::new();
+    for &k in keys {
+        m.insert(k, ());
+    }
+    m.len()
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/index_doc.rs
+/// A HashMap here would be nondeterministic — doc mention only.
+pub fn note() -> &'static str {
+    r#"no HashMap or HashSet in simulation state; use BTreeMap"#
+}

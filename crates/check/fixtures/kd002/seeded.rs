@@ -1,0 +1,12 @@
+//@path crates/core/src/index.rs
+use std::collections::HashMap;
+
+pub fn build(keys: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::default();
+    let mut by_key = HashMap::new();
+    for &k in keys {
+        seen.insert(k);
+        by_key.insert(k, ());
+    }
+    by_key.len() + seen.len()
+}

@@ -1,0 +1,12 @@
+//@path crates/os/src/flags.rs
+pub fn width_of(flags: u64) -> u32 {
+    let count = flags.count_ones();
+    count as u32
+}
+
+pub fn nearby(pa: u64) -> u64 {
+    let next = pa + 1;
+    let width = 8u64;
+    let w = width as u32;
+    next + u64::from(w)
+}

@@ -1,0 +1,9 @@
+//@path crates/types/src/addr_repr.rs
+// crates/types owns the width policy, so truncation is legal here.
+pub fn low_byte(addr: u64) -> u8 {
+    (addr & 0xff) as u8
+}
+
+pub fn page_colour(pfn: u64) -> u16 {
+    (pfn & 0x3f) as u16
+}

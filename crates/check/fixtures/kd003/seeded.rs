@@ -1,0 +1,16 @@
+//@path crates/os/src/addr_math.rs
+pub fn tag_of(pfn: u64) -> u32 {
+    (pfn >> 12) as u32
+}
+
+pub fn split(addr: u64) -> (u16, u16) {
+    let hi = (addr >> 16) as u16;
+    let lo = addr as u16;
+    (hi, lo)
+}
+
+pub fn colour(cycle: u64) -> u8 {
+    let c = cycle
+        .rotate_left(3) as u8;
+    c
+}

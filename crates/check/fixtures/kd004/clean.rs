@@ -1,0 +1,5 @@
+//@path crates/core/src/probe_host.rs
+// core is outside the no-panic envelope; unwrap is legal (if ugly) here.
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

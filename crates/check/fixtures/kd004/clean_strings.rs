@@ -1,0 +1,14 @@
+//@path crates/persist/src/probe_doc.rs
+/// Never .unwrap() in persistence code — doc mention only.
+pub fn note() -> &'static str {
+    ".unwrap() and .expect( live only inside this string literal"
+}
+
+pub struct Probe {
+    /// A field named like the method must not trip the rule.
+    pub expect: u64,
+}
+
+pub fn read(p: &Probe) -> u64 {
+    p.expect
+}

@@ -1,0 +1,13 @@
+//@path crates/core/src/cost_ok.rs
+pub fn penalty(base: u64, extra: u64) -> Cycles {
+    Cycles::new(base.saturating_add(extra))
+}
+
+pub fn shaped(base: u64) -> Cycles {
+    Cycles::new(apply(&|v: u64| -> u64 { v }, base))
+}
+
+pub fn outside(base: u64, extra: u64) -> Cycles {
+    let sum = base + extra;
+    Cycles::new(sum)
+}

@@ -1,0 +1,5 @@
+//@path crates/types/src/time_repr.rs
+// crates/types implements Cycles itself, so raw arithmetic is its job.
+pub fn sum(a: u64, b: u64) -> Cycles {
+    Cycles::new(a + b)
+}

@@ -1,0 +1,10 @@
+//@path crates/core/src/cost.rs
+pub fn penalty(base: u64, extra: u64) -> Cycles {
+    Cycles::new(base + extra)
+}
+
+pub fn discount(base: u64, off: u64) -> Cycles {
+    Cycles::new(
+        base - off,
+    )
+}

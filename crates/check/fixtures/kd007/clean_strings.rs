@@ -1,0 +1,5 @@
+//@path crates/core/src/executor_doc.rs
+/// All std::thread use lives in parallel.rs — doc mention only.
+pub fn note() -> &'static str {
+    "never call thread::spawn or thread::scope outside parallel.rs"
+}

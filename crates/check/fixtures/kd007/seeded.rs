@@ -1,0 +1,11 @@
+//@path crates/bench/src/host_fanout.rs
+use std::thread;
+
+pub fn fan_out(jobs: usize) {
+    for _ in 0..jobs {
+        thread::spawn(|| {});
+    }
+    thread::scope(|s| {
+        let _ = s;
+    });
+}

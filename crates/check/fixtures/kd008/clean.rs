@@ -1,0 +1,5 @@
+//@path crates/mem/src/faults_doc.rs
+/// The old set_thread_media_fault_seed channel is gone — history only.
+pub fn note() -> &'static str {
+    "set_thread_media_fault_seed was replaced by set_thread_media_faults"
+}

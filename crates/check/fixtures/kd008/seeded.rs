@@ -1,0 +1,8 @@
+//@path crates/mem/src/faults_compat.rs
+pub fn reseed(seed: u64) {
+    set_thread_media_fault_seed(seed);
+}
+
+pub fn peek() -> u64 {
+    thread_media_fault_seed()
+}

@@ -1,0 +1,6 @@
+//@path crates/hscc/src/frame_mirror.rs
+// hscc is outside the NVM-discipline envelope (mem/os/persist): the
+// migration engine mutates NVM only through kernel entry points.
+pub fn mirror(&mut self, mem: &mut dyn PhysMem, frame: u64) {
+    self.set_frame_bit(mem, frame, true);
+}

@@ -1,0 +1,32 @@
+//@path crates/hscc/src/lock_paths_ok.rs
+impl Engine {
+    pub fn balanced_try(&mut self, n: u64) -> Result<u64> {
+        self.emit(Event::LockAcquire { id: LOCK_MIGRATION });
+        let v = self.step(n);
+        self.emit(Event::LockRelease { id: LOCK_MIGRATION });
+        let v = v?;
+        Ok(v)
+    }
+
+    pub fn terminal_branch(&mut self, hot: bool) -> u64 {
+        self.emit(Event::LockAcquire { id: LOCK_EPOCH });
+        if hot {
+            self.emit(Event::LockRelease { id: LOCK_EPOCH });
+            return 1;
+        }
+        self.emit(Event::LockRelease { id: LOCK_EPOCH });
+        0
+    }
+
+    pub fn nested_pairs(&mut self) {
+        self.emit(Event::LockAcquire { id: LOCK_MIGRATION });
+        self.emit(Event::LockAcquire { id: LOCK_EPOCH });
+        self.emit(Event::LockRelease { id: LOCK_EPOCH });
+        self.emit(Event::LockRelease { id: LOCK_MIGRATION });
+    }
+
+    pub fn observes(&mut self, ev: &Event) -> bool {
+        // Match *patterns* are reads, not emissions: never tracked.
+        matches!(ev, Event::LockAcquire { .. } | Event::LockRelease { .. })
+    }
+}

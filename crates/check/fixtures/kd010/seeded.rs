@@ -1,0 +1,35 @@
+//@path crates/hscc/src/lock_paths.rs
+impl Engine {
+    pub fn leaky_try(&mut self, n: u64) -> Result<u64> {
+        self.emit(Event::LockAcquire { id: LOCK_MIGRATION });
+        let v = self.step(n)?;
+        self.emit(Event::LockRelease { id: LOCK_MIGRATION });
+        Ok(v)
+    }
+
+    pub fn leaky_return(&mut self, hot: bool) -> u64 {
+        self.emit(Event::LockAcquire { id: LOCK_MIGRATION });
+        if hot {
+            return 1;
+        }
+        self.emit(Event::LockRelease { id: LOCK_MIGRATION });
+        0
+    }
+
+    pub fn forgets(&mut self) {
+        self.emit(Event::LockAcquire { id: LOCK_EPOCH });
+        self.bump();
+    }
+
+    pub fn one_sided(&mut self, hot: bool) {
+        self.emit(Event::LockAcquire { id: LOCK_EPOCH });
+        if hot {
+            self.emit(Event::LockRelease { id: LOCK_EPOCH });
+        }
+        self.emit(Event::LockRelease { id: LOCK_EPOCH });
+    }
+
+    pub fn stray(&mut self) {
+        self.emit(Event::LockRelease { id: LOCK_EPOCH });
+    }
+}

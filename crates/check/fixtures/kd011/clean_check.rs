@@ -1,0 +1,5 @@
+//@path crates/check/src/future.rs
+// The lint tool itself is host-side, outside the simulation envelope.
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,16 @@
+//@path crates/tlb/src/level_names.rs
+pub fn name_of(level: u8) -> &'static str {
+    match level {
+        1 => "pt",
+        2 => "pmd",
+        _ => unreachable!("level {level}"),
+    }
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn someday() {
+    unimplemented!("replacement policy")
+}

@@ -15,7 +15,9 @@
 //!
 //!    Fields are rule id, workspace-relative path, and a substring that
 //!    must occur in the flagged line (so entries survive line-number
-//!    drift). Unused entries are reported as stale.
+//!    drift). Unused entries are reported as stale. `scripts/check.sh`
+//!    additionally requires a `#` justification comment on the line
+//!    directly above each entry — the policy is fix, don't allowlist.
 
 use crate::diag::Diagnostic;
 

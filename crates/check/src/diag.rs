@@ -28,6 +28,41 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Renders diagnostics as a JSON array of `{rule, path, line, message}`
+/// objects, for the `--json` lint artifact.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(d.rule),
+            escape(&d.path),
+            d.line,
+            escape(&d.message)
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut e = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => e.push_str("\\\""),
+            '\\' => e.push_str("\\\\"),
+            '\n' => e.push_str("\\n"),
+            '\t' => e.push_str("\\t"),
+            c if (c as u32) < 0x20 => e.push_str(&format!("\\u{:04x}", c as u32)),
+            c => e.push(c),
+        }
+    }
+    e
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +71,18 @@ mod tests {
     fn display_format() {
         let d = Diagnostic::new("crates/os/src/x.rs", 7, "KD004", "no unwrap");
         assert_eq!(d.to_string(), "crates/os/src/x.rs:7: KD004 no unwrap");
+    }
+
+    #[test]
+    fn json_rows_escape_and_order() {
+        let diags = vec![
+            Diagnostic::new("a.rs", 1, "KD002", "no \"hash\" maps"),
+            Diagnostic::new("b.rs", 2, "KD004", "plain"),
+        ];
+        let json = to_json(&diags);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\\\"hash\\\""), "{json}");
+        assert!(json.contains("\"line\": 2"), "{json}");
+        assert_eq!(to_json(&[]), "[\n]");
     }
 }

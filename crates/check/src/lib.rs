@@ -1,0 +1,15 @@
+//! Library surface of `kindle-check`, the workspace's domain lint.
+//!
+//! The pipeline is `lexer` (token stream) → `syntax` (brace-matched
+//! block tree, function extraction, test cut) → `rules` (KD001–KD004,
+//! KD006–KD011 on tokens and per-function walks) plus `manifest` (KD005
+//! on `Cargo.toml`s) and `allow` (inline / allowlist suppression). The
+//! `kindle-check` binary drives it over the workspace; the fixture
+//! golden test (`tests/golden.rs`) drives it over seeded corpora.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod syntax;

@@ -2,28 +2,59 @@
 //!
 //! Walks every Rust source file and `Cargo.toml` in the workspace and
 //! enforces the determinism / persistence rules described in `rules` and
-//! `manifest` (KD001–KD005). Violations print as `path:line: KDnnn message`
+//! `manifest` (KD001–KD011). Violations print as `path:line: KDnnn message`
 //! and make the process exit non-zero; suppressions go through the two
 //! mechanisms in `allow` (inline `// check:allow KDnnn: reason` comments
 //! and the root `check-allowlist.txt`).
 //!
-//! Usage: `cargo run -p kindle-check` (optionally pass an explicit
-//! workspace root as the first argument).
-
-mod allow;
-mod diag;
-mod manifest;
-mod rules;
+//! Usage: `cargo run -p kindle-check [-- [root] [--json <path>]]`
+//!
+//! * `root` — explicit workspace root (default: inferred from the crate's
+//!   own location).
+//! * `--json <path>` — also write the diagnostics as a JSON artifact in
+//!   the bench envelope convention (`elapsed_ms` + `rows`), uploaded by
+//!   the CI lint job so rule trends are diffable across runs.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use diag::Diagnostic;
+use kindle_check::diag::{self, Diagnostic};
+use kindle_check::{allow, manifest, rules};
 
-/// Directories never descended into.
-const SKIP_DIRS: &[&str] = &["target", ".git"];
+const USAGE: &str = "usage: kindle-check [root] [--json <path>]";
+
+/// Directories never descended into. `fixtures` holds the check crate's
+/// seeded-violation corpus — real rule hits by design, exercised by the
+/// golden test, never lint findings against the tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Parsed command line.
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { root: None, json: None };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path")?;
+                args.json = Some(PathBuf::from(path));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            root if args.root.is_none() => args.root = Some(PathBuf::from(root)),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+    }
+    Ok(args)
+}
 
 /// Recursively collects `.rs` files and `Cargo.toml` manifests, sorted so
 /// output order is stable across filesystems.
@@ -62,10 +93,7 @@ fn crate_of(rel: &str) -> Option<&str> {
     rel.strip_prefix("crates/")?.split('/').next()
 }
 
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
-    }
+fn default_root() -> PathBuf {
     // crates/check/ -> crates/ -> workspace root.
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -75,7 +103,16 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
+    let started = Instant::now();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("kindle-check: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = args.root.unwrap_or_else(default_root);
     if !root.join("Cargo.toml").is_file() {
         eprintln!("kindle-check: {} does not look like a workspace root", root.display());
         return ExitCode::FAILURE;
@@ -145,6 +182,31 @@ fn main() -> ExitCode {
         kept.len(),
         suppressed.len()
     );
+
+    if let Some(path) = &args.json {
+        // Same envelope shape the bench binaries write (elapsed_ms + rows),
+        // so CI artifact tooling can treat lint and bench outputs alike.
+        // Wall-clock time is confined to this host-side field (the check
+        // crate sits outside the simulation, like bench).
+        let data = format!(
+            "{{\n\"elapsed_ms\": {},\n\"files\": {},\n\"manifests\": {},\n\
+             \"violations\": {},\n\"suppressed\": {},\n\"rows\": {}\n}}\n",
+            started.elapsed().as_millis(),
+            rs_files.len(),
+            manifests.len(),
+            kept.len(),
+            suppressed.len(),
+            diag::to_json(&kept)
+        );
+        match fs::write(path, data) {
+            Ok(()) => eprintln!("kindle-check: wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("kindle-check: json write failed for {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if kept.is_empty() && parse_errors.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,227 @@
+//! Brace-matched structure on top of the token stream.
+//!
+//! Three layers, each deliberately smaller than a parser:
+//!
+//! 1. [`test_cut`] — finds the first `#[cfg(test)]` *token sequence*, so
+//!    test code can be truncated away without string-match false hits.
+//! 2. [`parse`] — folds the flat stream into a [`Block`] tree by matching
+//!    `{`/`}`. Struct literals, match bodies, and closures all become
+//!    blocks too; the rules don't mind, because every brace pair really is
+//!    a lexical scope boundary for the control-flow questions they ask.
+//! 3. [`functions`] — extracts every `fn name ... { body }` (free
+//!    functions, methods, nested fns alike) as a [`Function`] with its own
+//!    body block, giving the rules a per-function unit of analysis.
+//!
+//! The per-function "CFG-lite" the KD009/KD010 walks use is exactly this
+//! block tree plus the early-exit tokens (`return` / `?` / `break`) seen
+//! while walking it — no basic blocks, no graph, just enough structure to
+//! reason about "on every path out of this function".
+
+use crate::lexer::{Token, TokenKind};
+
+/// A node in a block tree: either a leaf token or a nested brace block.
+#[derive(Clone, Debug)]
+pub enum Node<'a> {
+    /// A non-brace token.
+    Tok(Token<'a>),
+    /// A `{ ... }` region.
+    Block(Block<'a>),
+}
+
+/// One brace-matched `{ ... }` region (or the whole file, for the root).
+#[derive(Clone, Debug, Default)]
+pub struct Block<'a> {
+    /// Line of the opening brace (line 1 for the file root).
+    pub open_line: usize,
+    /// Line of the closing brace (last line seen, for unterminated input).
+    pub close_line: usize,
+    /// Children in source order.
+    pub nodes: Vec<Node<'a>>,
+}
+
+/// One extracted function: its name, declaration line, and body. Borrows
+/// the block tree — extraction allocates nothing per token.
+#[derive(Clone, Copy, Debug)]
+pub struct Function<'a> {
+    /// The identifier after `fn`.
+    pub name: &'a str,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// The `{ ... }` body.
+    pub body: &'a Block<'a>,
+}
+
+/// Index of the first token of a literal `#[cfg(test)]` attribute, or
+/// `tokens.len()` when none exists. Everything from that token on is test
+/// code (mirroring the old whole-suffix cut, now immune to the pattern
+/// appearing inside strings or comments).
+pub fn test_cut(tokens: &[Token<'_>]) -> usize {
+    const SEQ: &[&str] = &["#", "[", "cfg", "(", "test", ")", "]"];
+    'outer: for start in 0..tokens.len().saturating_sub(SEQ.len() - 1) {
+        for (k, want) in SEQ.iter().enumerate() {
+            let t = &tokens[start + k];
+            let hit = match t.kind {
+                TokenKind::Ident => t.text == *want,
+                TokenKind::Punct => t.text == *want,
+                _ => false,
+            };
+            if !hit {
+                continue 'outer;
+            }
+        }
+        return start;
+    }
+    tokens.len()
+}
+
+/// Builds the block tree. Tolerates unbalanced braces (truncated input,
+/// stray `}` ) by closing/ignoring gracefully — the linter must never
+/// panic on code the compiler will reject anyway.
+pub fn parse<'a>(tokens: &[Token<'a>]) -> Block<'a> {
+    let mut pos = 0usize;
+    parse_block(tokens, &mut pos, 1)
+}
+
+fn parse_block<'a>(tokens: &[Token<'a>], pos: &mut usize, open_line: usize) -> Block<'a> {
+    let mut block = Block { open_line, close_line: open_line, nodes: Vec::new() };
+    while *pos < tokens.len() {
+        let t = &tokens[*pos];
+        block.close_line = t.line;
+        if t.is_punct('{') {
+            let line = t.line;
+            *pos += 1;
+            block.nodes.push(Node::Block(parse_block(tokens, pos, line)));
+        } else if t.is_punct('}') {
+            *pos += 1;
+            return block;
+        } else {
+            block.nodes.push(Node::Tok(*t));
+            *pos += 1;
+        }
+    }
+    block
+}
+
+/// Positions of function bodies among `nodes`: `(body index, name, line)`.
+///
+/// A function is the sequence `fn <Ident> ... <Block>` at one nesting
+/// level, stopped by a `;` (trait method declarations have no body). The
+/// name must be an identifier, which excludes `fn(...)` pointer types.
+pub fn fn_body_indices<'a>(nodes: &'a [Node<'a>]) -> Vec<(usize, &'a str, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < nodes.len() {
+        if let Node::Tok(t) = &nodes[i] {
+            if t.is_ident("fn") {
+                if let Some(Node::Tok(name)) = nodes.get(i + 1) {
+                    if name.kind == TokenKind::Ident {
+                        let mut j = i + 2;
+                        while j < nodes.len() {
+                            match &nodes[j] {
+                                Node::Tok(t) if t.is_punct(';') => break,
+                                Node::Block(_) => {
+                                    out.push((j, name.text, t.line));
+                                    break;
+                                }
+                                _ => j += 1,
+                            }
+                        }
+                        i = j;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts every function in the tree, including methods inside `impl`
+/// blocks and fns nested inside other fn bodies (each becomes its own
+/// [`Function`]; analysis walks skip nested bodies via
+/// [`fn_body_indices`] so no code is attributed to two functions).
+pub fn functions<'a>(root: &'a Block<'a>) -> Vec<Function<'a>> {
+    let mut out = Vec::new();
+    collect(root, &mut out);
+    out
+}
+
+fn collect<'a>(block: &'a Block<'a>, out: &mut Vec<Function<'a>>) {
+    for (idx, name, line) in fn_body_indices(&block.nodes) {
+        if let Node::Block(body) = &block.nodes[idx] {
+            out.push(Function { name, line, body });
+        }
+    }
+    for node in &block.nodes {
+        if let Node::Block(b) = node {
+            collect(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<(String, usize)> {
+        let toks = lex(src);
+        let root = parse(&toks);
+        functions(&root).into_iter().map(|f| (f.name.to_string(), f.line)).collect()
+    }
+
+    fn names(src: &str) -> Vec<String> {
+        fns(src).into_iter().map(|(n, _)| n).collect()
+    }
+
+    #[test]
+    fn finds_free_functions_and_methods() {
+        let src = "fn a() { 1; }\nimpl X { fn b(&self) -> u8 { 2 } }\n";
+        let got = fns(src);
+        assert_eq!(got, [("a".to_string(), 1), ("b".to_string(), 2)]);
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self) -> u8; fn given(&self) { 1; } }\n";
+        assert_eq!(names(src), ["given"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_functions() {
+        let src = "fn real(cb: fn(u64) -> u64) { cb(1); }\n";
+        assert_eq!(names(src), ["real"]);
+    }
+
+    #[test]
+    fn nested_fns_are_separate_units() {
+        let src = "fn outer() { fn inner() { 1; } inner(); }\n";
+        assert_eq!(names(src), ["outer", "inner"]);
+    }
+
+    #[test]
+    fn where_clause_between_signature_and_body() {
+        let src = "fn g<T>(x: T) -> T where T: Clone { x }\n";
+        assert_eq!(names(src), ["g"]);
+    }
+
+    #[test]
+    fn test_cut_is_token_exact() {
+        let toks = lex("fn f() {}\n#[cfg(test)]\nmod tests {}\n");
+        let cut = test_cut(&toks);
+        assert!(toks[cut].is_punct('#'));
+        assert_eq!(toks[cut].line, 2);
+        // Inside a string it is invisible.
+        let toks = lex("let s = \"#[cfg(test)]\";\n");
+        assert_eq!(test_cut(&toks), toks.len());
+        // cfg(not(test)) does not cut.
+        let toks = lex("#[cfg(not(test))]\nfn f() {}\n");
+        assert_eq!(test_cut(&toks), toks.len());
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let _ = fns("fn f() { if x { }\n");
+        let _ = fns("} } fn g() { }\n");
+    }
+}

@@ -191,11 +191,27 @@ impl HsccEngine {
         tlb: &mut TwoLevelTlb,
         pid: u32,
     ) -> Result<MigrationOutcome> {
+        // Migration page copies are ordered against foreground NVM writes
+        // by the (simulated) migration lock. The lock events bracket the
+        // call so the release is reached even when the body propagates a
+        // page-table error (KD010).
+        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_MIGRATION });
+        let result = self.migrate_locked(mem, kernel, tlb, pid);
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_MIGRATION });
+        result
+    }
+
+    /// The migration interval body; runs with `LOCK_MIGRATION` held by the
+    /// caller.
+    fn migrate_locked(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        kernel: &mut Kernel,
+        tlb: &mut TwoLevelTlb,
+        pid: u32,
+    ) -> Result<MigrationOutcome> {
         let costs = kernel.costs.clone();
         let mut outcome = MigrationOutcome::default();
-        // Migration page copies are ordered against foreground NVM writes
-        // by the (simulated) migration lock.
-        sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_MIGRATION });
 
         // --- scan phase -------------------------------------------------
         let scan_start = mem.now();
@@ -343,7 +359,6 @@ impl HsccEngine {
 
         self.stats.intervals += 1;
         self.next_migration = mem.now() + self.cfg.migration_interval;
-        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_MIGRATION });
         Ok(outcome)
     }
 }

@@ -535,6 +535,8 @@ impl MemoryController {
     fn restore_line(&mut self, line: u64, image: &[u8; 64]) {
         let pfn = line >> PAGE_SHIFT;
         let off = (line & (PAGE_SIZE as u64 - 1)) as usize;
+        // check:allow KD009: crash rollback restores the durable image; the
+        // callers emit Event::Crash and the sanitizer resets write tracking.
         self.page_mut(pfn)[off..off + 64].copy_from_slice(image);
     }
 

@@ -55,7 +55,11 @@ impl FrameAllocator {
         self.bitmap[(idx / 64) as usize] >> (idx % 64) & 1 == 1
     }
 
-    fn set_bit(&mut self, idx: u64, value: bool) {
+    /// Flips one allocation bit. This is the designated NVM-visible
+    /// mutation primitive for frame state: the static pass (KD009)
+    /// requires every call to be covered by a `FrameAlloc`/`FrameFree`/
+    /// `FrameRetired` sanitize event in the same function.
+    fn set_frame_bit(&mut self, idx: u64, value: bool) {
         let word = &mut self.bitmap[(idx / 64) as usize];
         if value {
             *word |= 1 << (idx % 64);
@@ -83,7 +87,7 @@ impl FrameAllocator {
         if let Some(pfn) = self.free.pop() {
             let idx = self.index_of(pfn);
             debug_assert!(!self.bit(idx), "frame on free stack but marked allocated");
-            self.set_bit(idx, true);
+            self.set_frame_bit(idx, true);
             self.allocated += 1;
             sanitize::emit(|| Event::FrameAlloc { pool: self.pool, pfn: pfn.as_u64() });
             return Ok(pfn);
@@ -96,7 +100,7 @@ impl FrameAllocator {
         }
         let idx = self.next;
         self.next += 1;
-        self.set_bit(idx, true);
+        self.set_frame_bit(idx, true);
         self.allocated += 1;
         let pfn = self.start + idx;
         sanitize::emit(|| Event::FrameAlloc { pool: self.pool, pfn: pfn.as_u64() });
@@ -115,7 +119,7 @@ impl FrameAllocator {
         assert!(self.contains(pfn), "freeing frame outside pool {}", self.pool);
         let idx = self.index_of(pfn);
         assert!(self.bit(idx), "double free of {pfn} in pool {}", self.pool);
-        self.set_bit(idx, false);
+        self.set_frame_bit(idx, false);
         self.allocated -= 1;
         self.free.push(pfn);
     }
@@ -128,7 +132,7 @@ impl FrameAllocator {
         assert!(self.contains(pfn), "retiring frame outside pool {}", self.pool);
         let idx = self.index_of(pfn);
         if !self.bit(idx) {
-            self.set_bit(idx, true);
+            self.set_frame_bit(idx, true);
             self.allocated += 1;
             self.free.retain(|&f| f != pfn);
         }
@@ -143,7 +147,7 @@ impl FrameAllocator {
         if self.bit(idx) {
             return false;
         }
-        self.set_bit(idx, true);
+        self.set_frame_bit(idx, true);
         self.allocated += 1;
         self.free.retain(|&f| f != pfn);
         sanitize::emit(|| Event::FrameAlloc { pool: self.pool, pfn: pfn.as_u64() });

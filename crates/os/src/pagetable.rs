@@ -338,6 +338,15 @@ impl AddressSpace {
         }
     }
 
+    /// Stores a *leaf* PTE. This is the designated NVM-mutating primitive
+    /// for mapping changes: the static pass (KD009) requires every call to
+    /// be covered by a `PteInstall`/`PteClear` sanitize event in the same
+    /// function. Intermediate-table entries go through [`Self::write_pte`]
+    /// directly — they carry no per-entry events.
+    fn store_leaf(&mut self, mem: &mut dyn PhysMem, costs: &KernelCosts, pa: PhysAddr, pte: Pte) {
+        self.write_pte(mem, costs, pa, pte);
+    }
+
     /// Maps `va → pfn` with `extra_flags` OR-ed into the leaf PTE, creating
     /// intermediate tables on demand.
     ///
@@ -387,7 +396,7 @@ impl AddressSpace {
         if existing.is_present() {
             return Err(KindleError::InvalidArgument("page already mapped"));
         }
-        self.write_pte(mem, costs, leaf_pa, Pte::new(pfn, Pte::USER | extra_flags));
+        self.store_leaf(mem, costs, leaf_pa, Pte::new(pfn, Pte::USER | extra_flags));
         sanitize::emit(|| Event::PteInstall { pfn: pfn.as_u64(), vpn: va.page_number().as_u64() });
         *self.entry_counts.entry(table.as_u64()).or_insert(0) += 1;
         self.mapped_pages += 1;
@@ -430,7 +439,7 @@ impl AddressSpace {
         if !pte.is_present() {
             return Err(KindleError::Unmapped(va));
         }
-        self.write_pte(mem, costs, leaf_pa, Pte::EMPTY);
+        self.store_leaf(mem, costs, leaf_pa, Pte::EMPTY);
         sanitize::emit(|| Event::PteClear {
             pfn: pte.pfn().as_u64(),
             vpn: va.page_number().as_u64(),
@@ -464,17 +473,15 @@ impl AddressSpace {
     /// Software walk (no accessed/dirty updates), charging the PTE reads.
     pub fn translate(&self, mem: &mut dyn PhysMem, va: VirtAddr) -> Option<Pte> {
         let mut table = self.root;
-        for level in (1..=4u8).rev() {
+        for level in (2..=4u8).rev() {
             let pte = Pte::from_bits(mem.read_u64(pte_addr(table, va, level)));
             if !pte.is_present() {
                 return None;
             }
-            if level == 1 {
-                return Some(pte);
-            }
             table = pte.pfn();
         }
-        unreachable!()
+        let pte = Pte::from_bits(mem.read_u64(pte_addr(table, va, 1)));
+        pte.is_present().then_some(pte)
     }
 
     /// Replaces the leaf PTE for `va` in place (used by HSCC remapping and
@@ -505,7 +512,7 @@ impl AddressSpace {
         }
         let new = f(old);
         if new != old {
-            self.write_pte(mem, costs, leaf_pa, new);
+            self.store_leaf(mem, costs, leaf_pa, new);
             if new.pfn() != old.pfn() {
                 let vpn = va.page_number().as_u64();
                 sanitize::emit(|| Event::PteClear { pfn: old.pfn().as_u64(), vpn });

@@ -159,7 +159,12 @@ impl VmaList {
         let n = affected.len();
         for mut v in affected {
             v.prot = prot;
-            self.insert(v).expect("re-inserting carved region cannot overlap");
+            // The carved sub-areas come from `remove` over this very range,
+            // so they cannot overlap anything still in the list: insert at
+            // the sorted position directly rather than round-tripping
+            // through the fallible `insert`.
+            let idx = self.vmas.partition_point(|w| w.start < v.start);
+            self.vmas.insert(idx, v);
         }
         self.coalesce();
         n

@@ -160,8 +160,17 @@ impl CheckpointEngine {
     /// Propagates slot exhaustion or list overflow.
     pub fn checkpoint(&mut self, mem: &mut dyn PhysMem, kernel: &mut Kernel) -> Result<()> {
         // The whole checkpoint runs under the (simulated) big kernel lock:
-        // its NVM traffic is ordered against the foreground thread's.
+        // its NVM traffic is ordered against the foreground thread's. The
+        // lock events bracket the *call*, not the body, so the release is
+        // reached even when the body propagates an error (KD010).
         sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_KERNEL });
+        let result = self.checkpoint_locked(mem, kernel);
+        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_KERNEL });
+        result
+    }
+
+    /// The checkpoint body; runs with `LOCK_KERNEL` held by the caller.
+    fn checkpoint_locked(&mut self, mem: &mut dyn PhysMem, kernel: &mut Kernel) -> Result<()> {
         let start = mem.now();
         // Apply accumulated metadata changes: read the log (charged). The
         // kernel's live state already reflects them; the reads model the
@@ -221,7 +230,6 @@ impl CheckpointEngine {
         self.log.truncate(mem);
         self.stats.checkpoints += 1;
         self.stats.cycles_in_checkpoints += mem.now() - start;
-        sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_KERNEL });
         Ok(())
     }
 }

@@ -68,6 +68,24 @@ impl RedoLog {
         self.region.base + HEADER_BYTES + idx * RECORD_BYTES
     }
 
+    /// Durably stores the record-count head word (write + clwb + fence).
+    /// This is the designated NVM-mutating primitive for log growth: the
+    /// static pass (KD009) requires every call to be covered by a
+    /// `LogAppend` sanitize event in the same function.
+    fn bump_log_head(&self, mem: &mut dyn PhysMem, head: u64) {
+        mem.write_u64(self.region.base, head);
+        mem.clwb(self.region.base);
+        mem.sfence();
+    }
+
+    /// Durably zeroes the head word (truncation). The designated primitive
+    /// for log truncation, covered by a `LogTruncate` event (KD009).
+    fn reset_log_head(&self, mem: &mut dyn PhysMem) {
+        mem.write_u64(self.region.base, 0);
+        mem.clwb(self.region.base);
+        mem.sfence();
+    }
+
     /// Appends one record durably.
     ///
     /// # Errors
@@ -92,9 +110,7 @@ impl RedoLog {
             mem.clwb(pa + (RECORD_BYTES - 8));
         }
         mem.sfence();
-        mem.write_u64(self.region.base, head + 1);
-        mem.clwb(self.region.base);
-        mem.sfence();
+        self.bump_log_head(mem, head + 1);
         sanitize::emit(|| Event::LogAppend { seq: head });
         sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_REDO_LOG });
         Ok(())
@@ -139,9 +155,7 @@ impl RedoLog {
     /// Durably truncates the log (end of a checkpoint).
     pub fn truncate(&self, mem: &mut dyn PhysMem) {
         sanitize::emit(|| Event::LockAcquire { id: sanitize::LOCK_REDO_LOG });
-        mem.write_u64(self.region.base, 0);
-        mem.clwb(self.region.base);
-        mem.sfence();
+        self.reset_log_head(mem);
         sanitize::emit(|| Event::LogTruncate);
         sanitize::emit(|| Event::LockRelease { id: sanitize::LOCK_REDO_LOG });
     }

@@ -204,8 +204,7 @@ impl SlotHandle {
     /// it names; after, so the flip itself is durable when this returns.
     pub fn publish(&self, mem: &mut dyn PhysMem, copy: u64) {
         mem.persist_barrier();
-        mem.write_u64(self.base + VALID_OFF, copy & 1);
-        mem.clwb(self.base + VALID_OFF);
+        self.flip_valid_copy(mem, copy);
         mem.persist_barrier();
         // Reported after the drain: any line of this slot still pending now
         // is a write the checkpoint claims durable but never drained.
@@ -215,6 +214,16 @@ impl SlotHandle {
             copy: copy & 1,
             cycle: mem.now().as_u64(),
         });
+    }
+
+    /// The 8-byte valid-copy flip — the designated NVM-mutating primitive
+    /// for checkpoint commits: the static pass (KD009) requires every call
+    /// to be covered by a `CheckpointPublish` sanitize event in the same
+    /// function. Slot lifecycle writes (`init`/`clear`) set the field to
+    /// `NO_VALID_COPY` and are not commits.
+    fn flip_valid_copy(&self, mem: &mut dyn PhysMem, copy: u64) {
+        mem.write_u64(self.base + VALID_OFF, copy & 1);
+        mem.clwb(self.base + VALID_OFF);
     }
 
     /// Serializes a context into copy `copy` and flushes it.

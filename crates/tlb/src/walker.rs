@@ -59,23 +59,37 @@ impl PageWalker {
     ) -> Result<WalkOutcome, WalkError> {
         self.walks += 1;
         let mut table = ptbr;
-        for level in (1..=4u8).rev() {
-            let pa = pte_addr(table, va, level);
-            self.pte_loads += 1;
-            // The sanitizer cross-checks every consumed table line against
-            // scrubd's uncorrected-corruption set.
-            sanitize::emit(|| Event::PtLineRead { line: pa.as_u64() & !(CACHE_LINE as u64 - 1) });
-            let pte = Pte::from_bits(mem.read_u64(pa));
+        for level in (2..=4u8).rev() {
+            let (pa, pte) = self.load_entry(mem, table, va, level);
             if !pte.is_present() {
                 self.faults += 1;
                 return Err(WalkError { level, pte_pa: pa });
             }
-            if level == 1 {
-                return Ok(WalkOutcome { pte, pte_pa: pa });
-            }
             table = pte.pfn();
         }
-        unreachable!("loop covers levels 4..=1")
+        // Leaf level: the loop above narrowed `table` to the level-1 table.
+        let (pa, pte) = self.load_entry(mem, table, va, 1);
+        if !pte.is_present() {
+            self.faults += 1;
+            return Err(WalkError { level: 1, pte_pa: pa });
+        }
+        Ok(WalkOutcome { pte, pte_pa: pa })
+    }
+
+    /// Issues one charged PTE load at `level` of `table`.
+    fn load_entry(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        table: Pfn,
+        va: VirtAddr,
+        level: u8,
+    ) -> (PhysAddr, Pte) {
+        let pa = pte_addr(table, va, level);
+        self.pte_loads += 1;
+        // The sanitizer cross-checks every consumed table line against
+        // scrubd's uncorrected-corruption set.
+        sanitize::emit(|| Event::PtLineRead { line: pa.as_u64() & !(CACHE_LINE as u64 - 1) });
+        (pa, Pte::from_bits(mem.read_u64(pa)))
     }
 
     /// Walks and sets the accessed (and, for writes, dirty) bits in the leaf

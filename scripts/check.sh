@@ -11,8 +11,24 @@ cargo build --release
 echo "== tests (workspace) =="
 cargo test --workspace -q
 
-echo "== kindle-check (KD001-KD008) =="
-cargo run -q -p kindle-check
+echo "== allowlist justification guard =="
+# Policy: fix, don't allowlist. Every check-allowlist.txt entry must be
+# preceded by a `#` justification comment on the line directly above it.
+awk '
+    /^[[:space:]]*$/ { prev = ""; next }
+    /^#/             { prev = "comment"; next }
+    {
+        if (prev != "comment") {
+            printf "check-allowlist.txt:%d: entry lacks a justification comment on the line above: %s\n", NR, $0
+            bad = 1
+        }
+        prev = "entry"
+    }
+    END { exit bad }
+' check-allowlist.txt
+
+echo "== kindle-check (KD001-KD011) =="
+cargo run -q -p kindle-check -- --json CHECK_lint.json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== rustfmt =="

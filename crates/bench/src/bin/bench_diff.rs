@@ -8,6 +8,13 @@
 //! `[min, max]`. A field with zero occurrences fails too — a stale golden
 //! entry is a regression in the diff itself, not a pass.
 //!
+//! One golden file serves every CI job: lines whose artifact is not among
+//! the provided paths are skipped, so each job diffs only the artifacts it
+//! produced. Two backstops keep the skipping honest — a provided artifact
+//! that matches no golden line fails (a typo'd or unpinned artifact must
+//! not pass silently), and an invocation that ends up checking nothing
+//! fails outright.
+//!
 //! The scanner is deliberately dumb (substring + number parse) because
 //! the bench envelope is flat, machine-written JSON; it needs no real
 //! parser, and a dumb one cannot be fooled by formatting drift into
@@ -53,6 +60,7 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
         .collect::<Result<_, Vec<String>>>()?;
     let mut failures = Vec::new();
     let mut checks = 0usize;
+    let mut matched = vec![false; artifacts.len()];
     for (lineno, line) in golden.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -72,10 +80,12 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
                 continue;
             }
         };
-        let Some((_, content)) = artifacts.iter().find(|(n, _)| n == name) else {
-            failures.push(format!("{name}: artifact named in golden file but not provided"));
+        // Golden lines for artifacts other jobs produce are not ours to check.
+        let Some((idx, (_, content))) = artifacts.iter().enumerate().find(|(_, (n, _))| n == name)
+        else {
             continue;
         };
+        matched[idx] = true;
         let values = scan_numbers(content, field);
         if values.is_empty() {
             failures.push(format!("{name}: field \"{field}\" not found (stale golden entry?)"));
@@ -87,6 +97,11 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
                 failures
                     .push(format!("{name}: \"{field}\" = {v} outside golden range [{min}, {max}]"));
             }
+        }
+    }
+    for (i, (name, _)) in artifacts.iter().enumerate() {
+        if !matched[i] {
+            failures.push(format!("{name}: provided artifact has no golden entries"));
         }
     }
     if checks == 0 {
@@ -184,10 +199,29 @@ mod tests {
 
         let gold = write_temp("missing.txt", "nonexistent.json jobs 0 1\n");
         let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
-        assert!(failures.iter().any(|f| f.contains("not provided")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("no golden entries")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("no checks")), "{failures:?}");
 
         let gold = write_temp("empty.txt", "# only comments\n\n");
         let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
         assert!(failures.iter().any(|f| f.contains("no checks")), "{failures:?}");
+    }
+
+    #[test]
+    fn other_jobs_artifacts_are_skipped_but_provided_ones_must_be_pinned() {
+        // One shared golden file, a per-job artifact subset: the lines for
+        // the other job's artifact are skipped without failing.
+        let art = write_temp("subset.json", DOC);
+        let gold = write_temp("subset.txt", "subset.json jobs 1 64\nother-job.json latency 0 9\n");
+        let summary = run(&args(&["bench_diff", &gold, &art])).unwrap();
+        assert!(summary.contains("1 golden checks"), "{summary}");
+
+        // But an artifact we did provide must have at least one golden line.
+        let extra = write_temp("unpinned.json", DOC);
+        let failures = run(&args(&["bench_diff", &gold, &art, &extra])).unwrap_err();
+        assert!(
+            failures.iter().any(|f| f.contains("unpinned.json") && f.contains("no golden entries")),
+            "{failures:?}"
+        );
     }
 }

@@ -9,13 +9,20 @@
 //! media-fault model, so the whole sweep scales with `--jobs` while
 //! every per-seed result stays byte-identical to a serial run.
 //!
+//! Each seed also runs the data-integrity grid
+//! ([`run_data_integrity_sweep_jobs`]) with a per-seed corruption load,
+//! charting the healed-vs-poisoned frontier: how much damage the checksum
+//! patrol absorbs before graceful degradation starts costing pages.
+//!
 //! `--faults <seed>` moves the base of the swept seed range;
 //! `--stuck <N>` scatters `N` stuck-at cells per seed on top of the wear
-//! model; `--plot <path>` renders the per-seed overheads as a
-//! self-contained SVG (pure markup, no external tooling).
+//! model; `--plot <path>` renders the per-seed overheads and the
+//! integrity survival fraction as a self-contained SVG (pure markup, no
+//! external tooling).
 
 use kindle_bench::*;
 use kindle_core::mem::MediaFaultConfig;
+use kindle_faults::run_data_integrity_sweep_jobs;
 
 /// The swept fault model: the wear budget is cranked far below the
 /// default (4096 writes/line) so the hot lines of even a quick run — the
@@ -41,6 +48,11 @@ struct SeedRow {
     table4_ms: f64,
     fig4a_overhead: f64,
     table4_overhead: f64,
+    /// Data lines the checksum patrol healed across this seed's
+    /// data-integrity grid.
+    data_healed: u64,
+    /// Data frames the grid's zero-budget arm lost to poisoning.
+    data_poisoned: u64,
 }
 
 /// Sum of persistent-scheme times across Fig. 4a rows (ms).
@@ -85,38 +97,50 @@ fn main() -> Result<()> {
         sim::set_thread_media_faults(None);
         let fig4a_ms = fig4a_persistent_ms(&fig4a?);
         let table4_ms = table4_persistent_ms(&table4?);
+        // The healed-vs-poisoned frontier: seed `base + i` corrupts
+        // `1 + i mod 4` data lines, so across the sweep the budgeted arm's
+        // heal count climbs while the zero-budget arm keeps losing exactly
+        // one page — graceful degradation does not spread with corruption.
+        let lines = 1 + (seed.wrapping_sub(base) % 4) as usize;
+        let integ = run_data_integrity_sweep_jobs(seed, lines, 1)?;
         Ok(SeedRow {
             seed,
             fig4a_ms,
             table4_ms,
             fig4a_overhead: fig4a_ms / base4a,
             table4_overhead: table4_ms / baset4,
+            data_healed: integ.data_healed,
+            data_poisoned: integ.data_poisoned,
         })
     })
     .into_iter()
     .collect::<Result<_>>()?;
 
     println!(
-        "{:>18} | {:>10} | {:>8} | {:>10} | {:>8}",
-        "seed", "fig4a ms", "ovh", "table4 ms", "ovh"
+        "{:>18} | {:>10} | {:>8} | {:>10} | {:>8} | {:>6} | {:>6}",
+        "seed", "fig4a ms", "ovh", "table4 ms", "ovh", "healed", "lost"
     );
     rule(74);
     println!(
-        "{:>18} | {:>10} | {:>8} | {:>10} | {:>8}",
+        "{:>18} | {:>10} | {:>8} | {:>10} | {:>8} | {:>6} | {:>6}",
         "(fault-free)",
         ms(base4a),
         "1.000x",
         ms(baset4),
-        "1.000x"
+        "1.000x",
+        "-",
+        "-"
     );
     for r in &rows {
         println!(
-            "{:>#18x} | {:>10} | {:>7.3}x | {:>10} | {:>7.3}x",
+            "{:>#18x} | {:>10} | {:>7.3}x | {:>10} | {:>7.3}x | {:>6} | {:>6}",
             r.seed,
             ms(r.fig4a_ms),
             r.fig4a_overhead,
             ms(r.table4_ms),
-            r.table4_overhead
+            r.table4_overhead,
+            r.data_healed,
+            r.data_poisoned
         );
     }
     rule(74);
@@ -124,6 +148,12 @@ fn main() -> Result<()> {
     let worstt4 = rows.iter().map(|r| r.table4_overhead).fold(f64::MIN, f64::max);
     println!("worst-case overhead over {nseeds} seeds: fig4a {worst4a:.3}x, table4 {worstt4:.3}x");
     println!("(retry-then-retire keeps the tail bounded: faults cost lines, not crashes)");
+    let healed: u64 = rows.iter().map(|r| r.data_healed).sum();
+    let poisoned: u64 = rows.iter().map(|r| r.data_poisoned).sum();
+    println!(
+        "data-integrity frontier: {healed} lines healed vs {poisoned} pages poisoned \
+         across {nseeds} seeds"
+    );
 
     let mut body = String::from("[");
     for (i, r) in rows.iter().enumerate() {
@@ -132,8 +162,15 @@ fn main() -> Result<()> {
         }
         body.push_str(&format!(
             "\n  {{\"seed\": {}, \"fig4a_ms\": {:.3}, \"fig4a_overhead\": {:.4}, \
-             \"table4_ms\": {:.3}, \"table4_overhead\": {:.4}}}",
-            r.seed, r.fig4a_ms, r.fig4a_overhead, r.table4_ms, r.table4_overhead
+             \"table4_ms\": {:.3}, \"table4_overhead\": {:.4}, \
+             \"data_healed\": {}, \"data_poisoned\": {}}}",
+            r.seed,
+            r.fig4a_ms,
+            r.fig4a_overhead,
+            r.table4_ms,
+            r.table4_overhead,
+            r.data_healed,
+            r.data_poisoned
         ));
     }
     body.push_str("\n]");
@@ -216,6 +253,7 @@ fn render_svg(rows: &[SeedRow]) -> String {
     for (pick, color, label, ly) in [
         (fig4a_pick as fn(&SeedRow) -> f64, "#1f77b4", "fig4a", 0),
         (table4_pick as fn(&SeedRow) -> f64, "#d62728", "table4", 1),
+        (integrity_pick as fn(&SeedRow) -> f64, "#2ca02c", "integrity", 2),
     ] {
         s.push_str(&format!(
             "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>\n",
@@ -254,6 +292,17 @@ fn table4_pick(r: &SeedRow) -> f64 {
     r.table4_overhead
 }
 
+/// The healed-vs-poisoned frontier as a survival fraction: of all data
+/// lines the grid corrupted, the share the patrol restored rather than
+/// had to give up on (1.0 = every line healed).
+fn integrity_pick(r: &SeedRow) -> f64 {
+    let total = r.data_healed + r.data_poisoned;
+    if total == 0 {
+        return 1.0;
+    }
+    r.data_healed as f64 / total as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +316,8 @@ mod tests {
                 table4_ms: 20.0,
                 fig4a_overhead: 1.1,
                 table4_overhead: 1.3,
+                data_healed: 1,
+                data_poisoned: 1,
             },
             SeedRow {
                 seed: 0xA1,
@@ -274,14 +325,16 @@ mod tests {
                 table4_ms: 21.0,
                 fig4a_overhead: 1.2,
                 table4_overhead: 1.25,
+                data_healed: 4,
+                data_poisoned: 1,
             },
         ];
         let svg = render_svg(&rows);
         assert!(svg.starts_with("<svg "), "{svg}");
         assert!(svg.trim_end().ends_with("</svg>"), "{svg}");
-        assert_eq!(svg.matches("<polyline").count(), 2, "one line per artifact");
-        assert_eq!(svg.matches("<circle").count(), 4, "one marker per row per artifact");
-        assert!(svg.contains("fig4a") && svg.contains("table4"));
+        assert_eq!(svg.matches("<polyline").count(), 3, "one line per artifact");
+        assert_eq!(svg.matches("<circle").count(), 6, "one marker per row per artifact");
+        assert!(svg.contains("fig4a") && svg.contains("table4") && svg.contains("integrity"));
         assert!(!svg.contains("href"), "self-contained: no external references");
     }
 }

@@ -7,8 +7,8 @@ pub use kindle_core::*;
 use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationLog};
 
 /// Flag summary printed when an unknown or malformed argument is seen.
-pub const USAGE: &str = "[--quick] [--sanitize] [--faults <seed>] [--stuck <N>] [--jobs <N>] \
-     [--csv <path>] [--json <path>] [--plot <path>]";
+pub const USAGE: &str = "[--quick] [--sanitize] [--faults <seed>] [--stuck <N>] \
+     [--patrol <interval-us>] [--jobs <N>] [--csv <path>] [--json <path>] [--plot <path>]";
 
 /// Per-line ECP correction budget armed alongside `--stuck`: two entries
 /// absorb every realistically seeded cell (three uniform cells landing in
@@ -32,6 +32,11 @@ pub const STUCK_CORRECTION_ENTRIES: u32 = 2;
 ///   absorbed at write time rather than silently corrupting stored data.
 ///   Folded into the `--faults` model when one is armed; experiments
 ///   that build their own fault model read it via [`Harness::stuck`].
+/// * `--patrol <interval-us>` publishes a data-frame patrol period for
+///   experiments that arm the checksum patrol daemon
+///   ([`Harness::patrol_interval`]); like standalone `--stuck` it is an
+///   accessor, not ambient state — each binary decides which of its
+///   machines run `patrold`.
 /// * `--plot <path>` asks plot-capable binaries (`seedsweep`) to render
 ///   their rows as a self-contained SVG at `path`
 ///   ([`Harness::plot_path`]).
@@ -50,6 +55,7 @@ pub struct Harness {
     log: Option<ViolationLog>,
     jobs: usize,
     stuck: Option<usize>,
+    patrol: Option<Cycles>,
     json_path: Option<String>,
     plot_path: Option<String>,
     started: std::time::Instant,
@@ -98,6 +104,7 @@ impl Harness {
         let mut sanitize_requested = false;
         let mut fault_seed = None;
         let mut stuck = None;
+        let mut patrol = None;
         let mut jobs = None;
         let mut json_path = None;
         let mut plot_path = None;
@@ -118,6 +125,15 @@ impl Harness {
                         .parse::<usize>()
                         .map_err(|_| format!("--stuck: not a cell count: {v:?}"))?;
                     stuck = Some(n);
+                }
+                "--patrol" => {
+                    let v = it.next().ok_or("--patrol requires an interval in microseconds")?;
+                    let us = v
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--patrol: not a positive interval: {v:?}"))?;
+                    patrol = Some(Cycles::from_micros(us));
                 }
                 "--jobs" => {
                     let v = it.next().ok_or("--jobs requires a worker count")?;
@@ -165,6 +181,7 @@ impl Harness {
             log,
             jobs,
             stuck,
+            patrol,
             json_path,
             plot_path,
             started: std::time::Instant::now(),
@@ -181,6 +198,13 @@ impl Harness {
     #[must_use]
     pub fn stuck(&self) -> Option<usize> {
         self.stuck
+    }
+
+    /// Patrol-daemon period requested with `--patrol <interval-us>`, if
+    /// any (already converted to cycles).
+    #[must_use]
+    pub fn patrol_interval(&self) -> Option<Cycles> {
+        self.patrol
     }
 
     /// SVG output path requested with `--plot <path>`, if any.
@@ -332,6 +356,24 @@ mod tests {
         assert!(Harness::try_from_arg_list(&args(&["bin", "--stuck"])).is_err());
         assert!(Harness::try_from_arg_list(&args(&["bin", "--stuck", "many"])).is_err());
         assert!(Harness::try_from_arg_list(&args(&["bin", "--plot"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--patrol"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--patrol", "0"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--patrol", "soon"])).is_err());
+    }
+
+    #[test]
+    fn harness_patrol_interval_is_an_accessor() {
+        let h = Harness::from_arg_list(&args(&["bin", "--patrol", "250"]));
+        assert_eq!(h.patrol_interval(), Some(Cycles::from_micros(250)));
+        // Accessor only: no ambient state, machines stay patrol-free
+        // unless the binary arms them.
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        assert!(m.patrol.is_none());
+        h.finish().unwrap();
+
+        let h = Harness::from_arg_list(&args(&["bin"]));
+        assert_eq!(h.patrol_interval(), None);
+        h.finish().unwrap();
     }
 
     #[test]

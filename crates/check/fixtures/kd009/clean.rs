@@ -25,3 +25,19 @@ impl Bitmap {
         self.emit(Event::LockRelease { id: LOCK_KERNEL });
     }
 }
+
+impl Patrol {
+    pub fn heal_line(&mut self, mem: &mut dyn PhysMem, line: u64) {
+        // One PatrolCorrect covers both the image write and the checksum
+        // refresh of the healed line.
+        self.page_mut(line)[0] = 0;
+        self.emit(Event::PatrolCorrect { line });
+        self.record_line_checksum(mem, line);
+    }
+
+    pub fn store(&mut self, mem: &mut dyn PhysMem, line: u64) {
+        self.emit(Event::NvmWrite { line, cycle: 0 });
+        self.page_mut(line)[0] = 1;
+        self.record_line_checksum(mem, line);
+    }
+}

@@ -24,3 +24,15 @@ impl Bitmap {
         Ok(())
     }
 }
+
+impl Patrol {
+    pub fn rehash(&mut self, mem: &mut dyn PhysMem, line: u64) {
+        self.record_line_checksum(mem, line);
+        self.emit(Event::PatrolDetect { line });
+    }
+
+    pub fn stamp(&mut self, mem: &mut dyn PhysMem, line: u64) {
+        self.emit(Event::PatrolDetect { line });
+        self.page_mut(line)[0] = 0xff;
+    }
+}

@@ -72,7 +72,8 @@ const NVM_PRIMITIVES: &[(&str, &[&str])] = &[
     ("bump_log_head", &["LogAppend"]),
     ("reset_log_head", &["LogTruncate"]),
     ("flip_valid_copy", &["CheckpointPublish"]),
-    ("page_mut", &["NvmWrite", "ScrubCorrect", "ScrubDetect"]),
+    ("page_mut", &["NvmWrite", "ScrubCorrect", "ScrubDetect", "PatrolCorrect"]),
+    ("record_line_checksum", &["NvmWrite", "PatrolCorrect"]),
 ];
 
 /// Checkpoint-bracket markers recognized by KD009: primitives between a

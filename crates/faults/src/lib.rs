@@ -30,7 +30,8 @@ pub mod trigger;
 pub use plan::{FaultPlan, FaultPoint};
 pub use recovery_checker::{RecoveryChecker, RecoveryViolation, RecoveryViolationLog};
 pub use sweep::{
-    run_nvm_write_sweep, run_nvm_write_sweep_jobs, run_stuck_sweep, run_stuck_sweep_jobs,
-    run_sweep, run_sweep_jobs, run_sweep_threaded, GoldenRun, SweepOutcome,
+    run_data_integrity_sweep, run_data_integrity_sweep_jobs, run_nvm_write_sweep,
+    run_nvm_write_sweep_jobs, run_stuck_sweep, run_stuck_sweep_jobs, run_sweep, run_sweep_jobs,
+    run_sweep_threaded, DataIntegrityOutcome, GoldenRun, SweepOutcome,
 };
 pub use trigger::{BoundaryCounter, PowerCutTrigger};

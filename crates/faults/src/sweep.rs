@@ -39,7 +39,9 @@ use kindle_mem::MediaFaultConfig;
 use kindle_os::PtMode;
 use kindle_sim::{Machine, MachineConfig};
 use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer, ThreadId};
-use kindle_types::{checksum64, AccessKind, Cycles, MapFlags, Prot, Result, Rng64, PAGE_SIZE};
+use kindle_types::{
+    checksum64, AccessKind, Cycles, MapFlags, PhysMem, Prot, Result, Rng64, PAGE_SIZE,
+};
 
 use crate::plan::FaultPlan;
 use crate::recovery_checker::RecoveryChecker;
@@ -515,6 +517,259 @@ pub fn run_nvm_write_sweep_jobs(
     Ok(SweepOutcome {
         boundaries: points.len() as u64,
         recovered,
+        digest: checksum64(&digest_words),
+    })
+}
+
+/// NVM data pages the integrity workload maps and fills per grid point.
+const INTEGRITY_PAGES: u64 = 4;
+/// Patrold period of the data-integrity sweep: short enough that the drive
+/// loop sees several full-pool batches.
+const INTEGRITY_PATROL_INTERVAL: Cycles = Cycles::from_micros(10);
+
+/// Aggregate result of one data-integrity sweep (see
+/// [`run_data_integrity_sweep`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataIntegrityOutcome {
+    /// Grid points exercised (ECP budget × daemons on/off).
+    pub points: u64,
+    /// Data lines healed in place by patrol erasure decode, summed.
+    pub data_healed: u64,
+    /// Mapped data frames poisoned (content unrecoverable), summed.
+    pub data_poisoned: u64,
+    /// Processes killed with `MemoryPoison`, summed.
+    pub procs_killed: u64,
+    /// Order-sensitive digest of every observable of every point.
+    pub digest: u64,
+}
+
+/// The data-integrity machine: persistent page tables (so scrubd and the
+/// patrol's table-skip both do real work), a controlled media model with
+/// `budget` ECP entries per line and *no* ambient faults (the point seeds
+/// its own stuck cells under data lines), and — on the daemon arm — both
+/// scrubd and patrold.
+fn integrity_config(budget: u32, daemons: bool, seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::small().with_pt_mode(PtMode::Persistent);
+    if daemons {
+        cfg = cfg
+            .with_scrub_interval(STUCK_SCRUB_INTERVAL)
+            .with_patrol_interval(INTEGRITY_PATROL_INTERVAL);
+    }
+    cfg.mem.faults = Some(MediaFaultConfig {
+        wear_limit: 0,
+        stuck_cells: 0,
+        correction_entries: budget,
+        ..MediaFaultConfig::with_seed(seed)
+    });
+    cfg
+}
+
+/// One grid point of the data-integrity sweep: fill mapped NVM data pages
+/// through the checksummed store path, seed `stuck` single-bit stuck cells
+/// under distinct data lines, let the daemons (when armed) patrol, and
+/// verify the graceful-degradation contract:
+///
+/// * budget covers the erasures → every line healed byte-identical, nobody
+///   dies, reads are clean;
+/// * budget exhausted → the first corrupt frame found poisons its page and
+///   kills the owner; the frame stays quarantined; later victim accesses
+///   fail instead of returning corrupt bytes;
+/// * daemons off → the corruption persists silently (pinned by the shadow
+///   mismatch count); the sanitizer stays quiet only because the workload
+///   never reads the corrupt lines.
+///
+/// Returns `(healed, poisoned, killed, digest_words)`.
+fn run_integrity_point(
+    budget: u32,
+    daemons: bool,
+    stuck: usize,
+    seed: u64,
+) -> Result<(u64, u64, u64, Vec<u64>)> {
+    const WORDS_PER_PAGE: u64 = PAGE_SIZE as u64 / 8;
+    const LINES_PER_PAGE: u64 = PAGE_SIZE as u64 / 64;
+
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let guard = sanitize::install(Box::new(ic));
+    let mut m = Machine::new(integrity_config(budget, daemons, seed))?;
+    let victim = m.spawn_process()?;
+    let driver = m.spawn_process()?;
+    let va = m.mmap(
+        victim,
+        INTEGRITY_PAGES * PAGE_SIZE as u64,
+        Prot::RW,
+        MapFlags::NVM | MapFlags::POPULATE,
+    )?;
+
+    // Fill every line through the data path, recording store-time
+    // checksums; keep a host-side shadow of the intended words.
+    let mut rng = Rng64::new(seed);
+    let mut frames = Vec::new();
+    let mut shadow = Vec::with_capacity((INTEGRITY_PAGES * WORDS_PER_PAGE) as usize);
+    for page in 0..INTEGRITY_PAGES {
+        let pte = m
+            .kernel
+            .translate(&mut m.hw, victim, va + page * PAGE_SIZE as u64)?
+            .expect("populated page is mapped");
+        frames.push(pte.pfn());
+        for w in 0..WORDS_PER_PAGE {
+            let val = rng.next_u64();
+            m.hw.write_u64(pte.pfn().base() + w * 8, val);
+            shadow.push(val);
+        }
+    }
+
+    // Seed `stuck` single-bit stuck cells under distinct data lines: one
+    // erasure per line, so any nonzero ECP budget can heal every one.
+    let mut chosen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    while chosen.len() < stuck.min((INTEGRITY_PAGES * LINES_PER_PAGE) as usize) {
+        chosen.insert(rng.gen_below(INTEGRITY_PAGES * LINES_PER_PAGE));
+    }
+    let mut degraded_pages: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for &slot in &chosen {
+        let (page, line) = (slot / LINES_PER_PAGE, slot % LINES_PER_PAGE);
+        let line_pa = frames[page as usize].base().as_u64() + line * 64;
+        let bit = rng.gen_below(512) as u32;
+        assert!(m.hw.mc.degrade_line_bit(line_pa, bit), "stuck cell seeding failed");
+        degraded_pages.insert(page);
+    }
+    let stuck = chosen.len() as u64;
+
+    // Drive the clock from the driver process until patrold has covered
+    // the pool (or the victim died); with daemons off, just a fixed spin.
+    let dva = m.mmap(driver, PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY)?;
+    let spins = if daemons { 400_000 } else { 64 };
+    for _ in 0..spins {
+        m.access(driver, dva, AccessKind::Write)?;
+        if !daemons {
+            continue;
+        }
+        let passes = m.patrol.as_ref().map_or(0, |p| p.stats().passes);
+        let victim_dead = m.kernel.process(victim).is_err();
+        if passes >= 2 && (budget > 0 || stuck == 0 || victim_dead) {
+            break;
+        }
+    }
+
+    let patrol = m.patrol.as_ref().map(|p| p.stats().clone()).unwrap_or_default();
+    let victim_dead = m.kernel.process(victim).is_err();
+    let mut mismatches = 0u64;
+    if !daemons {
+        // Daemons off: silent corruption persists — pin its footprint.
+        assert_eq!(patrol.passes, 0);
+        for page in 0..INTEGRITY_PAGES {
+            for w in 0..WORDS_PER_PAGE {
+                let got = m.hw.read_u64(frames[page as usize].base() + w * 8);
+                mismatches += u64::from(got != shadow[(page * WORDS_PER_PAGE + w) as usize]);
+            }
+            if !degraded_pages.contains(&page) {
+                m.access(victim, va + page * PAGE_SIZE as u64, AccessKind::Read)?;
+            }
+        }
+        assert_eq!(mismatches, stuck, "each stuck bit flips exactly one stored word");
+    } else if budget > 0 {
+        // Healable: every seeded erasure decoded back, byte-identical.
+        assert_eq!(patrol.lines_healed, stuck, "every degraded line heals under budget");
+        assert_eq!(patrol.frames_poisoned, 0);
+        assert!(!victim_dead, "nobody dies on healable faults");
+        for page in 0..INTEGRITY_PAGES {
+            for w in 0..WORDS_PER_PAGE {
+                let got = m.hw.read_u64(frames[page as usize].base() + w * 8);
+                assert_eq!(got, shadow[(page * WORDS_PER_PAGE + w) as usize], "healed bytes");
+            }
+            // The application-visible read path must also be clean (the
+            // sanitizer verifies no read consumed an uncorrected line).
+            m.access(victim, va + page * PAGE_SIZE as u64, AccessKind::Read)?;
+        }
+    } else if stuck > 0 {
+        // Unhealable: graceful degradation, never corrupt reads.
+        assert_eq!(patrol.procs_killed, 1, "victim killed once");
+        assert!(patrol.frames_poisoned >= 1);
+        assert!(victim_dead);
+        let err = m.access(victim, va, AccessKind::Read).unwrap_err();
+        assert!(
+            matches!(err, kindle_types::KindleError::NoSuchProcess(p) if p == victim),
+            "post-kill access fails instead of returning corrupt bytes: {err:?}"
+        );
+    }
+
+    let violations = ic_log.take();
+    assert!(violations.is_empty(), "integrity point violations: {violations:?}");
+    drop(guard);
+
+    let words = vec![
+        budget as u64,
+        u64::from(daemons),
+        stuck,
+        patrol.passes,
+        patrol.frames_checked,
+        patrol.lines_detected,
+        patrol.lines_healed,
+        patrol.frames_poisoned,
+        patrol.frames_retired,
+        patrol.procs_killed,
+        m.scrub.as_ref().map_or(0, |s| s.stats().passes),
+        u64::from(victim_dead),
+        mismatches,
+        m.now().as_u64(),
+    ];
+    Ok((patrol.lines_healed, patrol.frames_poisoned, patrol.procs_killed, words))
+}
+
+/// The data-integrity sweep: a grid of (ECP budget × daemons on/off)
+/// points, each seeding `stuck` stuck cells under *data* frames and
+/// verifying the checksum-patrol/poison/graceful-degradation contract (see
+/// [`run_integrity_point`]'s contract list). Equal seeds must yield equal
+/// digests regardless of worker count.
+///
+/// # Errors
+///
+/// Propagates machine/workload failures.
+///
+/// # Panics
+///
+/// Panics when a point violates the integrity contract (missed heal,
+/// corrupt read, surviving owner of a lost page, sanitizer violations).
+pub fn run_data_integrity_sweep(seed: u64, stuck: usize) -> Result<DataIntegrityOutcome> {
+    run_data_integrity_sweep_jobs(seed, stuck, parallel::default_jobs())
+}
+
+/// [`run_data_integrity_sweep`] with an explicit worker count (`jobs = 1`
+/// is the exact serial loop; any count produces the identical outcome).
+///
+/// # Errors
+///
+/// As [`run_data_integrity_sweep`].
+pub fn run_data_integrity_sweep_jobs(
+    seed: u64,
+    stuck: usize,
+    jobs: usize,
+) -> Result<DataIntegrityOutcome> {
+    let grid: Vec<(u64, u32, bool)> = [(0u32, false), (0, true), (2, false), (2, true)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(budget, daemons))| (i as u64, budget, daemons))
+        .collect();
+    let results = parallel::par_map(jobs, grid, move |(i, budget, daemons)| {
+        // A fresh generator per point keeps grid points independent.
+        let pseed = seed ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        run_integrity_point(budget, daemons, stuck, pseed)
+    });
+    let mut digest_words = vec![seed, stuck as u64];
+    let (mut healed, mut poisoned, mut killed, mut points) = (0u64, 0u64, 0u64, 0u64);
+    for point in results {
+        let (h, p, k, words) = point?;
+        healed += h;
+        poisoned += p;
+        killed += k;
+        points += 1;
+        digest_words.extend(words);
+    }
+    Ok(DataIntegrityOutcome {
+        points,
+        data_healed: healed,
+        data_poisoned: poisoned,
+        procs_killed: killed,
         digest: checksum64(&digest_words),
     })
 }

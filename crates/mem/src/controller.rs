@@ -20,7 +20,9 @@ use std::rc::Rc;
 
 use kindle_types::rng::Rng64;
 use kindle_types::sanitize::{self, Event};
-use kindle_types::{AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE};
+use kindle_types::{
+    checksum64, AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE,
+};
 
 use crate::config::MemConfig;
 use crate::dram::DramDevice;
@@ -61,6 +63,25 @@ impl PowerSwitch {
     }
 }
 
+/// Outcome of one [`MemoryController::patrol_frame`] read-verify pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatrolOutcome {
+    /// Every checksummed line of the frame verified.
+    Clean,
+    /// Mismatched lines were all reconstructed in place.
+    Healed {
+        /// Number of lines healed.
+        lines: u32,
+    },
+    /// At least one mismatched line could not be reconstructed; the frame
+    /// must leave service (retire, or poison its mappings).
+    Uncorrectable {
+        /// The unhealable line-base addresses (healed lines, if any, were
+        /// still fixed).
+        lines: Vec<u64>,
+    },
+}
+
 /// Hybrid DRAM + NVM memory controller. See the module docs.
 #[derive(Debug)]
 pub struct MemoryController {
@@ -94,6 +115,13 @@ pub struct MemoryController {
     last_now: Cycles,
     /// NVM media-fault model (wear-out, stuck cells), when configured.
     media: Option<MediaFaults>,
+    /// Reference checksum per NVM data line, keyed by line base address.
+    /// Recorded at store time over the *intended* bytes (before stuck
+    /// cells force their values into the image), so a mismatch on a later
+    /// read-verify means the stored copy no longer holds what was written.
+    /// Maintained only while a media-fault model is armed; like ECP
+    /// metadata it lives with the media and survives crashes.
+    nvm_sums: BTreeMap<u64, u64>,
     /// Frames whose NVM writes exhausted their retries, pending OS
     /// retirement; `failed_set` dedupes repeat offenders.
     failed_frames: Vec<u64>,
@@ -130,6 +158,7 @@ impl MemoryController {
             cut_pending: None,
             last_now: Cycles::ZERO,
             media,
+            nvm_sums: BTreeMap::new(),
             failed_frames: Vec::new(),
             failed_set: BTreeSet::new(),
             retry_limit: cfg.faults.as_ref().map_or(0, |f| f.retry_limit),
@@ -341,8 +370,38 @@ impl MemoryController {
             addr += chunk as u64;
         }
         if self.media.is_some() && self.layout.kind_of(pa) == Ok(MemKind::Nvm) {
+            // Checksum the intended bytes first: stuck cells then force
+            // their values into the image, so a line whose store was
+            // corrupted past the ECP budget mismatches its recorded sum —
+            // which is exactly what the patrol pass verifies.
+            let first = pa.line_base().as_u64();
+            let last = (pa.as_u64() + data.len().max(1) as u64 - 1) & !63;
+            let mut line = first;
+            while line <= last {
+                self.record_line_checksum(line);
+                line += 64;
+            }
             self.apply_stuck_cells(pa, data.len());
         }
+    }
+
+    /// Records the line's current stored content as its reference checksum
+    /// — the named integrity primitive [`patrol_frame`](Self::patrol_frame)
+    /// verifies against.
+    fn record_line_checksum(&mut self, line: u64) {
+        let sum = self.line_checksum(line);
+        self.nvm_sums.insert(line, sum);
+    }
+
+    /// Checksum of the line's current stored bytes (8 words, FNV-1a fold).
+    fn line_checksum(&self, line: u64) -> u64 {
+        let mut buf = [0u8; 64];
+        self.load_bytes(PhysAddr::new(line), &mut buf);
+        let mut words = [0u64; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("8-byte chunk"));
+        }
+        checksum64(&words)
     }
 
     /// Applies the stuck-cell model to every line of a store: when ECP
@@ -400,6 +459,131 @@ impl MemoryController {
             let b = &mut self.page_mut(pfn)[off];
             *b = if val { *b | mask } else { *b & !mask };
         }
+    }
+
+    /// Read-verifies every checksummed line of the NVM frame at
+    /// `frame_base` against its recorded sum — the DIMM-style patrol scrub
+    /// step. A mismatched line is flagged (`PatrolDetect`) and
+    /// reconstruction is attempted: the ECP path first covers the line's
+    /// stuck cells (retried up to the configured retry budget), then the
+    /// stuck positions are treated as erasures and the assignment matching
+    /// the recorded checksum is written back (`PatrolCorrect`). Lines that
+    /// cannot be reconstructed — ECP budget exhausted, or content torn at a
+    /// crash — are reported [`PatrolOutcome::Uncorrectable`].
+    pub fn patrol_frame(&mut self, frame_base: u64) -> PatrolOutcome {
+        let mut healed = 0u32;
+        let mut bad = Vec::new();
+        for i in 0..PAGE_SIZE / 64 {
+            let line = frame_base + (i * 64) as u64;
+            let Some(&want) = self.nvm_sums.get(&line) else {
+                continue;
+            };
+            if self.line_checksum(line) == want {
+                continue;
+            }
+            sanitize::emit(|| Event::PatrolDetect { line });
+            if self.try_heal_line(line, want) {
+                healed += 1;
+            } else {
+                bad.push(line);
+            }
+        }
+        if !bad.is_empty() {
+            PatrolOutcome::Uncorrectable { lines: bad }
+        } else if healed > 0 {
+            PatrolOutcome::Healed { lines: healed }
+        } else {
+            PatrolOutcome::Clean
+        }
+    }
+
+    /// One line of [`patrol_frame`](Self::patrol_frame): cover the line's
+    /// stuck cells through ECP (bounded retries), then erasure-decode the
+    /// stored bytes — every stuck position's bit is suspect, and with at
+    /// most [`crate::nvm::CELLS_PER_LINE`] of them the assignment matching
+    /// the recorded checksum identifies the intended content. Returns
+    /// `false` (line unhealable) when the ECP budget stays exhausted or no
+    /// assignment matches (the line was torn, not stuck).
+    fn try_heal_line(&mut self, line: u64, want: u64) -> bool {
+        let retries = self.retry_limit;
+        let Some(media) = self.media.as_mut() else {
+            return false;
+        };
+        if !media.correction_enabled() {
+            return false;
+        }
+        let mut covered = false;
+        for _ in 0..=retries {
+            match media.correct_line(line) {
+                CorrectionOutcome::Exhausted { .. } => continue,
+                _ => {
+                    covered = true;
+                    break;
+                }
+            }
+        }
+        if !covered {
+            return false;
+        }
+        let cells = media.stuck_cells_in_line(line);
+        let mut image = [0u8; 64];
+        self.load_bytes(PhysAddr::new(line), &mut image);
+        'assign: for mask in 0u32..1 << cells.len() {
+            let mut candidate = image;
+            for (i, &(bit, _)) in cells.iter().enumerate() {
+                let byte = (bit / 8) as usize;
+                let m = 1u8 << (bit % 8);
+                if mask & (1 << i) != 0 {
+                    candidate[byte] |= m;
+                } else {
+                    candidate[byte] &= !m;
+                }
+            }
+            let mut words = [0u64; 8];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(candidate[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+            }
+            if checksum64(&words) != want {
+                continue 'assign;
+            }
+            let pfn = line >> PAGE_SHIFT;
+            let off = (line & (PAGE_SIZE as u64 - 1)) as usize;
+            self.page_mut(pfn)[off..off + 64].copy_from_slice(&candidate);
+            sanitize::emit(|| Event::PatrolCorrect { line });
+            return true;
+        }
+        false
+    }
+
+    /// Directed injection: simulates retention drift flipping one stored
+    /// bit of an NVM line. The flipped position is registered as a stuck
+    /// cell (so a later ECP pass can cover it), the stored image is
+    /// corrupted in place, and the line is flagged (`ScrubDetect`) — but
+    /// unlike a write-time exhaustion nothing is queued for retirement:
+    /// discovering the damage is the patrol pass's job. Returns `false`
+    /// outside the armed NVM fault range or when the line's stuck-cell
+    /// slots are full.
+    pub fn degrade_line_bit(&mut self, line: u64, bit: u32) -> bool {
+        let line = line & !63;
+        if self.layout.kind_of(PhysAddr::new(line)) != Ok(MemKind::Nvm) {
+            return false;
+        }
+        let byte_addr = line + u64::from(bit / 8);
+        let pfn = byte_addr >> PAGE_SHIFT;
+        let off = (byte_addr & (PAGE_SIZE as u64 - 1)) as usize;
+        let mask = 1u8 << (bit % 8);
+        let cur_set = self.page_ref(pfn).is_some_and(|p| p[off] & mask != 0);
+        let stuck_val = !cur_set;
+        let Some(media) = self.media.as_mut() else {
+            return false;
+        };
+        if !media.add_stuck_cell(line, bit, stuck_val) {
+            return false;
+        }
+        sanitize::emit(|| Event::ScrubDetect { line });
+        let b = &mut self.page_mut(pfn)[off];
+        *b = if stuck_val { *b | mask } else { *b & !mask };
+        true
     }
 
     /// Marks the cache line containing `pa` durable (write-back reached the
@@ -474,7 +658,7 @@ impl MemoryController {
         self.nvm_lines_torn_on_crash = 0;
         let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
         for (line, snap) in undo {
-            self.restore_line(line, &snap);
+            self.restore_line(line, &snap, true);
         }
         self.power_off_cleanup();
     }
@@ -497,7 +681,7 @@ impl MemoryController {
         let mut lost = self.nvm_undo.len() as u64;
         let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
         for (line, snap) in undo {
-            self.restore_line(line, &snap);
+            self.restore_line(line, &snap, true);
         }
 
         // 2. Write-buffer contents: the oldest `banks` entries are
@@ -517,12 +701,15 @@ impl MemoryController {
                 let mut cur = [0u8; 64];
                 self.load_bytes(PhysAddr::new(line), &mut cur);
                 cur[split * 8..].copy_from_slice(&snap[split * 8..]);
-                self.restore_line(line, &cur);
+                // No rehash: a torn mix of old and new words is honest data
+                // loss, and keeping the new value's checksum lets the
+                // patrol pass detect it after recovery.
+                self.restore_line(line, &cur, split == 8);
                 if split < 8 {
                     torn += 1;
                 }
             } else {
-                self.restore_line(line, &snap);
+                self.restore_line(line, &snap, true);
                 lost += 1;
             }
         }
@@ -531,13 +718,21 @@ impl MemoryController {
         self.power_off_cleanup();
     }
 
-    /// Writes a line image directly, bypassing undo tracking.
-    fn restore_line(&mut self, line: u64, image: &[u8; 64]) {
+    /// Writes a line image directly, bypassing undo tracking. With `rehash`
+    /// the line's reference checksum is recomputed from the restored image
+    /// (a rollback to the old durable value is valid data, not corruption);
+    /// without it a stale checksum is kept deliberately — a torn line is
+    /// real data loss and the patrol pass must be able to flag it.
+    fn restore_line(&mut self, line: u64, image: &[u8; 64], rehash: bool) {
         let pfn = line >> PAGE_SHIFT;
         let off = (line & (PAGE_SIZE as u64 - 1)) as usize;
         // check:allow KD009: crash rollback restores the durable image; the
         // callers emit Event::Crash and the sanitizer resets write tracking.
         self.page_mut(pfn)[off..off + 64].copy_from_slice(image);
+        if rehash && self.nvm_sums.contains_key(&line) {
+            // check:allow KD009: same crash-rollback context as above.
+            self.record_line_checksum(line);
+        }
     }
 
     /// Shared tail of both crash flavours: wipe DRAM, reset devices and
@@ -914,6 +1109,139 @@ mod tests {
         let b = mru_workload(&mut slow, dram_pa, nvm_pa);
         assert_eq!(a, b, "MRU cache must not change any observable byte");
         assert_eq!(fast.stats(), slow.stats(), "nor any statistic");
+    }
+
+    /// Controller with a media-fault model armed but no random faults:
+    /// stuck cells are placed by the test (via `degrade_line_bit`).
+    fn mc_with_media(correction_entries: u32) -> (MemoryController, PhysAddr) {
+        let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+        cfg.faults = Some(MediaFaultConfig {
+            stuck_cells: 0,
+            wear_limit: 0,
+            correction_entries,
+            ..MediaFaultConfig::with_seed(11)
+        });
+        let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x3000;
+        (MemoryController::new(&cfg), nvm_pa)
+    }
+
+    #[test]
+    fn patrol_heals_degraded_line_within_budget() {
+        let (mut m, pa) = mc_with_media(2);
+        m.store_bytes(pa, &[0x5au8; 64]);
+        m.commit_line(pa);
+        assert!(m.degrade_line_bit(pa.as_u64(), 3));
+        let mut buf = [0u8; 64];
+        m.load_bytes(pa, &mut buf);
+        assert_ne!(buf, [0x5au8; 64], "degrade must corrupt the stored copy");
+        assert_eq!(m.patrol_frame(pa.as_u64()), PatrolOutcome::Healed { lines: 1 });
+        m.load_bytes(pa, &mut buf);
+        assert_eq!(buf, [0x5au8; 64], "healed line reads byte-identical");
+        assert_eq!(m.patrol_frame(pa.as_u64()), PatrolOutcome::Clean);
+    }
+
+    #[test]
+    fn patrol_heals_multiple_degraded_bits_per_line() {
+        let (mut m, pa) = mc_with_media(4);
+        let data: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x39).collect();
+        m.store_bytes(pa, &data);
+        m.commit_line(pa);
+        for bit in [5, 200, 411] {
+            assert!(m.degrade_line_bit(pa.as_u64(), bit));
+        }
+        assert_eq!(m.patrol_frame(pa.as_u64()), PatrolOutcome::Healed { lines: 1 });
+        let mut buf = vec![0u8; 64];
+        m.load_bytes(pa, &mut buf);
+        assert_eq!(buf, data, "erasure decode over three suspect bits");
+    }
+
+    #[test]
+    fn patrol_without_budget_reports_uncorrectable() {
+        let (mut m, pa) = mc_with_media(0);
+        m.store_bytes(pa, &[0x11u8; 64]);
+        m.commit_line(pa);
+        assert!(m.degrade_line_bit(pa.as_u64(), 7));
+        assert_eq!(
+            m.patrol_frame(pa.as_u64()),
+            PatrolOutcome::Uncorrectable { lines: vec![pa.as_u64()] }
+        );
+    }
+
+    #[test]
+    fn patrol_is_clean_on_untouched_frames() {
+        let (mut m, pa) = mc_with_media(2);
+        assert_eq!(m.patrol_frame(pa.as_u64()), PatrolOutcome::Clean);
+        m.store_bytes(pa, &[9u8; 64]);
+        assert_eq!(m.patrol_frame(pa.as_u64()), PatrolOutcome::Clean);
+    }
+
+    #[test]
+    fn degrade_refuses_dram_and_unarmed_media() {
+        let (mut m, pa) = mc_with_media(2);
+        assert!(!m.degrade_line_bit(0x1000, 0), "DRAM lines never degrade");
+        let _ = pa;
+        let (mut plain, _, nvm_pa) = mc();
+        assert!(!plain.degrade_line_bit(nvm_pa.as_u64(), 0), "needs an armed fault model");
+    }
+
+    #[test]
+    fn crash_rollback_rehashes_checksums() {
+        // Satellite coverage: a crash must rebuild (not keep stale)
+        // integrity state for rolled-back lines, mirroring the
+        // failed_frames/failed_set clearing in power_off_cleanup.
+        let (mut m, pa) = mc_with_media(2);
+        m.store_bytes(pa, &[0xaau8; 64]);
+        m.commit_line(pa);
+        m.store_bytes(pa, &[0xbbu8; 64]); // dirty, never committed
+        m.crash();
+        let mut buf = [0u8; 64];
+        m.load_bytes(pa, &mut buf);
+        assert_eq!(buf, [0xaau8; 64]);
+        assert_eq!(
+            m.patrol_frame(pa.as_u64()),
+            PatrolOutcome::Clean,
+            "a rolled-back line holds valid old data, not corruption"
+        );
+    }
+
+    #[test]
+    fn committed_corruption_survives_crash_and_is_detected() {
+        let (mut m, pa) = mc_with_media(0);
+        m.store_bytes(pa, &[0x33u8; 64]);
+        m.commit_line(pa);
+        assert!(m.degrade_line_bit(pa.as_u64(), 100));
+        m.crash();
+        assert_eq!(
+            m.patrol_frame(pa.as_u64()),
+            PatrolOutcome::Uncorrectable { lines: vec![pa.as_u64()] },
+            "checksums persist with the media across a crash"
+        );
+    }
+
+    #[test]
+    fn torn_line_keeps_stale_checksum_for_patrol() {
+        for seed in 0..64u64 {
+            let (mut m, pa) = mc_with_media(2);
+            m.arm_power_cut(PowerSwitch::new());
+            m.store_bytes(pa, &[0x11u8; 64]);
+            m.commit_line(pa);
+            m.nvm_drain_latency(Cycles::from_millis(1)); // old durable: 0x11
+            m.store_bytes(pa, &[0x22u8; 64]);
+            m.commit_line(pa);
+            m.access(pa, AccessKind::Write, Cycles::from_millis(1));
+            let mut rng = Rng64::new(seed);
+            m.crash_torn(&mut rng);
+            if m.stats().nvm_lines_torn_on_crash == 0 {
+                continue; // this seed landed the full line; try the next
+            }
+            assert_eq!(
+                m.patrol_frame(pa.as_u64()),
+                PatrolOutcome::Uncorrectable { lines: vec![pa.as_u64()] },
+                "a torn line is real data loss and must stay detectable"
+            );
+            return;
+        }
+        panic!("no seed in 0..64 tore the buffered line");
     }
 
     #[test]

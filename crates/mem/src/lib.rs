@@ -29,7 +29,7 @@ pub mod nvm;
 pub mod stats;
 
 pub use config::{DramConfig, MediaFaultConfig, MemConfig, NvmConfig};
-pub use controller::{MemoryController, PowerSwitch};
+pub use controller::{MemoryController, PatrolOutcome, PowerSwitch};
 pub use dram::DramDevice;
 pub use e820::{E820Entry, E820Map};
 pub use nvm::{

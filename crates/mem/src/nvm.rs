@@ -377,6 +377,17 @@ impl MediaFaults {
         Some(decode_cells(e).skip(healed).collect())
     }
 
+    /// Every stuck cell in `line` (healed or not), in slot order, without
+    /// counting a stuck write. Patrol scrub uses the positions as erasures
+    /// when reconstructing a checksum-mismatched line: any stuck position's
+    /// stored bit is suspect, whether or not ECP covers it today.
+    pub fn stuck_cells_in_line(&self, line: u64) -> Vec<(u32, bool)> {
+        match self.line_index(line) {
+            Some(idx) => decode_cells(self.stuck.get(idx)).collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Asks the ECP layer to cover every stuck cell in `line`: correction
     /// entries are allocated (within the per-line budget) for cells not
     /// already healed. An allocation is permanent — the entry replaces the
@@ -608,6 +619,19 @@ mod tests {
         assert_eq!(m.uncorrected_stuck_in_line(line), Some(vec![]), "every cell healed");
         assert!(m.stats().corrections_allocated >= 1);
         assert_eq!(m.correct_line(1 << 19 | 0x3f << 6), CorrectionOutcome::Clean);
+    }
+
+    #[test]
+    fn stuck_cells_in_line_is_a_pure_query() {
+        let cfg = MediaFaultConfig { correction_entries: 2, ..MediaFaultConfig::with_seed(3) };
+        let mut m = MediaFaults::new(cfg, 0, 1 << 20);
+        let (line, cell) = m.stuck_cells()[0];
+        assert!(m.stuck_cells_in_line(line).contains(&cell));
+        assert_eq!(m.stats().stuck_line_writes, 0, "query must not count a stuck write");
+        // Healed cells stay visible: their stored bits remain suspect.
+        m.correct_line(line);
+        assert!(m.stuck_cells_in_line(line).contains(&cell));
+        assert!(m.stuck_cells_in_line(1 << 19 | 0x3f << 6).is_empty());
     }
 
     #[test]

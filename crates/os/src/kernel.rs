@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use kindle_mem::E820Map;
-use kindle_types::sanitize::{self, Event};
+use kindle_types::sanitize::{self, Event, KillReason};
 use kindle_types::{
     checksum64, AccessKind, Cycles, KindleError, MapFlags, MemKind, Pfn, PhysMem, Prot, Pte,
     Result, VirtAddr, Vpn, CACHE_LINE, LINES_PER_PAGE, PAGE_SIZE,
@@ -77,6 +77,10 @@ pub struct KernelStats {
     pub frames_retired: u64,
     /// Retired frames that were live page tables (relocated, not remapped).
     pub pt_frames_retired: u64,
+    /// Mapped pages poisoned because their frame was uncorrectable.
+    pub pages_poisoned: u64,
+    /// Processes killed after touching poisoned memory.
+    pub procs_killed: u64,
 }
 
 /// What retiring a failing NVM frame did (see [`Kernel::retire_nvm_frame`]).
@@ -104,6 +108,26 @@ pub enum RetireOutcome {
     TableRelocated {
         /// Process whose address space was restructured.
         pid: u32,
+    },
+}
+
+/// What [`Kernel::poison_or_retire_frame`] did with an *uncorrectable*
+/// NVM frame — one whose content is already lost, so the content-copying
+/// remap in [`RetireOutcome::Remapped`] is not an option.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityOutcome {
+    /// The frame held no user data (unmapped, outside the pool, or a live
+    /// page table whose intended entries the shadow metadata preserves):
+    /// the existing retirement path applied.
+    Retired(RetireOutcome),
+    /// The frame backed a mapped user page. Its PTE was poisoned and the
+    /// owning process killed rather than ever serving corrupt bytes. The
+    /// caller must flush `pid`'s cached translations.
+    Poisoned {
+        /// Process that was killed with [`KillReason::MemoryPoison`].
+        pid: u32,
+        /// Virtual page that was backed by the lost frame.
+        vpn: Vpn,
     },
 }
 
@@ -588,25 +612,11 @@ impl Kernel {
         mem.advance(Cycles::new(self.costs.frame_retire_op));
         // A live table frame never shows up as a leaf mapping: route it to
         // the relocation path before the leaf-owner scan below.
-        if let Some(pid) =
-            self.procs.iter().find(|(_, p)| p.aspace.owns_table_frame(pfn)).map(|(&pid, _)| pid)
-        {
+        if let Some(pid) = self.table_frame_owner(pfn) {
             self.retire_pt_frame(mem, pid, pfn)?;
             return Ok(RetireOutcome::TableRelocated { pid });
         }
-        // Find the (single) mapping of the failing frame, if any.
-        let mut owner: Option<(u32, Vpn, Pte)> = None;
-        for (&pid, proc) in &self.procs {
-            proc.aspace.for_each_leaf(mem, |_, vpn, pte: Pte, _| {
-                if pte.pfn() == pfn && owner.is_none() {
-                    owner = Some((pid, vpn, pte));
-                }
-            });
-            if owner.is_some() {
-                break;
-            }
-        }
-        let Some((pid, vpn, pte)) = owner else {
+        let Some((pid, vpn, pte)) = self.leaf_frame_owner(mem, pfn) else {
             // Unmapped: just take it out of circulation.
             self.pools.nvm.retire(mem, pfn);
             self.stats.frames_retired += 1;
@@ -643,6 +653,106 @@ impl Kernel {
         self.stats.frames_retired += 1;
         self.stats.pt_frames_retired += 1;
         sanitize::emit(|| Event::ScrubRetire { pfn: pfn.as_u64() });
+        Ok(())
+    }
+
+    /// Pid whose address space uses `pfn` as a page-*table* frame, if any.
+    /// Patrold skips these: scrubd's shadow verify both detects and repairs
+    /// table corruption, which a content checksum alone cannot.
+    pub fn table_frame_owner(&self, pfn: Pfn) -> Option<u32> {
+        self.procs.iter().find(|(_, p)| p.aspace.owns_table_frame(pfn)).map(|(&pid, _)| pid)
+    }
+
+    /// The (single) leaf mapping of `pfn` across all processes, if any.
+    fn leaf_frame_owner(&self, mem: &mut dyn PhysMem, pfn: Pfn) -> Option<(u32, Vpn, Pte)> {
+        let mut owner: Option<(u32, Vpn, Pte)> = None;
+        for (&pid, proc) in &self.procs {
+            proc.aspace.for_each_leaf(mem, |_, vpn, pte: Pte, _| {
+                if pte.pfn() == pfn && owner.is_none() {
+                    owner = Some((pid, vpn, pte));
+                }
+            });
+            if owner.is_some() {
+                break;
+            }
+        }
+        owner
+    }
+
+    /// Degrades gracefully on an *uncorrectable* NVM frame — one the patrol
+    /// pass could not heal, meaning its stored bytes no longer match what
+    /// the application wrote. Unlike [`retire_nvm_frame`], the content
+    /// cannot be copied out: a mapped page is marked [`Pte::POISONED`] (so
+    /// any future walk faults instead of returning bytes) and the owning
+    /// process is killed; an unmapped or table-owned frame takes the
+    /// existing retirement paths. The caller must shoot down cached
+    /// translations for a poisoned or relocated scope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM pool exhaustion while relocating a table frame, and
+    /// page-walk errors while poisoning the mapping.
+    ///
+    /// [`retire_nvm_frame`]: Self::retire_nvm_frame
+    pub fn poison_or_retire_frame(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pfn: Pfn,
+    ) -> Result<IntegrityOutcome> {
+        if !self.pools.nvm.inner().contains(pfn) {
+            return Ok(IntegrityOutcome::Retired(RetireOutcome::Quarantined));
+        }
+        mem.advance(Cycles::new(self.costs.frame_retire_op));
+        // Table frames keep their intended entries in shadow metadata, so
+        // relocation loses nothing even when the stored copy is corrupt.
+        if let Some(pid) = self.table_frame_owner(pfn) {
+            self.retire_pt_frame(mem, pid, pfn)?;
+            return Ok(IntegrityOutcome::Retired(RetireOutcome::TableRelocated { pid }));
+        }
+        let Some((pid, vpn, _)) = self.leaf_frame_owner(mem, pfn) else {
+            // Unmapped: nobody can observe the lost content. Quarantine.
+            self.pools.nvm.retire(mem, pfn);
+            self.stats.frames_retired += 1;
+            return Ok(IntegrityOutcome::Retired(RetireOutcome::Quarantined));
+        };
+        let va = vpn_va(vpn);
+        let proc = self.procs.get_mut(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        proc.aspace.update_leaf(mem, &self.costs, va, |pte| pte.with_flags(Pte::POISONED))?;
+        self.stats.pages_poisoned += 1;
+        sanitize::emit(|| Event::PagePoison { pfn: pfn.as_u64(), vpn: vpn.as_u64() });
+        self.kill_process(mem, pid, KillReason::MemoryPoison)?;
+        Ok(IntegrityOutcome::Poisoned { pid, vpn })
+    }
+
+    /// Kills a process with a SIGBUS-style `reason`: like
+    /// [`destroy_process`](Self::destroy_process), but frames behind
+    /// poisoned PTEs are *retired*, never returned to the free pool — their
+    /// media is unhealable and must not back a future allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`KindleError::NoSuchProcess`] for unknown pids.
+    pub fn kill_process(
+        &mut self,
+        mem: &mut dyn PhysMem,
+        pid: u32,
+        reason: KillReason,
+    ) -> Result<()> {
+        let mut proc = self.procs.remove(&pid).ok_or(KindleError::NoSuchProcess(pid))?;
+        let mut leaves = Vec::new();
+        proc.aspace.for_each_leaf(mem, |_, vpn, pte: Pte, _| leaves.push((vpn, pte)));
+        for (vpn, pte) in leaves {
+            proc.aspace.unmap(mem, &mut self.pools, &self.costs, vpn_va(vpn))?;
+            if pte.is_poisoned() {
+                self.pools.nvm.retire(mem, pte.pfn());
+                self.stats.frames_retired += 1;
+            } else {
+                self.pools.free(mem, pte.pfn());
+            }
+        }
+        proc.aspace.destroy(mem, &mut self.pools);
+        self.stats.procs_killed += 1;
+        sanitize::emit(|| Event::ProcessKilled { pid, reason });
         Ok(())
     }
 
@@ -1129,5 +1239,77 @@ mod tests {
         assert_eq!(k.pools.nvm.used(), nvm_used);
         assert!(k.process(pid2).is_err());
         let _ = pid;
+    }
+
+    #[test]
+    fn poisoning_mapped_frame_kills_owner_and_retires_frame() {
+        let (mut mem, mut k, pid) = boot();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                2 * PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        let pfn = k.translate(&mut mem, pid, va).unwrap().unwrap().pfn();
+        let other = k.translate(&mut mem, pid, va + PAGE_SIZE as u64).unwrap().unwrap().pfn();
+
+        let out = k.poison_or_retire_frame(&mut mem, pfn).unwrap();
+        let vpn = Vpn::new(va.as_u64() >> kindle_types::PAGE_SHIFT);
+        assert_eq!(out, IntegrityOutcome::Poisoned { pid, vpn });
+        assert!(k.process(pid).is_err(), "owner killed, not left running");
+        assert!(k.pools.nvm.is_allocated(pfn), "poisoned frame never re-enters the pool");
+        assert!(!k.pools.nvm.is_allocated(other), "the process's healthy frames were freed");
+        assert_eq!(k.stats().pages_poisoned, 1);
+        assert_eq!(k.stats().procs_killed, 1);
+        assert_eq!(k.stats().frames_retired, 1, "only the poisoned frame was retired");
+
+        // The retired frame must never be handed out again.
+        for _ in 0..32 {
+            assert_ne!(k.pools.nvm.alloc(&mut mem).unwrap(), pfn);
+        }
+    }
+
+    #[test]
+    fn poisoning_unmapped_frame_quarantines_in_place() {
+        let (mut mem, mut k, pid) = boot();
+        let pfn = k.pools.nvm.alloc(&mut mem).unwrap();
+        let out = k.poison_or_retire_frame(&mut mem, pfn).unwrap();
+        assert_eq!(out, IntegrityOutcome::Retired(RetireOutcome::Quarantined));
+        assert!(k.pools.nvm.is_allocated(pfn));
+        assert!(k.process(pid).is_ok(), "no mapping, so nobody dies");
+        assert_eq!(k.stats().pages_poisoned, 0);
+        assert_eq!(k.stats().frames_retired, 1);
+    }
+
+    #[test]
+    fn poisoning_table_frame_relocates_instead_of_killing() {
+        let (mut mem, mut k, pid) = boot_persistent();
+        let va = k
+            .sys_mmap(
+                &mut mem,
+                pid,
+                None,
+                PAGE_SIZE as u64,
+                Prot::RW,
+                MapFlags::NVM | MapFlags::POPULATE,
+            )
+            .unwrap();
+        let root = k.process(pid).unwrap().aspace.root();
+        let out = k.poison_or_retire_frame(&mut mem, root).unwrap();
+        assert_eq!(out, IntegrityOutcome::Retired(RetireOutcome::TableRelocated { pid }));
+        assert!(k.process(pid).is_ok(), "shadow metadata preserved the table: no kill");
+        assert!(k.translate(&mut mem, pid, va).unwrap().is_some());
+        assert_eq!(k.stats().procs_killed, 0);
+    }
+
+    #[test]
+    fn kill_process_rejects_unknown_pid() {
+        let (mut mem, mut k, _pid) = boot();
+        let err = k.kill_process(&mut mem, 999, KillReason::MemoryPoison).unwrap_err();
+        assert!(matches!(err, KindleError::NoSuchProcess(999)));
     }
 }

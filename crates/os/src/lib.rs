@@ -47,11 +47,16 @@ pub mod vma;
 
 pub use costs::KernelCosts;
 pub use frame::{FrameAllocator, FramePools, PersistentFrameAllocator};
-pub use kernel::{Kernel, KernelConfig, KernelStats, RetireOutcome, UnmapOutcome};
+pub use kernel::{
+    IntegrityOutcome, Kernel, KernelConfig, KernelStats, RetireOutcome, UnmapOutcome,
+};
 pub use layout::{NvmLayout, Region};
 pub use meta::MetaRecord;
 pub use pagetable::{AddressSpace, PtMode};
 pub use process::{ProcState, Process};
 pub use sched::{DaemonKind, KThread, KThreadKind, Scheduler, ThreadState};
-pub use scrub::{ScrubPassOutcome, ScrubState, ScrubStats};
+pub use scrub::{
+    PatrolPassOutcome, PatrolState, PatrolStats, ScrubPassOutcome, ScrubState, ScrubStats,
+    PATROL_BATCH_FRAMES,
+};
 pub use vma::{Vma, VmaList};

@@ -31,6 +31,9 @@ pub enum KThreadKind {
     MigrationDaemon,
     /// Background NVM page-table scrub daemon (read-verifies PT frames).
     ScrubDaemon,
+    /// Background NVM data-frame patrol daemon (checksum-verifies the
+    /// general pool, heals through ECP or poisons the page).
+    PatrolDaemon,
 }
 
 /// A background kernel service that experiments can opt in through
@@ -47,6 +50,8 @@ pub enum DaemonKind {
     Migration,
     /// `scrubd`: periodic NVM page-table scrub/verify passes.
     Scrub,
+    /// `patrold`: periodic data-frame patrol over the general NVM pool.
+    Patrol,
 }
 
 /// Run state of a simulated kernel thread.

@@ -64,10 +64,19 @@ pub struct MachineConfig {
     /// read-verify against the kernel's shadow metadata (usually set via
     /// [`MachineConfig::with_daemon`]).
     pub scrub_interval: Option<Cycles>,
+    /// Patrol daemon schedule: `Some(interval)` arms periodic checksum
+    /// verification of general-pool NVM data frames (usually set via
+    /// [`MachineConfig::with_daemon`]).
+    pub patrol_interval: Option<Cycles>,
 }
 
 /// Default scrubd period (one pass per simulated millisecond).
 pub const DEFAULT_SCRUB_INTERVAL: Cycles = Cycles::from_millis(1);
+
+/// Default patrold period. Each batch verifies a bounded slice of the pool
+/// (`kindle_os::PATROL_BATCH_FRAMES`), so the period is shorter than
+/// scrubd's whole-table pass.
+pub const DEFAULT_PATROL_INTERVAL: Cycles = Cycles::from_micros(250);
 
 impl MachineConfig {
     /// Full-size machine: 3 GB DRAM + 2 GB NVM, no prototype engines.
@@ -85,6 +94,7 @@ impl MachineConfig {
             kthreads: false,
             daemons: vec![DaemonKind::Checkpoint, DaemonKind::Migration],
             scrub_interval: None,
+            patrol_interval: None,
         }
     }
 
@@ -140,14 +150,17 @@ impl MachineConfig {
     }
 
     /// Adds a background daemon to the registry. Adding
-    /// [`DaemonKind::Scrub`] also arms the scrub engine at
-    /// [`DEFAULT_SCRUB_INTERVAL`] unless an interval is already set.
+    /// [`DaemonKind::Scrub`] or [`DaemonKind::Patrol`] also arms that
+    /// engine at its default interval unless one is already set.
     pub fn with_daemon(mut self, kind: DaemonKind) -> Self {
         if !self.daemons.contains(&kind) {
             self.daemons.push(kind);
         }
         if kind == DaemonKind::Scrub && self.scrub_interval.is_none() {
             self.scrub_interval = Some(DEFAULT_SCRUB_INTERVAL);
+        }
+        if kind == DaemonKind::Patrol && self.patrol_interval.is_none() {
+            self.patrol_interval = Some(DEFAULT_PATROL_INTERVAL);
         }
         self
     }
@@ -156,6 +169,12 @@ impl MachineConfig {
     pub fn with_scrub_interval(mut self, interval: Cycles) -> Self {
         self.scrub_interval = Some(interval);
         self.with_daemon(DaemonKind::Scrub)
+    }
+
+    /// Arms the patrol daemon with an explicit batch interval.
+    pub fn with_patrol_interval(mut self, interval: Cycles) -> Self {
+        self.patrol_interval = Some(interval);
+        self.with_daemon(DaemonKind::Patrol)
     }
 }
 

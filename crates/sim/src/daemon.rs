@@ -64,6 +64,7 @@ pub fn builtin(kind: DaemonKind) -> Rc<dyn KernelDaemon> {
         DaemonKind::Checkpoint => Rc::new(CheckpointDaemon),
         DaemonKind::Migration => Rc::new(MigrationDaemon),
         DaemonKind::Scrub => Rc::new(ScrubDaemon),
+        DaemonKind::Patrol => Rc::new(PatrolDaemon),
     }
 }
 
@@ -181,6 +182,48 @@ impl KernelDaemon for ScrubDaemon {
         m.drain_meta()?;
         let now = m.now();
         if let Some(state) = m.scrub.as_mut() {
+            state.complete_pass(now, &outcome);
+        }
+        Ok(())
+    }
+}
+
+/// `patrold`: data-frame checksum patrol over the general NVM pool.
+#[derive(Clone, Copy, Debug)]
+pub struct PatrolDaemon;
+
+impl KernelDaemon for PatrolDaemon {
+    fn name(&self) -> &'static str {
+        "patrold"
+    }
+
+    fn thread_kind(&self) -> KThreadKind {
+        KThreadKind::PatrolDaemon
+    }
+
+    fn enabled(&self, m: &Machine) -> bool {
+        m.patrol.is_some()
+    }
+
+    fn due(&self, m: &Machine) -> bool {
+        m.patrol.as_ref().is_some_and(|s| s.due(m.now()))
+    }
+
+    fn run(&self, m: &mut Machine, _pid: u32) -> Result<()> {
+        if m.patrol.is_none() {
+            return Ok(());
+        }
+        let prev = m.hw.set_activity(Activity::Os);
+        let outcome = m.patrol_data_frames();
+        m.hw.set_activity(prev);
+        let outcome = outcome?;
+        for &owner in &outcome.killed {
+            // The owner died with translations still cached.
+            m.flush_process_tlb(owner)?;
+        }
+        m.drain_meta()?;
+        let now = m.now();
+        if let Some(state) = m.patrol.as_mut() {
             state.complete_pass(now, &outcome);
         }
         Ok(())

@@ -33,9 +33,9 @@ pub mod report;
 
 pub use config::{
     set_thread_media_faults, thread_media_faults, CheckpointSetup, MachineConfig,
-    DEFAULT_SCRUB_INTERVAL,
+    DEFAULT_PATROL_INTERVAL, DEFAULT_SCRUB_INTERVAL,
 };
-pub use daemon::{CheckpointDaemon, KernelDaemon, MigrationDaemon, ScrubDaemon};
+pub use daemon::{CheckpointDaemon, KernelDaemon, MigrationDaemon, PatrolDaemon, ScrubDaemon};
 pub use hw::Hw;
 pub use machine::{Machine, ReplayOptions, ReplayReport};
 pub use report::SimReport;

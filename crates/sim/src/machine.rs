@@ -4,9 +4,10 @@ use std::rc::Rc;
 
 use kindle_cpu::Activity;
 use kindle_hscc::HsccEngine;
-use kindle_mem::PowerSwitch;
+use kindle_mem::{PatrolOutcome, PowerSwitch};
 use kindle_os::{
-    DaemonKind, KThreadKind, Kernel, KernelConfig, RetireOutcome, ScrubState, UnmapOutcome,
+    DaemonKind, IntegrityOutcome, KThreadKind, Kernel, KernelConfig, PatrolPassOutcome,
+    PatrolState, RetireOutcome, ScrubState, UnmapOutcome, PATROL_BATCH_FRAMES,
 };
 use kindle_persist::{recover_all, CheckpointEngine, RecoveryReport};
 use kindle_ssp::SspEngine;
@@ -81,6 +82,9 @@ pub struct Machine {
     pub hscc: Option<HsccEngine>,
     /// Scrub daemon engine state (schedule + counters), when configured.
     pub scrub: Option<ScrubState>,
+    /// Patrol daemon engine state (schedule + pool cursor + counters),
+    /// when configured.
+    pub patrol: Option<PatrolState>,
     tlb_shootdowns: u64,
     /// Process whose translations currently occupy the TLB (no ASIDs, as
     /// in gemOS: a context switch flushes).
@@ -118,6 +122,7 @@ impl Machine {
             None => None,
         };
         let scrub = cfg.scrub_interval.map(ScrubState::new);
+        let patrol = cfg.patrol_interval.map(PatrolState::new);
         let mut m = Machine {
             hw,
             tlb: TwoLevelTlb::new(&cfg.tlb),
@@ -129,6 +134,7 @@ impl Machine {
             hscc,
             cfg,
             scrub,
+            patrol,
             tlb_shootdowns: 0,
             active_pid: None,
             daemons: Vec::new(),
@@ -490,6 +496,11 @@ impl Machine {
             None => info.pfn,
         };
         let line_pa = target_pfn.base() + (line_idx * CACHE_LINE) as u64;
+        // Tell the sanitizer which NVM lines the application observes, so
+        // it can prove no read ever consumed a known-corrupt line.
+        if !kind.is_write() && info.mem_kind == MemKind::Nvm {
+            sanitize::emit(|| sanitize::Event::DataLineRead { line: line_pa.as_u64() });
+        }
         let out = self.hw.access_line(line_pa, kind);
 
         // 5. SSP bookkeeping for routed writes.
@@ -551,6 +562,11 @@ impl Machine {
         };
 
         let pte = outcome.pte;
+        // A poisoned mapping must never be cached or served: the frame
+        // under it lost its content to an uncorrectable media fault.
+        if pte.is_poisoned() {
+            return Err(KindleError::PagePoisoned(va));
+        }
         let mut entry = TlbEntry::new(vpn, pte.pfn(), pte.is_writable(), pte.mem_kind())
             .with_pte_pa(outcome.pte_pa);
         entry.dirty = pte.is_dirty();
@@ -599,6 +615,72 @@ impl Machine {
         Ok(())
     }
 
+    /// One patrold batch: walks up to [`PATROL_BATCH_FRAMES`] allocated
+    /// general-pool NVM frames from the engine's cursor (wrapping at the
+    /// pool end) and checksum-verifies each against the controller's
+    /// store-time sums. A mismatching line is healed through the ECP
+    /// erasure decode when possible; a frame that stays corrupt is lost
+    /// data, and the kernel poisons its mapping (killing the owner) or
+    /// quarantines it when unmapped. Page-table frames are skipped —
+    /// scrubd's shadow verify both detects *and repairs* those.
+    ///
+    /// The caller (normally the `patrold` daemon) must flush cached
+    /// translations for every pid in the outcome's `killed` list and fold
+    /// the outcome into [`Machine::patrol`] via `complete_pass`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel failures while poisoning or retiring a frame.
+    pub fn patrol_data_frames(&mut self) -> Result<PatrolPassOutcome> {
+        let mut out = PatrolPassOutcome::default();
+        let Some(state) = self.patrol.as_ref() else {
+            return Ok(out);
+        };
+        let pool_start = self.kernel.pools.nvm.inner().start();
+        let capacity = self.kernel.pools.nvm.inner().capacity();
+        if capacity == 0 {
+            return Ok(out);
+        }
+        let mut cursor = state.cursor() % capacity;
+        // Walk the pfn space from the cursor, wrapping at most once, and
+        // verify at most one batch of allocated data frames.
+        let mut scanned = 0;
+        while scanned < capacity && out.frames_checked < PATROL_BATCH_FRAMES {
+            let pfn = pool_start + cursor;
+            cursor = (cursor + 1) % capacity;
+            scanned += 1;
+            if !self.kernel.pools.nvm.is_allocated(pfn)
+                || self.kernel.table_frame_owner(pfn).is_some()
+            {
+                continue;
+            }
+            out.frames_checked += 1;
+            self.hw.advance(Cycles::new(self.kernel.costs.scrub_frame_op));
+            match self.hw.mc.patrol_frame(pfn.base().as_u64()) {
+                PatrolOutcome::Clean => out.frames_clean += 1,
+                PatrolOutcome::Healed { lines } => {
+                    self.hw.advance(Cycles::new(self.kernel.costs.scrub_line_op * lines as u64));
+                    out.lines_detected += lines as u64;
+                    out.lines_healed += lines as u64;
+                }
+                PatrolOutcome::Uncorrectable { lines } => {
+                    out.lines_detected += lines.len() as u64;
+                    match self.kernel.poison_or_retire_frame(&mut self.hw, pfn)? {
+                        IntegrityOutcome::Poisoned { pid, .. } => {
+                            out.frames_poisoned += 1;
+                            out.killed.push(pid);
+                        }
+                        IntegrityOutcome::Retired(_) => out.frames_retired += 1,
+                    }
+                }
+            }
+        }
+        if let Some(state) = self.patrol.as_mut() {
+            state.set_cursor(cursor);
+        }
+        Ok(out)
+    }
+
     /// Fires every engine whose deadline passed. Called after each access
     /// and syscall.
     fn poll_timers(&mut self, pid: u32) -> Result<()> {
@@ -606,25 +688,45 @@ impl Machine {
             let mut fired = false;
 
             // Frames whose media failed since the last poll — wear-out
-            // retries exhausted, or a scrub pass out of correction budget:
-            // the OS retires them (remapping a mapped data page onto a
-            // fresh frame; relocating a live page table).
+            // retries exhausted, or a scrub pass out of correction budget.
+            // Verify the content first: a wear-out victim still holds what
+            // was written (its checksums match), so the OS retires it
+            // content-preservingly (remapping a mapped data page onto a
+            // fresh frame; relocating a live page table). A frame whose
+            // checksum stays wrong even after the patrol heal is lost data
+            // — that takes the poison path instead of copying corrupt
+            // bytes forward.
             for raw in self.hw.mc.take_failed_frames() {
+                let pfn = Pfn::new(raw);
+                let verdict = self.hw.mc.patrol_frame(pfn.base().as_u64());
                 let prev = self.hw.set_activity(Activity::Os);
-                let r = self.kernel.retire_nvm_frame(&mut self.hw, Pfn::new(raw));
+                let r = match verdict {
+                    PatrolOutcome::Uncorrectable { .. } => {
+                        self.kernel.poison_or_retire_frame(&mut self.hw, pfn)
+                    }
+                    _ => self
+                        .kernel
+                        .retire_nvm_frame(&mut self.hw, pfn)
+                        .map(IntegrityOutcome::Retired),
+                };
                 self.hw.set_activity(prev);
                 match r? {
-                    RetireOutcome::Remapped { pid: owner, vpn, .. } => {
+                    IntegrityOutcome::Retired(RetireOutcome::Remapped {
+                        pid: owner, vpn, ..
+                    }) => {
                         self.hw.advance(Cycles::new(20));
                         if let Some(entry) = self.tlb.invalidate(vpn) {
                             self.tlb_shootdowns += 1;
                             self.on_tlb_dropped(owner, entry)?;
                         }
                     }
-                    RetireOutcome::TableRelocated { pid: owner } => {
+                    IntegrityOutcome::Retired(RetireOutcome::TableRelocated { pid: owner }) => {
                         self.flush_process_tlb(owner)?;
                     }
-                    RetireOutcome::Quarantined => {}
+                    IntegrityOutcome::Retired(RetireOutcome::Quarantined) => {}
+                    IntegrityOutcome::Poisoned { pid: owner, .. } => {
+                        self.flush_process_tlb(owner)?;
+                    }
                 }
                 self.drain_meta()?;
                 fired = true;
@@ -659,6 +761,11 @@ impl Machine {
 
             if self.scrub.as_ref().is_some_and(|s| s.due(self.hw.now())) {
                 self.dispatch_daemon(DaemonKind::Scrub, pid)?;
+                fired = true;
+            }
+
+            if self.patrol.as_ref().is_some_and(|s| s.due(self.hw.now())) {
+                self.dispatch_daemon(DaemonKind::Patrol, pid)?;
                 fired = true;
             }
 
@@ -797,6 +904,13 @@ impl Machine {
         let now = self.hw.now();
         if let Some(s) = self.scrub.as_mut() {
             s.reset_schedule(now);
+        }
+        // Patrol state likewise. The walk cursor restarts at the pool base:
+        // a reboot loses the in-memory walk position, while the recorded
+        // checksums (NVM metadata) survive for the fresh walk to verify.
+        self.patrol = self.cfg.patrol_interval.map(PatrolState::new);
+        if let Some(p) = self.patrol.as_mut() {
+            p.reset_schedule(now);
         }
         // The fresh kernel rebuilt the thread table; re-register daemons
         // and drop back to the main context.
@@ -966,5 +1080,98 @@ mod tests {
             m.hw.core.breakdown().get(Activity::Checkpoint) > Cycles::ZERO,
             "checkpoint time attributed"
         );
+    }
+
+    /// Patrold machine with a controlled media model: no random stuck
+    /// cells or wear, `correction_entries` of ECP budget per line.
+    fn integrity_machine(correction_entries: u32) -> (Machine, u32) {
+        let mut cfg = MachineConfig::small().with_patrol_interval(Cycles::from_micros(10));
+        cfg.mem.faults = Some(kindle_mem::MediaFaultConfig {
+            stuck_cells: 0,
+            wear_limit: 0,
+            correction_entries,
+            ..kindle_mem::MediaFaultConfig::with_seed(7)
+        });
+        let mut m = Machine::new(cfg).unwrap();
+        let pid = m.spawn_process().unwrap();
+        (m, pid)
+    }
+
+    #[test]
+    fn patrol_pass_heals_corrupt_data_frame() {
+        let (mut m, pid) = integrity_machine(2);
+        let va =
+            m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM | MapFlags::POPULATE).unwrap();
+        let pfn = m.kernel.translate(&mut m.hw, pid, va).unwrap().unwrap().pfn();
+        let pa = pfn.base();
+        for i in 0..8u64 {
+            m.hw.write_u64(pa + i * 8, 0xabc0 + i);
+        }
+        assert!(m.hw.mc.degrade_line_bit(pa.as_u64(), 5), "stuck cell armed");
+        assert_ne!(m.hw.read_u64(pa), 0xabc0, "the stuck bit corrupted the stored copy");
+
+        let out = m.patrol_data_frames().unwrap();
+        assert!(out.frames_checked >= 1);
+        assert_eq!(out.lines_detected, 1);
+        assert_eq!(out.lines_healed, 1);
+        assert_eq!(out.frames_poisoned, 0);
+        assert_eq!(m.hw.read_u64(pa), 0xabc0, "healed line is byte-identical");
+        assert!(m.kernel.process(pid).is_ok(), "nobody dies on a healable fault");
+
+        let again = m.patrol_data_frames().unwrap();
+        assert_eq!(again.lines_detected, 0, "second pass finds the pool clean");
+    }
+
+    #[test]
+    fn patrold_poisons_and_kills_when_budget_exhausted() {
+        let (mut m, pid) = integrity_machine(0);
+        let va =
+            m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM | MapFlags::POPULATE).unwrap();
+        let pfn = m.kernel.translate(&mut m.hw, pid, va).unwrap().unwrap().pfn();
+        let pa = pfn.base();
+        for i in 0..8u64 {
+            m.hw.write_u64(pa + i * 8, 0xdead_0000 + i);
+        }
+        assert!(m.hw.mc.degrade_line_bit(pa.as_u64(), 11));
+
+        // Drive the clock on an unrelated DRAM page until patrold fires
+        // and the owner is killed out from under the loop.
+        let drive = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY).unwrap();
+        let mut verdict = None;
+        for _ in 0..400_000 {
+            match m.access(pid, drive, AccessKind::Write) {
+                Ok(_) => {}
+                Err(e) => {
+                    verdict = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(verdict, Some(KindleError::NoSuchProcess(p)) if p == pid),
+            "owner killed with its translations flushed, got {verdict:?}"
+        );
+        let stats = m.patrol.as_ref().unwrap().stats().clone();
+        assert!(stats.passes >= 1);
+        assert_eq!(stats.frames_poisoned, 1);
+        assert_eq!(stats.procs_killed, 1);
+        assert_eq!(m.kernel.stats().procs_killed, 1);
+        assert!(m.kernel.pools.nvm.is_allocated(pfn), "lost frame stays quarantined");
+        let text = m.report().to_stats_text();
+        assert!(text.contains("patrol.frames_poisoned"));
+    }
+
+    #[test]
+    fn reboot_resets_patrol_cursor_and_schedule() {
+        let (mut m, pid) = integrity_machine(2);
+        let va =
+            m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM | MapFlags::POPULATE).unwrap();
+        m.access(pid, va, AccessKind::Write).unwrap();
+        m.patrol.as_mut().unwrap().set_cursor(123);
+        m.crash().unwrap();
+        let p = m.patrol.as_ref().unwrap();
+        assert_eq!(p.cursor(), 0, "walk restarts at the pool base after a crash");
+        assert_eq!(p.stats().passes, 0, "counters are per-boot, like the other engines");
+        assert!(!p.due(m.now()), "schedule re-anchored one interval past the reboot");
     }
 }

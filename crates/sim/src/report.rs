@@ -4,7 +4,7 @@ use kindle_cache::HierarchyStats;
 use kindle_cpu::{Activity, ActivityBreakdown, CpuStats};
 use kindle_hscc::HsccStats;
 use kindle_mem::MemStats;
-use kindle_os::{KernelStats, ScrubStats};
+use kindle_os::{KernelStats, PatrolStats, ScrubStats};
 use kindle_persist::CheckpointStats;
 use kindle_ssp::SspStats;
 use kindle_tlb::TlbStats;
@@ -42,6 +42,8 @@ pub struct SimReport {
     pub hscc: Option<HsccStats>,
     /// Scrub daemon counters, if enabled.
     pub scrub: Option<ScrubStats>,
+    /// Patrol daemon counters, if enabled.
+    pub patrol: Option<PatrolStats>,
     /// TLB shootdowns performed by the OS.
     pub tlb_shootdowns: u64,
     /// Simulated kernel-thread context switches (0 unless `kthreads` on).
@@ -65,6 +67,7 @@ impl SimReport {
             ssp: m.ssp.as_ref().map(|e| e.stats().clone()),
             hscc: m.hscc.as_ref().map(|e| e.stats().clone()),
             scrub: m.scrub.as_ref().map(|s| s.stats().clone()),
+            patrol: m.patrol.as_ref().map(|s| s.stats().clone()),
             tlb_shootdowns: m.tlb_shootdowns(),
             kthread_switches: m.kernel.sched.switches(),
         }
@@ -142,6 +145,15 @@ impl SimReport {
             stat("scrub.lines_detected", sc.lines_detected, "Corrupted table lines found");
             stat("scrub.lines_corrected", sc.lines_corrected, "Table lines healed in place");
             stat("scrub.frames_retired", sc.frames_retired, "Table frames retired");
+        }
+        if let Some(p) = &self.patrol {
+            stat("patrol.passes", p.passes, "Patrol verify batches");
+            stat("patrol.frames_checked", p.frames_checked, "Data frames checksum-verified");
+            stat("patrol.lines_detected", p.lines_detected, "Corrupted data lines found");
+            stat("patrol.lines_healed", p.lines_healed, "Data lines healed in place");
+            stat("patrol.frames_poisoned", p.frames_poisoned, "Mapped frames poisoned");
+            stat("patrol.frames_retired", p.frames_retired, "Unmapped frames retired");
+            stat("patrol.procs_killed", p.procs_killed, "Processes killed on poison");
         }
         let mut s = String::new();
         let _ = writeln!(s, "---------- Begin Simulation Statistics ----------");

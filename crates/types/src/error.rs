@@ -37,6 +37,10 @@ pub enum KindleError {
     Corrupted(&'static str),
     /// A reserved persistent region is too small for the requested use.
     RegionFull(&'static str),
+    /// The access hit a page whose PTE carries [`crate::Pte::POISONED`]
+    /// (uncorrectable media fault under the frame); the machine refuses to
+    /// return bytes from it.
+    PagePoisoned(VirtAddr),
 }
 
 impl fmt::Display for KindleError {
@@ -62,6 +66,9 @@ impl fmt::Display for KindleError {
                 write!(f, "persistent structure corrupted: {what}")
             }
             KindleError::RegionFull(what) => write!(f, "persistent region full: {what}"),
+            KindleError::PagePoisoned(va) => {
+                write!(f, "access to {va} hit a poisoned page")
+            }
         }
     }
 }

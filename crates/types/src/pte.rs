@@ -47,6 +47,9 @@ impl Pte {
     pub const DIRTY: u64 = 1 << 6;
     /// Software bit: the mapped frame lives in NVM.
     pub const NVM: u64 = 1 << 9;
+    /// Software bit: the mapped frame failed patrol verification and was
+    /// never healed — any access must fault instead of returning bytes.
+    pub const POISONED: u64 = 1 << 10;
 
     const PFN_SHIFT: u32 = 12;
     const PFN_MASK: u64 = ((1u64 << 40) - 1) << Self::PFN_SHIFT;
@@ -104,6 +107,12 @@ impl Pte {
     #[inline]
     pub const fn is_accessed(self) -> bool {
         self.0 & Self::ACCESSED != 0
+    }
+
+    /// True if the poison bit is set.
+    #[inline]
+    pub const fn is_poisoned(self) -> bool {
+        self.0 & Self::POISONED != 0
     }
 
     /// Physical frame number stored in the entry.
@@ -212,6 +221,20 @@ mod tests {
         assert_eq!(q.pfn(), Pfn::new(0x999));
         assert_eq!(q.access_count(), 9);
         assert_eq!(q.mem_kind(), MemKind::Nvm);
+    }
+
+    #[test]
+    fn poison_bit_round_trips() {
+        let p = Pte::new(Pfn::new(3), Pte::WRITABLE | Pte::NVM);
+        assert!(!p.is_poisoned());
+        let q = p.with_flags(Pte::POISONED);
+        assert!(q.is_poisoned());
+        assert_eq!(q.pfn(), Pfn::new(3));
+        assert!(q.is_writable());
+        assert!(!q.without_flags(Pte::POISONED).is_poisoned());
+        // Poison must live outside the hardware-managed bits: scrub's
+        // shadow verify may not mask it away.
+        assert_eq!(Pte::POISONED & Pte::HW_MANAGED, 0);
     }
 
     #[test]

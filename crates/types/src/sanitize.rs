@@ -95,6 +95,23 @@ pub fn current_thread() -> ThreadId {
     CURRENT_TID.with(|c| c.get())
 }
 
+/// Why the kernel killed a process (see [`Event::ProcessKilled`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillReason {
+    /// A page the process mapped sits on an uncorrectable NVM frame; the
+    /// kernel delivered the SIGBUS-analog instead of returning corrupt
+    /// bytes.
+    MemoryPoison,
+}
+
+impl fmt::Display for KillReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KillReason::MemoryPoison => write!(f, "memory poison"),
+        }
+    }
+}
+
 /// One reported operation. Addresses are raw `u64`s so that emitting a
 /// event never depends on higher-level crates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -219,6 +236,44 @@ pub enum Event {
     /// (line-base address). Lets the checker prove no PTE is ever read
     /// from a line flagged uncorrected.
     PtLineRead {
+        /// Line-base physical address.
+        line: u64,
+    },
+    /// Patrol scrub found an NVM data line whose stored content no longer
+    /// matches its recorded checksum. Like [`Event::ScrubDetect`], the
+    /// line is untrustworthy until corrected, poisoned, or retired.
+    PatrolDetect {
+        /// Line-base physical address.
+        line: u64,
+    },
+    /// Patrol scrub healed a checksum-mismatched NVM data line back to its
+    /// recorded content (ECP coverage plus in-place rewrite).
+    PatrolCorrect {
+        /// Line-base physical address.
+        line: u64,
+    },
+    /// The kernel poisoned the mapping of an unhealable NVM frame: the
+    /// leaf PTE now carries the poison bit and any access faults instead
+    /// of returning bytes.
+    PagePoison {
+        /// The unhealable frame.
+        pfn: u64,
+        /// The virtual page whose PTE was poisoned.
+        vpn: u64,
+    },
+    /// The kernel killed a process (the SIGBUS-analog delivery for
+    /// poisoned memory).
+    ProcessKilled {
+        /// The terminated process.
+        pid: u32,
+        /// Why it was killed.
+        reason: KillReason,
+    },
+    /// A data access read the NVM line at `line` (line-base address).
+    /// Lets the checker prove no load ever observes data from a line
+    /// flagged uncorrected — the patrol counterpart of
+    /// [`Event::PtLineRead`].
+    DataLineRead {
         /// Line-base physical address.
         line: u64,
     },
@@ -369,6 +424,13 @@ pub enum Violation {
         /// The corrupted line-base physical address.
         line: u64,
     },
+    /// A data access observed an NVM line whose checksum mismatch was
+    /// never followed by a [`Event::PatrolCorrect`] or
+    /// [`Event::PagePoison`] — silent corruption reached a load.
+    DataReadFromUncorrectedLine {
+        /// The corrupted line-base physical address.
+        line: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -403,6 +465,11 @@ impl fmt::Display for Violation {
                 f,
                 "page-table entry consumed from NVM line {line:#x} holding uncorrected \
                  stuck-cell corruption"
+            ),
+            Violation::DataReadFromUncorrectedLine { line } => write!(
+                f,
+                "data read from NVM line {line:#x} whose checksum mismatch was never \
+                 corrected or poisoned"
             ),
         }
     }
@@ -512,6 +579,12 @@ impl Sanitizer for InvariantChecker {
                     }
                 }
                 self.last_writer.insert(line, (tid, self.sync_epoch));
+                // An overwrite replaces the line's content (and its recorded
+                // checksum), so prior corruption flags no longer describe
+                // what a reader would observe. If the store itself re-forces
+                // stuck bits past the ECP budget, the controller re-flags
+                // the line with a fresh ScrubDetect right after this event.
+                self.dirty_lines.remove(&line);
             }
             Event::NvmCommit { line } => {
                 self.pending.remove(&line);
@@ -627,6 +700,23 @@ impl Sanitizer for InvariantChecker {
             Event::PtLineRead { line } => {
                 if self.dirty_lines.contains(&line) {
                     self.log.push(Violation::PteFromUncorrectedLine { line });
+                }
+            }
+            Event::PatrolDetect { line } => {
+                self.dirty_lines.insert(line);
+            }
+            Event::PatrolCorrect { line } => {
+                self.dirty_lines.remove(&line);
+            }
+            Event::PagePoison { pfn, vpn: _ } => {
+                // Poisoned mappings fault on access; the frame's corrupt
+                // lines can no longer reach a load through them.
+                self.dirty_lines.retain(|&l| l >> crate::PAGE_SHIFT != pfn);
+            }
+            Event::ProcessKilled { .. } => {}
+            Event::DataLineRead { line } => {
+                if self.dirty_lines.contains(&line) {
+                    self.log.push(Violation::DataReadFromUncorrectedLine { line });
                 }
             }
         }
@@ -871,6 +961,105 @@ mod tests {
     }
 
     #[test]
+    fn data_read_from_uncorrected_line_flagged() {
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 0x4040 });
+            emit(|| Event::DataLineRead { line: 0x4040 });
+        });
+        assert_eq!(v, vec![Violation::DataReadFromUncorrectedLine { line: 0x4040 }]);
+    }
+
+    #[test]
+    fn patrol_corrected_line_reads_clean() {
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 0x4040 });
+            emit(|| Event::PatrolCorrect { line: 0x4040 });
+            emit(|| Event::DataLineRead { line: 0x4040 });
+            emit(|| Event::DataLineRead { line: 0x5000 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn write_time_detect_flags_data_reads_too() {
+        // The controller's write-time ScrubDetect and patrol's PatrolDetect
+        // feed one suspect set: either makes a later data read a violation.
+        let v = with_checker(|| {
+            emit(|| Event::ScrubDetect { line: 0x4040 });
+            emit(|| Event::DataLineRead { line: 0x4040 });
+        });
+        assert_eq!(v, vec![Violation::DataReadFromUncorrectedLine { line: 0x4040 }]);
+    }
+
+    #[test]
+    fn page_poison_clears_the_frames_suspect_lines() {
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 5 << crate::PAGE_SHIFT });
+            emit(|| Event::PatrolDetect { line: (5 << crate::PAGE_SHIFT) + 0x40 });
+            emit(|| Event::PatrolDetect { line: 6 << crate::PAGE_SHIFT });
+            emit(|| Event::PagePoison { pfn: 5, vpn: 0x800 });
+            emit(|| Event::ProcessKilled { pid: 1, reason: KillReason::MemoryPoison });
+            emit(|| Event::DataLineRead { line: 5 << crate::PAGE_SHIFT });
+            emit(|| Event::DataLineRead { line: (5 << crate::PAGE_SHIFT) + 0x40 });
+        });
+        assert!(v.is_empty(), "poisoned frame's lines no longer flag: {v:?}");
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 6 << crate::PAGE_SHIFT });
+            emit(|| Event::PagePoison { pfn: 5, vpn: 0x800 });
+            emit(|| Event::DataLineRead { line: 6 << crate::PAGE_SHIFT });
+        });
+        assert_eq!(
+            v,
+            vec![Violation::DataReadFromUncorrectedLine { line: 6 << crate::PAGE_SHIFT }],
+            "poisoning one frame must not absolve another"
+        );
+    }
+
+    #[test]
+    fn overwrite_clears_line_suspicion() {
+        // A fresh store replaces the line's content and checksum; the old
+        // corruption flag no longer describes the stored bytes.
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 0x4040 });
+            emit(|| Event::NvmWrite { line: 0x4040, cycle: 3 });
+            emit(|| Event::DataLineRead { line: 0x4040 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn overwrite_that_reflags_still_fires() {
+        // store_bytes emits NvmWrite first, then (budget exhausted) the
+        // controller re-flags with ScrubDetect — the read must still flag.
+        let v = with_checker(|| {
+            emit(|| Event::NvmWrite { line: 0x4040, cycle: 3 });
+            emit(|| Event::ScrubDetect { line: 0x4040 });
+            emit(|| Event::DataLineRead { line: 0x4040 });
+        });
+        assert_eq!(v, vec![Violation::DataReadFromUncorrectedLine { line: 0x4040 }]);
+    }
+
+    #[test]
+    fn retirement_clears_data_read_suspicion() {
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 7 << crate::PAGE_SHIFT });
+            emit(|| Event::FrameRetired { pool: "nvm", pfn: 7 });
+            emit(|| Event::DataLineRead { line: 7 << crate::PAGE_SHIFT });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn crash_clears_patrol_suspicion() {
+        let v = with_checker(|| {
+            emit(|| Event::PatrolDetect { line: 0x4040 });
+            emit(|| Event::Crash);
+            emit(|| Event::DataLineRead { line: 0x4040 });
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn crash_clears_dirty_line_tracking() {
         let v = with_checker(|| {
             emit(|| Event::ScrubDetect { line: 0x2040 });
@@ -894,6 +1083,9 @@ mod tests {
         };
         assert!(v.to_string().contains("racing"), "{v}");
         assert!(v.to_string().contains("kthread1"), "{v}");
+        let v = Violation::DataReadFromUncorrectedLine { line: 0x4040 };
+        assert!(v.to_string().contains("data read"), "{v}");
+        assert_eq!(KillReason::MemoryPoison.to_string(), "memory poison");
     }
 
     /// Runs `f` with `tid` as the ambient simulated thread, restoring the

@@ -8,6 +8,12 @@
 //! `[min, max]`. A field with zero occurrences fails too — a stale golden
 //! entry is a regression in the diff itself, not a pass.
 //!
+//! `elapsed_ms` lines are interpreted as wall-clock **budgets** rather
+//! than ranges: `max` is the budget, values inside it pass, values up to
+//! [`GRACE`]` * max` print a warning but still pass (runner jitter), and
+//! anything beyond hard-fails the job. `min` stays a hard floor (an
+//! implausibly fast run means the job silently did nothing).
+//!
 //! One golden file serves every CI job: lines whose artifact is not among
 //! the provided paths are skipped, so each job diffs only the artifacts it
 //! produced. Two backstops keep the skipping honest — a provided artifact
@@ -43,7 +49,12 @@ fn scan_numbers(content: &str, field: &str) -> Vec<f64> {
     out
 }
 
-fn run(args: &[String]) -> Result<String, Vec<String>> {
+/// Wall-clock budget grace factor: an `elapsed_ms` between `max` and
+/// `GRACE * max` warns instead of failing, absorbing runner jitter while
+/// still flagging the drift; beyond that the budget hard-fails.
+const GRACE: f64 = 2.0;
+
+fn run(args: &[String]) -> Result<(String, Vec<String>), Vec<String>> {
     if args.len() < 3 {
         return Err(vec!["usage: bench_diff <golden.txt> <artifact.json>...".to_string()]);
     }
@@ -59,6 +70,7 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
         })
         .collect::<Result<_, Vec<String>>>()?;
     let mut failures = Vec::new();
+    let mut warnings = Vec::new();
     let mut checks = 0usize;
     let mut matched = vec![false; artifacts.len()];
     for (lineno, line) in golden.lines().enumerate() {
@@ -93,7 +105,26 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
         }
         checks += 1;
         for v in values {
-            if v < min || v > max {
+            // `elapsed_ms` rows are wall-clock *budgets*, not ranges: a
+            // value inside the budget passes, one within GRACE x budget
+            // warns (runner jitter), and anything past that hard-fails —
+            // that is the CI timing gate keeping the sweep tier honest
+            // about its O(n) claim.
+            if field == "elapsed_ms" {
+                if v < min {
+                    failures.push(format!(
+                        "{name}: \"{field}\" = {v} below golden floor {min} (empty run?)"
+                    ));
+                } else if v > GRACE * max {
+                    failures.push(format!(
+                        "{name}: \"{field}\" = {v} blows the {max} ms budget by more than {GRACE}x"
+                    ));
+                } else if v > max {
+                    warnings.push(format!(
+                        "{name}: \"{field}\" = {v} over the {max} ms budget (within the {GRACE}x grace band)"
+                    ));
+                }
+            } else if v < min || v > max {
                 failures
                     .push(format!("{name}: \"{field}\" = {v} outside golden range [{min}, {max}]"));
             }
@@ -108,8 +139,11 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
         failures.push("golden file contains no checks".to_string());
     }
     if failures.is_empty() {
-        Ok(format!("bench_diff: {checks} golden checks over {} artifact(s): OK", artifacts.len()))
+        let summary =
+            format!("bench_diff: {checks} golden checks over {} artifact(s): OK", artifacts.len());
+        Ok((summary, warnings))
     } else {
+        failures.extend(warnings);
         Err(failures)
     }
 }
@@ -117,7 +151,10 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match run(&args) {
-        Ok(summary) => {
+        Ok((summary, warnings)) => {
+            for w in &warnings {
+                eprintln!("bench_diff: warning: {w}");
+            }
             println!("{summary}");
             ExitCode::SUCCESS
         }
@@ -178,8 +215,9 @@ mod tests {
     fn in_range_artifact_passes() {
         let art = write_temp("ok.json", DOC);
         let gold = write_temp("ok.txt", "ok.json speedup 1.0 4.0\nok.json jobs 1 64\n");
-        let summary = run(&args(&["bench_diff", &gold, &art])).unwrap();
+        let (summary, warnings) = run(&args(&["bench_diff", &gold, &art])).unwrap();
         assert!(summary.contains("2 golden checks"), "{summary}");
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]
@@ -188,6 +226,40 @@ mod tests {
         let gold = write_temp("bad.txt", "bad.json speedup 3.0 4.0\n");
         let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
         assert!(failures.iter().any(|f| f.contains("\"speedup\" = 2.5 outside")), "{failures:?}");
+    }
+
+    #[test]
+    fn elapsed_within_budget_passes_silently() {
+        // DOC reports elapsed_ms = 120.
+        let art = write_temp("budget-ok.json", DOC);
+        let gold = write_temp("budget-ok.txt", "budget-ok.json elapsed_ms 1 200\n");
+        let (summary, warnings) = run(&args(&["bench_diff", &gold, &art])).unwrap();
+        assert!(summary.contains("1 golden checks"), "{summary}");
+        assert!(warnings.is_empty(), "in-budget run must not warn: {warnings:?}");
+    }
+
+    #[test]
+    fn elapsed_in_grace_band_warns_but_passes() {
+        // Budget 100 < 120 <= 2x100: over budget but inside the grace band.
+        let art = write_temp("budget-warn.json", DOC);
+        let gold = write_temp("budget-warn.txt", "budget-warn.json elapsed_ms 1 100\n");
+        let (summary, warnings) = run(&args(&["bench_diff", &gold, &art])).unwrap();
+        assert!(summary.contains("OK"), "{summary}");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("over the 100 ms budget"), "{warnings:?}");
+    }
+
+    #[test]
+    fn elapsed_beyond_grace_band_fails() {
+        // 120 > 2x50: the budget is blown outright. The floor fails too.
+        let art = write_temp("budget-fail.json", DOC);
+        let gold = write_temp("budget-fail.txt", "budget-fail.json elapsed_ms 1 50\n");
+        let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("blows the 50 ms budget")), "{failures:?}");
+
+        let gold = write_temp("budget-floor.txt", "budget-fail.json elapsed_ms 500 10000\n");
+        let failures = run(&args(&["bench_diff", &gold, &art])).unwrap_err();
+        assert!(failures.iter().any(|f| f.contains("below golden floor")), "{failures:?}");
     }
 
     #[test]
@@ -213,7 +285,7 @@ mod tests {
         // the other job's artifact are skipped without failing.
         let art = write_temp("subset.json", DOC);
         let gold = write_temp("subset.txt", "subset.json jobs 1 64\nother-job.json latency 0 9\n");
-        let summary = run(&args(&["bench_diff", &gold, &art])).unwrap();
+        let (summary, _) = run(&args(&["bench_diff", &gold, &art])).unwrap();
         assert!(summary.contains("1 golden checks"), "{summary}");
 
         // But an artifact we did provide must have at least one golden line.

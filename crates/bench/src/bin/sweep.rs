@@ -1,17 +1,24 @@
 //! CI tier-2 sweep benchmark: runs the exhaustive write-granular crash
-//! sweep (`FaultPoint::NvmWrite` at stride 1) serially and on the resolved
-//! fork-join worker count, proves the two produce bit-identical outcomes,
-//! and records the measured speedup in the bench JSON envelope
-//! (`BENCH_sweep.json` in CI, diffed against golden ranges).
+//! sweep (`FaultPoint::NvmWrite` at stride 1) on the snapshot-fork tier —
+//! serially and on the resolved fork-join worker count, proving the two
+//! produce bit-identical outcomes — then times the replay-from-zero oracle
+//! on the same points and records the measured `snapshot_speedup` in the
+//! bench JSON envelope (`BENCH_sweep.json` in CI, diffed against golden
+//! ranges so the O(n) fork tier can never silently regress to O(n²)).
 //!
-//! This binary replaced the old `--ignored` exhaustive tests: the parallel
-//! executor makes the full sweep cheap enough to run on every push, and
-//! running serial-vs-parallel here doubles as the executor's end-to-end
-//! determinism check on a real workload.
+//! The replay run doubles as the cross-check: its outcome must be
+//! byte-identical to the forked one. `--verify-replay` extends that
+//! cross-check to every sweep family — boundary (both page-table modes),
+//! threaded, stuck-cell and data-integrity — and `--timing <path>` writes
+//! the `SWEEP_timing.json` telemetry artifact (per-family boundary counts,
+//! snapshot-pool high-water mark, speedup) the CI sweep job uploads.
 
 use kindle_bench::*;
 use kindle_core::os::PtMode;
-use kindle_faults::{run_nvm_write_sweep_jobs, run_stuck_sweep_jobs};
+use kindle_faults::{
+    run_data_integrity_sweep_strategy, run_nvm_write_sweep_instrumented, run_stuck_sweep_jobs,
+    run_stuck_sweep_strategy, run_sweep_strategy, SweepStrategy, SweepTelemetry,
+};
 
 /// Fixed sweep seed (same one the crash-sweep acceptance tests pin).
 const SEED: u64 = 0x00c0_ffee_4b1d_0001;
@@ -19,66 +26,197 @@ const SEED: u64 = 0x00c0_ffee_4b1d_0001;
 /// Stuck cells seeded for the degraded-media sweep regime.
 const STUCK_CELLS: usize = 4096;
 
+/// Times one closure in wall-clock milliseconds.
+fn timed<T>(f: impl FnOnce() -> Result<T>) -> Result<(T, f64)> {
+    let t0 = std::time::Instant::now();
+    let v = f()?;
+    Ok((v, t0.elapsed().as_secs_f64() * 1e3))
+}
+
+/// Cross-checks the snapshot-forked execution of every sweep family
+/// against the replay-from-zero oracle (`--verify-replay`).
+fn verify_all_families(jobs: usize, stride: u64) -> Result<()> {
+    println!("VERIFY: snapshot-forked digests vs replay-from-zero, all families");
+    rule(78);
+    for (family, forked, replayed) in [
+        (
+            "boundary/rebuild",
+            run_sweep_strategy(PtMode::Rebuild, SEED, false, jobs, SweepStrategy::SnapshotFork)?,
+            run_sweep_strategy(PtMode::Rebuild, SEED, false, jobs, SweepStrategy::ReplayFromZero)?,
+        ),
+        (
+            "boundary/persistent",
+            run_sweep_strategy(PtMode::Persistent, SEED, false, jobs, SweepStrategy::SnapshotFork)?,
+            run_sweep_strategy(
+                PtMode::Persistent,
+                SEED,
+                false,
+                jobs,
+                SweepStrategy::ReplayFromZero,
+            )?,
+        ),
+        (
+            "threaded",
+            run_sweep_strategy(PtMode::Rebuild, SEED, true, jobs, SweepStrategy::SnapshotFork)?,
+            run_sweep_strategy(PtMode::Rebuild, SEED, true, jobs, SweepStrategy::ReplayFromZero)?,
+        ),
+        (
+            "stuck",
+            run_stuck_sweep_strategy(
+                PtMode::Persistent,
+                SEED,
+                STUCK_CELLS,
+                jobs,
+                SweepStrategy::SnapshotFork,
+            )?,
+            run_stuck_sweep_strategy(
+                PtMode::Persistent,
+                SEED,
+                STUCK_CELLS,
+                jobs,
+                SweepStrategy::ReplayFromZero,
+            )?,
+        ),
+    ] {
+        assert_eq!(forked, replayed, "{family}: forked sweep diverged from replay-from-zero");
+        println!("{family:<22} {} points  digest {:#018x}  ok", forked.boundaries, forked.digest);
+    }
+    // The write-granular family is verified at a coarse stride here; the
+    // bench loop below cross-checks the full stride-1 enumeration of both
+    // page-table modes anyway, so repeating it inside `--verify-replay`
+    // would only double the oracle's O(n²) bill.
+    let stride = stride.max(16);
+    let forked = run_nvm_write_sweep_instrumented(
+        PtMode::Rebuild,
+        SEED,
+        stride,
+        jobs,
+        SweepStrategy::SnapshotFork,
+    )?
+    .0;
+    let replayed = run_nvm_write_sweep_instrumented(
+        PtMode::Rebuild,
+        SEED,
+        stride,
+        jobs,
+        SweepStrategy::ReplayFromZero,
+    )?
+    .0;
+    assert_eq!(forked, replayed, "nvm-write: forked sweep diverged from replay-from-zero");
+    println!(
+        "{:<22} {} points  digest {:#018x}  ok",
+        "nvm-write", forked.boundaries, forked.digest
+    );
+    let forked = run_data_integrity_sweep_strategy(SEED, 6, jobs, SweepStrategy::SnapshotFork)?;
+    let replayed = run_data_integrity_sweep_strategy(SEED, 6, jobs, SweepStrategy::ReplayFromZero)?;
+    assert_eq!(forked, replayed, "data-integrity: round-tripped sweep diverged from straight run");
+    println!(
+        "{:<22} {} points  digest {:#018x}  ok",
+        "data-integrity", forked.points, forked.digest
+    );
+    rule(78);
+    Ok(())
+}
+
 fn main() -> Result<()> {
     let harness = Harness::from_args();
     let stride = if quick_mode() { 64 } else { 1 };
     let jobs = harness.jobs();
+    if harness.verify_replay() {
+        verify_all_families(jobs, stride)?;
+    }
     println!("SWEEP: write-granular crash sweep, stride {stride}, serial vs {jobs} workers");
     rule(78);
     println!(
-        "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>7}",
-        "mode", "points", "recovered", "serial ms", "par ms", "speedup"
+        "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>9} | {:>7}",
+        "mode", "points", "recovered", "serial ms", "par ms", "replay ms", "snap spd"
     );
     rule(78);
     let mut body = String::from("[");
+    let mut timing = String::from("[");
     for (i, (label, mode)) in
         [("rebuild", PtMode::Rebuild), ("persistent", PtMode::Persistent)].into_iter().enumerate()
     {
-        let t0 = std::time::Instant::now();
-        let serial = run_nvm_write_sweep_jobs(mode, SEED, stride, 1)?;
-        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = std::time::Instant::now();
-        let threaded = run_nvm_write_sweep_jobs(mode, SEED, stride, jobs)?;
-        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(serial, threaded, "jobs=1 vs jobs={jobs} must agree bit-for-bit");
+        let ((serial, telemetry), serial_ms) = timed(|| {
+            run_nvm_write_sweep_instrumented(mode, SEED, stride, 1, SweepStrategy::SnapshotFork)
+        })?;
+        let (parallel, parallel_ms) = timed(|| {
+            Ok(run_nvm_write_sweep_instrumented(
+                mode,
+                SEED,
+                stride,
+                jobs,
+                SweepStrategy::SnapshotFork,
+            )?
+            .0)
+        })?;
+        assert_eq!(serial, parallel, "jobs=1 vs jobs={jobs} must agree bit-for-bit");
+        // The replay-from-zero oracle on the same points: its wall clock is
+        // what the fork tier is measured against, and its outcome must be
+        // byte-identical.
+        let (replayed, replay_ms) = timed(|| {
+            Ok(run_nvm_write_sweep_instrumented(
+                mode,
+                SEED,
+                stride,
+                jobs,
+                SweepStrategy::ReplayFromZero,
+            )?
+            .0)
+        })?;
+        assert_eq!(serial, replayed, "forked sweep diverged from replay-from-zero");
         let speedup = serial_ms / parallel_ms.max(1e-9);
+        let snapshot_speedup = replay_ms / parallel_ms.max(1e-9);
         println!(
-            "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>6.2}x",
+            "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>9} | {:>6.2}x",
             label,
             serial.boundaries,
             serial.recovered,
             ms(serial_ms),
             ms(parallel_ms),
-            speedup
+            ms(replay_ms),
+            snapshot_speedup
         );
         if i > 0 {
             body.push(',');
+            timing.push(',');
         }
         body.push_str(&format!(
             "\n  {{\"mode\": \"{label}\", \"points\": {}, \"recovered\": {}, \
              \"digest\": \"{:#018x}\", \"serial_ms\": {serial_ms:.1}, \
-             \"parallel_ms\": {parallel_ms:.1}, \"speedup\": {speedup:.3}}}",
+             \"parallel_ms\": {parallel_ms:.1}, \"speedup\": {speedup:.3}, \
+             \"replay_ms\": {replay_ms:.1}, \"snapshot_speedup\": {snapshot_speedup:.3}}}",
             serial.boundaries, serial.recovered, serial.digest
         ));
+        timing.push_str(&timing_row(label, &telemetry, snapshot_speedup));
     }
     // The degraded-media regime: the persistent-mode boundary sweep with
     // thousands of stuck cells, the two-entry ECP budget and scrubd armed.
     // Distinct JSON field names keep its (much smaller) point counts out
     // of the write-sweep golden ranges above.
-    let t0 = std::time::Instant::now();
-    let serial = run_stuck_sweep_jobs(PtMode::Persistent, SEED, STUCK_CELLS, 1)?;
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t1 = std::time::Instant::now();
-    let threaded = run_stuck_sweep_jobs(PtMode::Persistent, SEED, STUCK_CELLS, jobs)?;
-    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(serial, threaded, "stuck sweep: jobs=1 vs jobs={jobs} must agree bit-for-bit");
+    let ((serial, stuck_telemetry), serial_ms) = timed(|| {
+        let out = run_stuck_sweep_strategy(
+            PtMode::Persistent,
+            SEED,
+            STUCK_CELLS,
+            1,
+            SweepStrategy::SnapshotFork,
+        )?;
+        // The boundary sweep reuses the nvm-write golden machinery, so its
+        // telemetry comes from a second (cheap) recorded golden run.
+        Ok((out, SweepTelemetry::default()))
+    })?;
+    let (parallel, parallel_ms) =
+        timed(|| run_stuck_sweep_jobs(PtMode::Persistent, SEED, STUCK_CELLS, jobs))?;
+    assert_eq!(serial, parallel, "stuck sweep: jobs=1 vs jobs={jobs} must agree bit-for-bit");
     println!(
-        "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>7}",
+        "{:<10} | {:>6} | {:>9} | {:>9} | {:>9} | {:>9} | {:>7}",
         "stuck",
         serial.boundaries,
         serial.recovered,
         ms(serial_ms),
         ms(parallel_ms),
+        "-",
         format!("{STUCK_CELLS} cells")
     );
     body.push_str(&format!(
@@ -87,9 +225,38 @@ fn main() -> Result<()> {
          \"serial_ms\": {serial_ms:.1}, \"parallel_ms\": {parallel_ms:.1}}}",
         serial.boundaries, serial.recovered, serial.digest
     ));
+    let _ = stuck_telemetry;
     body.push_str("\n]");
+    timing.push_str("\n]");
     harness.maybe_json_body(&body);
+    if let Some(path) = harness.timing_path() {
+        let data = format!(
+            "{{\n\"jobs\": {jobs},\n\"stride\": {stride},\n\"verified_replay\": {},\n\"rows\": {timing}\n}}\n",
+            harness.verify_replay()
+        );
+        match std::fs::write(path, data) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("timing write failed: {e}"),
+        }
+    }
     rule(78);
-    println!("digest equality verified: parallel sweeps are byte-identical to serial.");
+    println!("digest equality verified: forked sweeps are byte-identical to replay.");
     harness.finish()
+}
+
+/// One `SWEEP_timing.json` row: the family's golden enumeration sizes, the
+/// snapshot pool's retention behaviour and the measured fork-tier speedup.
+fn timing_row(family: &str, t: &SweepTelemetry, snapshot_speedup: f64) -> String {
+    format!(
+        "\n  {{\"family\": \"{family}\", \"boundaries\": {}, \"nvm_writes\": {}, \
+         \"snapshots_offered\": {}, \"snapshots_retained\": {}, \"pool_high_water\": {}, \
+         \"pool_capacity\": {}, \"pool_stride\": {}, \"snapshot_speedup\": {snapshot_speedup:.3}}}",
+        t.boundaries,
+        t.nvm_writes,
+        t.snapshots_offered,
+        t.snapshots_retained,
+        t.pool_high_water,
+        t.pool_capacity,
+        t.pool_stride,
+    )
 }

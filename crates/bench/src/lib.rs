@@ -8,7 +8,8 @@ use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationL
 
 /// Flag summary printed when an unknown or malformed argument is seen.
 pub const USAGE: &str = "[--quick] [--sanitize] [--faults <seed>] [--stuck <N>] \
-     [--patrol <interval-us>] [--jobs <N>] [--csv <path>] [--json <path>] [--plot <path>]";
+     [--patrol <interval-us>] [--jobs <N>] [--csv <path>] [--json <path>] [--plot <path>] \
+     [--timing <path>] [--verify-replay]";
 
 /// Per-line ECP correction budget armed alongside `--stuck`: two entries
 /// absorb every realistically seeded cell (three uniform cells landing in
@@ -46,6 +47,12 @@ pub const STUCK_CORRECTION_ENTRIES: u32 = 2;
 /// * `--json <path>` makes [`Harness::maybe_json`] write the rows inside
 ///   an envelope carrying `jobs` and wall-clock `elapsed_ms`, which the
 ///   CI bench-smoke job diffs against golden ranges.
+/// * `--timing <path>` publishes a secondary timing-artifact path
+///   ([`Harness::timing_path`]); the `sweep` binary writes its
+///   `SWEEP_timing.json` telemetry there.
+/// * `--verify-replay` asks sweep-style binaries to cross-check the
+///   snapshot-forked execution against the replay-from-zero oracle
+///   ([`Harness::verify_replay`]); the digests must be byte-identical.
 ///
 /// Unknown `--*` flags are rejected: [`Harness::from_args`] prints the
 /// usage line and exits with status 2 rather than silently running the
@@ -58,6 +65,8 @@ pub struct Harness {
     patrol: Option<Cycles>,
     json_path: Option<String>,
     plot_path: Option<String>,
+    timing_path: Option<String>,
+    verify_replay: bool,
     started: std::time::Instant,
 }
 
@@ -108,6 +117,8 @@ impl Harness {
         let mut jobs = None;
         let mut json_path = None;
         let mut plot_path = None;
+        let mut timing_path = None;
+        let mut verify_replay = false;
         let mut it = args.iter().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -153,6 +164,10 @@ impl Harness {
                 "--plot" => {
                     plot_path = Some(it.next().ok_or("--plot requires a path")?.clone());
                 }
+                "--timing" => {
+                    timing_path = Some(it.next().ok_or("--timing requires a path")?.clone());
+                }
+                "--verify-replay" => verify_replay = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -184,6 +199,8 @@ impl Harness {
             patrol,
             json_path,
             plot_path,
+            timing_path,
+            verify_replay,
             started: std::time::Instant::now(),
         })
     }
@@ -211,6 +228,19 @@ impl Harness {
     #[must_use]
     pub fn plot_path(&self) -> Option<&str> {
         self.plot_path.as_deref()
+    }
+
+    /// Timing-artifact path requested with `--timing <path>`, if any.
+    #[must_use]
+    pub fn timing_path(&self) -> Option<&str> {
+        self.timing_path.as_deref()
+    }
+
+    /// True when `--verify-replay` asked for the snapshot-vs-replay
+    /// cross-check.
+    #[must_use]
+    pub fn verify_replay(&self) -> bool {
+        self.verify_replay
     }
 
     /// Writes rows as JSON when `--json <path>` was passed, wrapped in the
@@ -359,6 +389,20 @@ mod tests {
         assert!(Harness::try_from_arg_list(&args(&["bin", "--patrol"])).is_err());
         assert!(Harness::try_from_arg_list(&args(&["bin", "--patrol", "0"])).is_err());
         assert!(Harness::try_from_arg_list(&args(&["bin", "--patrol", "soon"])).is_err());
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--timing"])).is_err());
+    }
+
+    #[test]
+    fn harness_timing_and_verify_replay_are_accessors() {
+        let h = Harness::from_arg_list(&args(&["bin", "--timing", "T.json", "--verify-replay"]));
+        assert_eq!(h.timing_path(), Some("T.json"));
+        assert!(h.verify_replay());
+        h.finish().unwrap();
+
+        let h = Harness::from_arg_list(&args(&["bin"]));
+        assert_eq!(h.timing_path(), None);
+        assert!(!h.verify_replay());
+        h.finish().unwrap();
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Way {
     tag: u64,
     valid: bool,
@@ -76,7 +76,13 @@ struct Way {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Every way of every set in one contiguous, set-major allocation: set
+    /// `s` owns `ways[s * assoc .. (s + 1) * assoc]`. A flat array keeps
+    /// construction, full-cache sweeps (flush/invalidate) and — above all —
+    /// clones (machine snapshots fork thousands of machines per crash
+    /// sweep) at memcpy speed instead of one heap allocation per set.
+    ways: Vec<Way>,
+    assoc: usize,
     set_mask: u64,
     tick: u64,
     stats: CacheStats,
@@ -87,7 +93,8 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         Cache {
-            sets: vec![vec![Way::default(); cfg.assoc]; sets],
+            ways: vec![Way::default(); sets * cfg.assoc],
+            assoc: cfg.assoc,
             set_mask: sets as u64 - 1,
             cfg,
             tick: 0,
@@ -117,7 +124,8 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(pa);
-        for way in &mut self.sets[set] {
+        let base = set * self.assoc;
+        for way in &mut self.ways[base..base + self.assoc] {
             if way.valid && way.tag == tag {
                 way.stamp = tick;
                 if kind.is_write() {
@@ -138,7 +146,8 @@ impl Cache {
         let tick = self.tick;
         let (set, tag) = self.index(pa);
         let set_bits = self.set_mask.count_ones();
-        let ways = &mut self.sets[set];
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
         // Reuse an invalid way if present.
         if let Some(way) = ways.iter_mut().find(|w| !w.valid) {
             *way = Way { tag, valid: true, dirty, stamp: tick };
@@ -157,14 +166,16 @@ impl Cache {
     /// True if the line is present (does not update LRU or stats).
     pub fn probe(&self, pa: PhysAddr) -> bool {
         let (set, tag) = self.index(pa);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Clears the dirty bit of the line if present; returns whether it was
     /// dirty (i.e. a write-back is needed). The line stays valid (`clwb`).
     pub fn writeback_line(&mut self, pa: PhysAddr) -> bool {
         let (set, tag) = self.index(pa);
-        for way in &mut self.sets[set] {
+        let base = set * self.assoc;
+        for way in &mut self.ways[base..base + self.assoc] {
             if way.valid && way.tag == tag {
                 let was = way.dirty;
                 way.dirty = false;
@@ -177,7 +188,8 @@ impl Cache {
     /// Invalidates the line if present; returns whether it was dirty.
     pub fn invalidate_line(&mut self, pa: PhysAddr) -> bool {
         let (set, tag) = self.index(pa);
-        for way in &mut self.sets[set] {
+        let base = set * self.assoc;
+        for way in &mut self.ways[base..base + self.assoc] {
             if way.valid && way.tag == tag {
                 way.valid = false;
                 return way.dirty;
@@ -190,8 +202,9 @@ impl Cache {
     /// were dirty (a full write-back flush).
     pub fn writeback_all(&mut self) -> Vec<PhysAddr> {
         let set_bits = self.set_mask.count_ones();
+        let assoc = self.assoc;
         let mut out = Vec::new();
-        for (set, ways) in self.sets.iter_mut().enumerate() {
+        for (set, ways) in self.ways.chunks_mut(assoc).enumerate() {
             for way in ways.iter_mut() {
                 if way.valid && way.dirty {
                     way.dirty = false;
@@ -206,17 +219,15 @@ impl Cache {
     /// Drops every line (power loss). Dirty data is *lost*, which is exactly
     /// the hazard NVM consistency mechanisms guard against.
     pub fn invalidate_all(&mut self) {
-        for ways in &mut self.sets {
-            for way in ways.iter_mut() {
-                way.valid = false;
-                way.dirty = false;
-            }
+        for way in &mut self.ways {
+            way.valid = false;
+            way.dirty = false;
         }
     }
 
     /// Number of valid lines currently held.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().filter(|w| w.valid).count()).sum()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 }
 

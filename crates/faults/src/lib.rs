@@ -17,10 +17,14 @@
 //!   alternation, no PTE installed into a frame that was never
 //!   re-allocated after the crash, and exactly-once log replay per pass;
 //! * [`sweep`] runs a deterministic workload once to enumerate every
-//!   persist boundary, then re-runs it once per boundary with a power cut
-//!   injected there, tearing the in-flight write buffer at the 8-byte
-//!   persist atom, recovering, and checking the recovered state against
-//!   the last durable checkpoint.
+//!   persist boundary (capturing a machine snapshot after every workload
+//!   step into a bounded pool), then crashes once per boundary by forking
+//!   a machine from the nearest snapshot with a power cut armed there,
+//!   tearing the in-flight write buffer at the 8-byte persist atom,
+//!   recovering, and checking the recovered state against the last
+//!   durable checkpoint. The pre-snapshot replay-from-zero execution
+//!   survives as [`sweep::SweepStrategy::ReplayFromZero`], the cross-check
+//!   oracle whose digests the forked sweep must reproduce byte-for-byte.
 
 pub mod plan;
 pub mod recovery_checker;
@@ -30,8 +34,10 @@ pub mod trigger;
 pub use plan::{FaultPlan, FaultPoint};
 pub use recovery_checker::{RecoveryChecker, RecoveryViolation, RecoveryViolationLog};
 pub use sweep::{
-    run_data_integrity_sweep, run_data_integrity_sweep_jobs, run_nvm_write_sweep,
-    run_nvm_write_sweep_jobs, run_stuck_sweep, run_stuck_sweep_jobs, run_sweep, run_sweep_jobs,
-    run_sweep_threaded, DataIntegrityOutcome, GoldenRun, SweepOutcome,
+    run_data_integrity_sweep, run_data_integrity_sweep_jobs, run_data_integrity_sweep_strategy,
+    run_nvm_write_sweep, run_nvm_write_sweep_instrumented, run_nvm_write_sweep_jobs,
+    run_stuck_sweep, run_stuck_sweep_jobs, run_stuck_sweep_strategy, run_sweep, run_sweep_jobs,
+    run_sweep_strategy, run_sweep_threaded, DataIntegrityOutcome, GoldenRun, SweepOutcome,
+    SweepStrategy, SweepTelemetry,
 };
-pub use trigger::{BoundaryCounter, PowerCutTrigger};
+pub use trigger::{BoundaryCounter, PowerCutTrigger, PublishRecord};

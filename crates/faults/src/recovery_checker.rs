@@ -105,6 +105,20 @@ impl RecoveryChecker {
         RecoveryChecker::default()
     }
 
+    /// A checker pre-seeded with the durable copy-alternation state of an
+    /// already-executed prefix: `publishes` is the `(slot, copy)` of every
+    /// checkpoint publish the prefix made durable, in order. A sweep that
+    /// forks a machine from a mid-run snapshot uses this so the forked
+    /// checker judges suffix publishes exactly as a checker that watched
+    /// the whole run would.
+    pub fn with_publishes(publishes: &[(u64, u64)]) -> Self {
+        let mut c = RecoveryChecker::default();
+        for &(slot, copy) in publishes {
+            c.last_copy.insert(slot, copy);
+        }
+        c
+    }
+
     /// Handle onto the violation list (clone-able, survives `install`).
     pub fn log(&self) -> RecoveryViolationLog {
         self.log.clone()

@@ -7,11 +7,15 @@
 //!    a passive [`BoundaryCounter`] installed, enumerating every
 //!    persist-boundary event (log appends/truncations, checkpoint
 //!    publishes, write-buffer drains) and noting which boundary each
-//!    checkpoint publish landed on;
-//! 2. for **each** boundary `b`, a fresh machine runs the same workload
-//!    with a [`PowerCutTrigger`] armed to cut power right after boundary
-//!    `b`. The workload runs to completion "doomed" (nothing after the cut
-//!    becomes durable), then the harness crashes with write-buffer tearing
+//!    checkpoint publish landed on. The workload is a flat *step list*,
+//!    and the golden run captures a [`kindle_sim::MachineSnapshot`] after
+//!    each step into a bounded-retention [`SnapshotPool`];
+//! 2. for **each** crash point, a machine is *forked* from the nearest
+//!    snapshot at or before the point (falling back to a fresh machine for
+//!    points inside construction/spawn), with a [`PowerCutTrigger`] armed
+//!    to cut power right at the point. Execution stops at the first step
+//!    boundary after the cut (real hardware executes nothing after a power
+//!    cut), then the harness crashes with write-buffer tearing
 //!    ([`kindle_sim::Machine::crash_torn`]), recovers, and checks:
 //!    - the recovered execution context matches the last checkpoint whose
 //!      publish flip had drained by the cut — no more, no less;
@@ -23,12 +27,24 @@
 //!    running the sweep twice with one seed must produce identical
 //!    digests, pinning byte-for-byte determinism of the fault machinery.
 //!
-//! Crash points are mutually independent (each builds a fresh machine with
+//! Forking turns the sweep from O(n²) simulated work (replay the whole
+//! prefix from cycle 0 for each of n points) into O(n): each point costs
+//! one snapshot restore plus at most a few workload steps. The
+//! [`SweepStrategy::ReplayFromZero`] strategy keeps the old from-scratch
+//! execution alive as a cross-check — both strategies must produce
+//! **byte-identical digests** (the `sweep` bench binary's
+//! `--verify-replay` mode and the crash_sweep integration tests pin
+//! exactly that), which is only possible if snapshot/restore captures the
+//! entire machine faithfully.
+//!
+//! Crash points are mutually independent (each forks its own machine with
 //! its own per-point RNG), so the sweep fans out over
-//! [`kindle_core::parallel::par_map`] workers. The digest folds each
-//! point's observables **in crash-point order** regardless of which worker
-//! finished first, so `KINDLE_JOBS=1` and `KINDLE_JOBS=8` produce
-//! identical [`SweepOutcome`]s — the determinism tests pin exactly that.
+//! [`kindle_core::parallel::par_map`] workers; the snapshot pool is shared
+//! across workers by reference (snapshots are `Send + Sync`). The digest
+//! folds each point's observables **in crash-point order** regardless of
+//! which worker finished first, so `KINDLE_JOBS=1` and `KINDLE_JOBS=8`
+//! produce identical [`SweepOutcome`]s — the determinism tests pin exactly
+//! that.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -37,20 +53,40 @@ use kindle_core::parallel;
 
 use kindle_mem::MediaFaultConfig;
 use kindle_os::PtMode;
-use kindle_sim::{Machine, MachineConfig};
-use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer, ThreadId};
+use kindle_sim::{Machine, MachineConfig, MachineSnapshot};
+use kindle_types::sanitize::{self, Event, InvariantChecker, Sanitizer, ThreadId, ViolationLog};
 use kindle_types::{
-    checksum64, AccessKind, Cycles, MapFlags, PhysMem, Prot, Result, Rng64, PAGE_SIZE,
+    checksum64, AccessKind, Cycles, MapFlags, PhysMem, Prot, Result, Rng64, VirtAddr, PAGE_SIZE,
 };
 
-use crate::plan::FaultPlan;
-use crate::recovery_checker::RecoveryChecker;
+use crate::plan::{FaultPlan, FaultPoint};
+use crate::recovery_checker::{RecoveryChecker, RecoveryViolationLog};
 use crate::trigger::{BoundaryCounter, PowerCutTrigger};
 
 /// `rip` markers distinguishing the workload's checkpointed phases.
 const PHASE_MARKERS: [u64; 3] = [0x1111, 0x2222, 0x3333];
 /// `rip` marker of the post-recovery continuation checkpoint.
 const CONTINUATION_MARKER: u64 = 0x9999;
+/// Weyl-sequence constant deriving independent per-point RNG streams.
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Snapshot-pool capacity: enough to keep a snapshot every couple of
+/// workload steps, small enough that a sweep's resident memory stays a
+/// handful of machine images (the pool thins itself by doubling its step
+/// stride whenever it would exceed this).
+const SNAPSHOT_POOL_CAPACITY: usize = 32;
+
+/// How a sweep executes each crash point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepStrategy {
+    /// Fork each crash point from the nearest golden-run snapshot — O(n)
+    /// total simulated work. The default.
+    #[default]
+    SnapshotFork,
+    /// Re-execute the whole workload from cycle 0 for each point — the
+    /// original O(n²) path, kept as the cross-check oracle: its digests
+    /// must be byte-identical to [`SweepStrategy::SnapshotFork`]'s.
+    ReplayFromZero,
+}
 
 /// What the golden run learned about the workload.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -74,12 +110,48 @@ pub struct SweepOutcome {
     pub digest: u64,
 }
 
+/// Instrumentation from one sweep: golden enumeration sizes plus
+/// snapshot-pool behaviour. The `sweep` bench binary folds these into the
+/// `SWEEP_timing.json` CI artifact so the O(n) fork tier can never
+/// silently regress to O(n²) replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepTelemetry {
+    /// Persist boundaries the golden run enumerated.
+    pub boundaries: u64,
+    /// NVM line writes the golden run enumerated.
+    pub nvm_writes: u64,
+    /// Snapshots offered to the pool (one per workload step, plus the
+    /// post-spawn baseline). Zero under [`SweepStrategy::ReplayFromZero`].
+    pub snapshots_offered: u64,
+    /// Snapshots retained when the golden run finished.
+    pub snapshots_retained: u64,
+    /// Most snapshots the pool ever held at once (bounded-retention high
+    /// water; never exceeds `pool_capacity`).
+    pub pool_high_water: u64,
+    /// Pool capacity the thinning policy enforces.
+    pub pool_capacity: u64,
+    /// Final thinning stride (a snapshot survives if its step index is a
+    /// multiple of this).
+    pub pool_stride: u64,
+}
+
 /// Adapter letting the harness keep a handle on a sanitizer it installed.
 struct SharedSanitizer<S: Sanitizer>(Rc<RefCell<S>>);
 
 impl<S: Sanitizer> Sanitizer for SharedSanitizer<S> {
     fn on_event(&mut self, tid: ThreadId, ev: &Event) {
         self.0.borrow_mut().on_event(tid, ev);
+    }
+}
+
+/// Fans one event stream out to several sanitizers in order.
+struct Fanout(Vec<Box<dyn Sanitizer>>);
+
+impl Sanitizer for Fanout {
+    fn on_event(&mut self, tid: ThreadId, ev: &Event) {
+        for s in &mut self.0 {
+            s.on_event(tid, ev);
+        }
     }
 }
 
@@ -125,23 +197,253 @@ fn stuck_config(mode: PtMode, seed: u64, stuck: usize) -> MachineConfig {
     cfg
 }
 
-/// The deterministic workload: three phases, each mapping and touching NVM
-/// pages, stamping a phase marker into `rip` and checkpointing; between
-/// checkpoints it performs map/unmap churn that only the redo log records.
-fn run_workload(m: &mut Machine, pid: u32) -> Result<()> {
-    for (phase, marker) in PHASE_MARKERS.iter().enumerate() {
-        let va = m.mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
-        for page in 0..4u64 {
-            m.access(pid, va + page * PAGE_SIZE as u64, AccessKind::Write)?;
+/// One step of the deterministic workload. The workload is a flat step
+/// list (not a loop body) so the golden run can capture a machine snapshot
+/// between any two steps and a forked crash point can resume execution at
+/// an arbitrary step index. Boundaries *within* a step are reached by
+/// replaying that one step from the preceding snapshot — bounded work.
+#[derive(Clone, Copy, Debug)]
+enum WorkloadStep {
+    /// Map the DRAM scratch region the analysis passes stream over.
+    MapScratch,
+    /// Map the next phase's 4 NVM data pages.
+    Map,
+    /// Touch one page of an already-mapped phase.
+    Touch {
+        /// Phase whose mapping to touch.
+        phase: usize,
+        /// Page index within the phase's mapping.
+        page: u64,
+    },
+    /// One cache-resident read pass over the DRAM scratch region: the
+    /// compute a real workload does between persists. Analysis passes add
+    /// **zero** NVM writes (so zero crash points) but dominate the
+    /// workload's simulated time — exactly the work a replay-from-zero
+    /// sweep re-executes for every crash point and a snapshot fork skips.
+    Analyze {
+        /// Pass index (varies the address stream deterministically).
+        pass: u32,
+    },
+    /// Stamp the phase marker into `rip` and checkpoint.
+    Publish {
+        /// Phase being published.
+        phase: usize,
+    },
+    /// Map/unmap churn between phases (redo-log-only traffic).
+    Churn,
+}
+
+/// DRAM scratch pages the analysis passes stream over (small enough to
+/// stay cache-resident: the passes are compute, not eviction pressure on
+/// the phases' NVM lines).
+const SCRATCH_PAGES: u64 = 4;
+/// Reads per analysis pass.
+const ANALYZE_READS: u64 = 4096;
+/// Analysis passes per phase. Trimmed under debug builds: the replay
+/// cross-check oracle re-executes the analysis prefix once per crash
+/// point, which the unoptimised interpreter turns from seconds into
+/// minutes. Every sweep property is relative (fork vs replay, jobs=1 vs
+/// jobs=N), so the two profiles never compare counts; the release value
+/// is what CI's golden-pinned `BENCH_sweep.json` measures.
+#[cfg(not(debug_assertions))]
+const ANALYZE_PASSES: u32 = 56;
+#[cfg(debug_assertions)]
+const ANALYZE_PASSES: u32 = 8;
+
+/// Mutable workload context threaded through the steps (and captured
+/// alongside each snapshot so a fork can resume mid-list).
+#[derive(Clone, Debug, Default)]
+struct WorkloadState {
+    /// Base address of each phase's mapping, in phase order.
+    bases: Vec<VirtAddr>,
+    /// Base of the DRAM scratch region (set by [`WorkloadStep::MapScratch`]).
+    scratch: Option<VirtAddr>,
+}
+
+/// The deterministic workload as a step list: three phases, each mapping
+/// and touching NVM pages, running cache-resident analysis passes over a
+/// DRAM scratch region, then stamping a phase marker into `rip` and
+/// checkpointing; between checkpoints, map/unmap churn that only the redo
+/// log records. The analysis passes carry most of the simulated time but
+/// none of the crash points, which is what makes replaying the prefix
+/// from cycle 0 for every point quadratically expensive while a fork pays
+/// for at most one pool stride's worth of steps.
+fn workload_steps() -> Vec<WorkloadStep> {
+    let mut steps = vec![WorkloadStep::MapScratch];
+    for phase in 0..PHASE_MARKERS.len() {
+        steps.push(WorkloadStep::Map);
+        for page in 0..4 {
+            steps.push(WorkloadStep::Touch { phase, page });
         }
-        m.kernel.process_mut(pid)?.regs.rip = *marker;
-        m.checkpoint_now()?;
+        for p in 0..ANALYZE_PASSES {
+            steps.push(WorkloadStep::Analyze { pass: phase as u32 * ANALYZE_PASSES + p });
+        }
+        steps.push(WorkloadStep::Publish { phase });
         if phase + 1 < PHASE_MARKERS.len() {
+            steps.push(WorkloadStep::Churn);
+        }
+    }
+    steps
+}
+
+/// Executes one workload step.
+fn exec_step(
+    m: &mut Machine,
+    pid: u32,
+    state: &mut WorkloadState,
+    step: WorkloadStep,
+) -> Result<()> {
+    match step {
+        WorkloadStep::MapScratch => {
+            let va = m.mmap(pid, SCRATCH_PAGES * PAGE_SIZE as u64, Prot::RW, MapFlags::EMPTY)?;
+            state.scratch = Some(va);
+        }
+        WorkloadStep::Analyze { pass } => {
+            let base = state.scratch.expect("MapScratch precedes every Analyze");
+            for i in 0..ANALYZE_READS {
+                let n = pass as u64 * ANALYZE_READS + i;
+                let addr = base + (n % SCRATCH_PAGES) * PAGE_SIZE as u64 + (n % 64) * 64;
+                m.access(pid, addr, AccessKind::Read)?;
+            }
+        }
+        WorkloadStep::Map => {
+            let va = m.mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
+            state.bases.push(va);
+        }
+        WorkloadStep::Touch { phase, page } => {
+            m.access(pid, state.bases[phase] + page * PAGE_SIZE as u64, AccessKind::Write)?;
+        }
+        WorkloadStep::Publish { phase } => {
+            m.kernel.process_mut(pid)?.regs.rip = PHASE_MARKERS[phase];
+            m.checkpoint_now()?;
+        }
+        WorkloadStep::Churn => {
             let extra = m.mmap(pid, PAGE_SIZE as u64, Prot::RW, MapFlags::NVM)?;
             m.munmap(pid, extra, PAGE_SIZE as u64)?;
         }
     }
     Ok(())
+}
+
+/// Runs the whole step list (the golden workload, start to finish).
+fn run_workload(m: &mut Machine, pid: u32) -> Result<()> {
+    let mut state = WorkloadState::default();
+    for step in workload_steps() {
+        exec_step(m, pid, &mut state, step)?;
+    }
+    Ok(())
+}
+
+/// One golden-run capture: the machine snapshot taken after `step` steps,
+/// plus everything a forked crash point needs to resume as if it had
+/// executed the prefix itself.
+struct SnapshotRecord {
+    /// Workload steps executed before this capture (= index of the next
+    /// step to run).
+    step: usize,
+    /// Persist-boundary events counted before this capture.
+    boundaries: u64,
+    /// NVM line writes counted before this capture.
+    nvm_writes: u64,
+    /// `(slot, copy)` of every checkpoint publish in the prefix — seeds
+    /// the forked [`RecoveryChecker`]'s cross-crash copy-alternation
+    /// memory, which a mid-run checker could not otherwise know.
+    publishes: Vec<(u64, u64)>,
+    /// Workload context at the capture.
+    state: WorkloadState,
+    /// The workload process id.
+    pid: u32,
+    /// The machine.
+    snap: MachineSnapshot,
+}
+
+/// Bounded-retention snapshot pool (the buffer-pool idiom): snapshots are
+/// offered in step order and kept while their step index is a multiple of
+/// the current stride; whenever the pool would exceed its capacity the
+/// stride doubles and the pool re-thins, so memory stays constant no
+/// matter how long the golden run is. Step 0 (the post-spawn baseline) is
+/// always a multiple of every stride, so a fork point is never without an
+/// ancestor.
+pub(crate) struct SnapshotPool {
+    records: Vec<SnapshotRecord>,
+    capacity: usize,
+    stride: usize,
+    high_water: usize,
+    offered: usize,
+}
+
+impl SnapshotPool {
+    fn new(capacity: usize) -> Self {
+        SnapshotPool {
+            records: Vec::new(),
+            capacity: capacity.max(1),
+            stride: 1,
+            high_water: 0,
+            offered: 0,
+        }
+    }
+
+    fn offer(&mut self, rec: SnapshotRecord) {
+        self.offered += 1;
+        if rec.step % self.stride != 0 {
+            return;
+        }
+        self.records.push(rec);
+        while self.records.len() > self.capacity {
+            self.stride *= 2;
+            let stride = self.stride;
+            self.records.retain(|r| r.step % stride == 0);
+        }
+        self.high_water = self.high_water.max(self.records.len());
+    }
+
+    /// The latest record usable for a cut at boundary `b` (its prefix must
+    /// end at or before the cut point).
+    fn nearest_boundary(&self, b: u64) -> Option<&SnapshotRecord> {
+        self.records.iter().rev().find(|r| r.boundaries <= b)
+    }
+
+    /// The latest record usable for a cut at NVM write `w`.
+    fn nearest_nvm_write(&self, w: u64) -> Option<&SnapshotRecord> {
+        self.records.iter().rev().find(|r| r.nvm_writes <= w)
+    }
+
+    fn telemetry(&self, golden: &GoldenRun) -> SweepTelemetry {
+        SweepTelemetry {
+            boundaries: golden.boundaries,
+            nvm_writes: golden.nvm_writes,
+            snapshots_offered: self.offered as u64,
+            snapshots_retained: self.records.len() as u64,
+            pool_high_water: self.high_water as u64,
+            pool_capacity: self.capacity as u64,
+            pool_stride: self.stride as u64,
+        }
+    }
+}
+
+/// Builds the public [`GoldenRun`] from a finished counter.
+///
+/// # Panics
+///
+/// Panics if the workload did not publish one checkpoint per phase (the
+/// harness itself would be broken).
+fn golden_of(c: &BoundaryCounter) -> GoldenRun {
+    assert_eq!(
+        c.publishes.len(),
+        PHASE_MARKERS.len(),
+        "one publish per workload phase, got {:?}",
+        c.publishes
+    );
+    GoldenRun {
+        boundaries: c.boundaries,
+        nvm_writes: c.nvm_writes,
+        publishes: c
+            .publishes
+            .iter()
+            .zip(PHASE_MARKERS)
+            .map(|(p, marker)| (p.boundary, marker))
+            .collect(),
+    }
 }
 
 /// Runs the workload once with a passive counter installed and returns the
@@ -156,12 +458,7 @@ fn run_workload(m: &mut Machine, pid: u32) -> Result<()> {
 /// Panics if the workload did not publish one checkpoint per phase (the
 /// harness itself would be broken).
 pub fn golden_run(mode: PtMode) -> Result<GoldenRun> {
-    golden_run_with(mode, false)
-}
-
-/// [`golden_run`] with checkpoints optionally on a daemon kthread.
-fn golden_run_with(mode: PtMode, threaded: bool) -> Result<GoldenRun> {
-    golden_run_cfg(&config(mode, threaded))
+    golden_run_cfg(&config(mode, false))
 }
 
 /// The golden enumeration for an explicit machine config (the stuck-cell
@@ -174,24 +471,63 @@ fn golden_run_cfg(cfg: &MachineConfig) -> Result<GoldenRun> {
     run_workload(&mut m, pid)?;
     drop(guard);
     drop(m);
+    let golden = golden_of(&counter.borrow());
+    Ok(golden)
+}
 
-    let c = counter.borrow();
-    assert_eq!(
-        c.publishes.len(),
-        PHASE_MARKERS.len(),
-        "one publish per workload phase, got {:?}",
-        c.publishes
-    );
-    Ok(GoldenRun {
-        boundaries: c.boundaries,
-        nvm_writes: c.nvm_writes,
-        publishes: c
-            .publishes
-            .iter()
-            .zip(PHASE_MARKERS)
-            .map(|(&(idx, _copy), marker)| (idx, marker))
-            .collect(),
-    })
+/// The recording golden run: enumerates boundaries like
+/// [`golden_run_cfg`] *and* captures a snapshot after every workload step
+/// into a bounded pool. The machine runs with a (never-cut) power switch
+/// armed so the controller maintains the same write-buffer undo tracking
+/// the crash points run under — a snapshot must capture the exact state a
+/// replay-from-zero machine would have at the same step. The full-run
+/// [`InvariantChecker`] + [`RecoveryChecker`] ride along, preserving the
+/// whole-prefix invariant coverage that per-point replays used to provide.
+fn recorded_golden_cfg(cfg: &MachineConfig) -> Result<(GoldenRun, SnapshotPool)> {
+    let counter = Rc::new(RefCell::new(BoundaryCounter::new()));
+    let ic = InvariantChecker::new();
+    let ic_log = ic.log();
+    let rc = RecoveryChecker::new();
+    let rc_log = rc.log();
+    let guard = sanitize::install(Box::new(Fanout(vec![
+        Box::new(SharedSanitizer(counter.clone())),
+        Box::new(ic),
+        Box::new(rc),
+    ])));
+    let mut m = Machine::new(cfg.clone())?;
+    let _armed = m.arm_power_cut();
+    let pid = m.spawn_process()?;
+    let mut pool = SnapshotPool::new(SNAPSHOT_POOL_CAPACITY);
+    let mut state = WorkloadState::default();
+    let capture = |pool: &mut SnapshotPool,
+                   c: &Rc<RefCell<BoundaryCounter>>,
+                   step: usize,
+                   state: &WorkloadState,
+                   m: &Machine| {
+        let c = c.borrow();
+        pool.offer(SnapshotRecord {
+            step,
+            boundaries: c.boundaries,
+            nvm_writes: c.nvm_writes,
+            publishes: c.publishes.iter().map(|p| (p.slot, p.copy)).collect(),
+            state: state.clone(),
+            pid,
+            snap: m.snapshot(),
+        });
+    };
+    capture(&mut pool, &counter, 0, &state, &m);
+    for (i, step) in workload_steps().into_iter().enumerate() {
+        exec_step(&mut m, pid, &mut state, step)?;
+        capture(&mut pool, &counter, i + 1, &state, &m);
+    }
+    drop(guard);
+    drop(m);
+    let ic_violations = ic_log.take();
+    assert!(ic_violations.is_empty(), "golden run invariant violations {ic_violations:?}");
+    let rc_violations = rc_log.take();
+    assert!(rc_violations.is_empty(), "golden run recovery violations {rc_violations:?}");
+    let golden = golden_of(&counter.borrow());
+    Ok((golden, pool))
 }
 
 /// The checkpoint the recovered machine must come back to when power is
@@ -202,28 +538,92 @@ fn expected_marker(golden: &GoldenRun, b: u64) -> Option<u64> {
     golden.publishes.iter().rev().find(|&&(i, _)| i <= b + 1).map(|&(_, marker)| marker)
 }
 
-/// Crashes one fresh machine at boundary `b` (tearing with `rng`),
-/// recovers, verifies, and returns whether the workload process survived
-/// plus this crash point's digest observables.
-fn crash_at_boundary(
+/// A machine driven to its cut point, with the trigger guard still
+/// installed (the checkers must watch the crash and recovery that follow).
+struct CutRun {
+    m: Machine,
+    pid: u32,
+    _guard: sanitize::Installed,
+    ic_log: ViolationLog,
+    rc_log: RecoveryViolationLog,
+}
+
+/// Drives one machine to its cut point: forked from the nearest pool
+/// snapshot when one is usable, from scratch otherwise (no pool, or the
+/// cut lands inside construction/spawn — before the first capture).
+/// Execution stops at the first step boundary after the cut fires: nothing
+/// a real machine would run after a power cut is simulated, and both
+/// origins stop at the same step, which is what makes their digests
+/// byte-identical.
+fn run_to_cut(
     cfg: &MachineConfig,
-    golden: &GoldenRun,
-    b: u64,
-    rng: &mut Rng64,
-) -> Result<(bool, Vec<u64>)> {
+    pool: Option<&SnapshotPool>,
+    point: FaultPoint,
+) -> Result<CutRun> {
+    let rec = pool.and_then(|p| match point {
+        FaultPoint::Boundary(b) => p.nearest_boundary(b),
+        FaultPoint::NvmWrite(w) => p.nearest_nvm_write(w),
+        FaultPoint::Cycle(_) => None,
+    });
     let ic = InvariantChecker::new();
     let ic_log = ic.log();
+    let steps = workload_steps();
+    if let Some(rec) = rec {
+        // The trigger counts suffix events from zero, so the plan is
+        // re-based onto the events the snapshot's prefix already consumed.
+        let plan = match point {
+            FaultPoint::Boundary(b) => FaultPlan::at_boundary(b - rec.boundaries),
+            FaultPoint::NvmWrite(w) => FaultPlan::at_nvm_write(w - rec.nvm_writes),
+            FaultPoint::Cycle(c) => FaultPlan::at_cycle(c),
+        };
+        let rc = RecoveryChecker::with_publishes(&rec.publishes);
+        let rc_log = rc.log();
+        let trigger = PowerCutTrigger::new(plan, vec![Box::new(ic), Box::new(rc)]);
+        let switch = trigger.switch();
+        let guard = sanitize::install(Box::new(trigger));
+        let mut m = Machine::restore(&rec.snap);
+        m.hw.mc.arm_power_cut(switch.clone());
+        let mut state = rec.state.clone();
+        for &step in &steps[rec.step..] {
+            if switch.is_cut() {
+                break;
+            }
+            exec_step(&mut m, rec.pid, &mut state, step)?;
+        }
+        assert!(switch.is_cut(), "{point:?} never reached from snapshot; golden run out of sync");
+        return Ok(CutRun { m, pid: rec.pid, _guard: guard, ic_log, rc_log });
+    }
     let rc = RecoveryChecker::new();
     let rc_log = rc.log();
-    let trigger = PowerCutTrigger::new(FaultPlan::at_boundary(b), vec![Box::new(ic), Box::new(rc)]);
+    let trigger = PowerCutTrigger::new(FaultPlan { point }, vec![Box::new(ic), Box::new(rc)]);
     let switch = trigger.switch();
     let guard = sanitize::install(Box::new(trigger));
-
     let mut m = Machine::new(cfg.clone())?;
     m.hw.mc.arm_power_cut(switch.clone());
     let pid = m.spawn_process()?;
-    run_workload(&mut m, pid)?;
-    assert!(switch.is_cut(), "boundary {b} never reached; golden run out of sync");
+    let mut state = WorkloadState::default();
+    for &step in &steps {
+        if switch.is_cut() {
+            break;
+        }
+        exec_step(&mut m, pid, &mut state, step)?;
+    }
+    assert!(switch.is_cut(), "{point:?} never reached; golden run out of sync");
+    Ok(CutRun { m, pid, _guard: guard, ic_log, rc_log })
+}
+
+/// Crashes one machine at boundary `b` (tearing with `rng`), recovers,
+/// verifies, and returns whether the workload process survived plus this
+/// crash point's digest observables.
+fn crash_at_boundary(
+    cfg: &MachineConfig,
+    golden: &GoldenRun,
+    pool: Option<&SnapshotPool>,
+    b: u64,
+    rng: &mut Rng64,
+) -> Result<(bool, Vec<u64>)> {
+    let CutRun { mut m, pid, _guard, ic_log, rc_log } =
+        run_to_cut(cfg, pool, FaultPoint::Boundary(b))?;
 
     m.crash_torn(rng)?;
     let report = m.recover()?;
@@ -291,7 +691,6 @@ fn crash_at_boundary(
             media.uncorrectable_line_writes,
         ]);
     }
-    drop(guard);
     Ok((recovered, words))
 }
 
@@ -309,7 +708,7 @@ fn crash_at_boundary(
 /// Panics when a recovery check fails (wrong checkpoint recovered, checker
 /// violations, golden run out of sync).
 pub fn run_sweep(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
-    run_sweep_with(mode, seed, false, parallel::default_jobs())
+    run_sweep_strategy(mode, seed, false, parallel::default_jobs(), SweepStrategy::default())
 }
 
 /// [`run_sweep`] with an explicit worker count (`jobs = 1` is the exact
@@ -319,7 +718,7 @@ pub fn run_sweep(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
 ///
 /// As [`run_sweep`].
 pub fn run_sweep_jobs(mode: PtMode, seed: u64, jobs: usize) -> Result<SweepOutcome> {
-    run_sweep_with(mode, seed, false, jobs)
+    run_sweep_strategy(mode, seed, false, jobs, SweepStrategy::default())
 }
 
 /// [`run_sweep`] with every checkpoint executing on the simulated
@@ -331,11 +730,24 @@ pub fn run_sweep_jobs(mode: PtMode, seed: u64, jobs: usize) -> Result<SweepOutco
 ///
 /// As [`run_sweep`].
 pub fn run_sweep_threaded(mode: PtMode, seed: u64) -> Result<SweepOutcome> {
-    run_sweep_with(mode, seed, true, parallel::default_jobs())
+    run_sweep_strategy(mode, seed, true, parallel::default_jobs(), SweepStrategy::default())
 }
 
-fn run_sweep_with(mode: PtMode, seed: u64, threaded: bool, jobs: usize) -> Result<SweepOutcome> {
-    run_sweep_cfg(&config(mode, threaded), seed, jobs, &[])
+/// [`run_sweep`] with an explicit worker count and crash-point execution
+/// strategy — the cross-check entry point: both strategies must return the
+/// identical [`SweepOutcome`], digest included.
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_strategy(
+    mode: PtMode,
+    seed: u64,
+    threaded: bool,
+    jobs: usize,
+    strategy: SweepStrategy,
+) -> Result<SweepOutcome> {
+    Ok(run_sweep_cfg(&config(mode, threaded), seed, jobs, &[], strategy)?.0)
 }
 
 /// The boundary sweep against an explicit machine config. `extra_words`
@@ -346,18 +758,26 @@ fn run_sweep_cfg(
     seed: u64,
     jobs: usize,
     extra_words: &[u64],
-) -> Result<SweepOutcome> {
-    let golden = golden_run_cfg(cfg)?;
+    strategy: SweepStrategy,
+) -> Result<(SweepOutcome, SweepTelemetry)> {
+    let (golden, pool) = match strategy {
+        SweepStrategy::SnapshotFork => {
+            let (g, p) = recorded_golden_cfg(cfg)?;
+            (g, Some(p))
+        }
+        SweepStrategy::ReplayFromZero => (golden_run_cfg(cfg)?, None),
+    };
     // Workers have their own thread-locals: republish the caller's ambient
     // media-fault model so the sweep is jobs-invariant even under --faults.
     let ambient = kindle_sim::thread_media_faults();
     let golden_ref = &golden;
+    let pool_ref = pool.as_ref();
     let results = parallel::par_map(jobs, (0..golden.boundaries).collect(), move |b| {
         kindle_sim::set_thread_media_faults(ambient);
         // A fresh generator per boundary keeps crash points independent:
         // inserting a boundary does not shift every later tear.
-        let mut rng = Rng64::new(seed ^ (b + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        crash_at_boundary(cfg, golden_ref, b, &mut rng)
+        let mut rng = Rng64::new(seed ^ (b + 1).wrapping_mul(GOLDEN_GAMMA));
+        crash_at_boundary(cfg, golden_ref, pool_ref, b, &mut rng)
     });
     let mut digest_words = extra_words.to_vec();
     digest_words.extend([golden.boundaries, golden.nvm_writes]);
@@ -367,7 +787,17 @@ fn run_sweep_cfg(
         recovered += u64::from(rec);
         digest_words.extend(words);
     }
-    Ok(SweepOutcome { boundaries: golden.boundaries, recovered, digest: checksum64(&digest_words) })
+    let telemetry = pool.as_ref().map(|p| p.telemetry(&golden)).unwrap_or(SweepTelemetry {
+        boundaries: golden.boundaries,
+        nvm_writes: golden.nvm_writes,
+        ..SweepTelemetry::default()
+    });
+    let outcome = SweepOutcome {
+        boundaries: golden.boundaries,
+        recovered,
+        digest: checksum64(&digest_words),
+    };
+    Ok((outcome, telemetry))
 }
 
 /// The stuck-cell sweep: the full boundary crash/recovery sweep run
@@ -388,7 +818,7 @@ fn run_sweep_cfg(
 /// Panics when a recovery check fails (wrong checkpoint recovered, checker
 /// violations, golden run out of sync).
 pub fn run_stuck_sweep(mode: PtMode, seed: u64, stuck: usize) -> Result<SweepOutcome> {
-    run_stuck_sweep_jobs(mode, seed, stuck, parallel::default_jobs())
+    run_stuck_sweep_strategy(mode, seed, stuck, parallel::default_jobs(), SweepStrategy::default())
 }
 
 /// [`run_stuck_sweep`] with an explicit worker count (`jobs = 1` is the
@@ -403,32 +833,40 @@ pub fn run_stuck_sweep_jobs(
     stuck: usize,
     jobs: usize,
 ) -> Result<SweepOutcome> {
-    let cfg = stuck_config(mode, seed, stuck);
-    run_sweep_cfg(&cfg, seed, jobs, &[stuck as u64])
+    run_stuck_sweep_strategy(mode, seed, stuck, jobs, SweepStrategy::default())
 }
 
-/// Crashes one fresh machine right after its `w`-th NVM line write,
-/// recovers, verifies, and appends the observables to `digest_words`.
-/// Unlike a boundary cut, a write-granular cut can land mid-protocol, so
-/// the expected checkpoint is not derivable from the golden enumeration;
+/// [`run_stuck_sweep`] with an explicit worker count and strategy.
+///
+/// # Errors
+///
+/// As [`run_stuck_sweep`].
+pub fn run_stuck_sweep_strategy(
+    mode: PtMode,
+    seed: u64,
+    stuck: usize,
+    jobs: usize,
+    strategy: SweepStrategy,
+) -> Result<SweepOutcome> {
+    let cfg = stuck_config(mode, seed, stuck);
+    Ok(run_sweep_cfg(&cfg, seed, jobs, &[stuck as u64], strategy)?.0)
+}
+
+/// Crashes one machine right after its `w`-th NVM line write, recovers,
+/// verifies, and appends the observables to `digest_words`. Unlike a
+/// boundary cut, a write-granular cut can land mid-protocol, so the
+/// expected checkpoint is not derivable from the golden enumeration;
 /// instead the check is that recovery lands on *some* phase checkpoint (or
 /// cleanly on none), with zero checker violations, and that the machine is
 /// operational afterwards.
-fn crash_at_nvm_write(mode: PtMode, w: u64, rng: &mut Rng64) -> Result<(bool, Vec<u64>)> {
-    let ic = InvariantChecker::new();
-    let ic_log = ic.log();
-    let rc = RecoveryChecker::new();
-    let rc_log = rc.log();
-    let trigger =
-        PowerCutTrigger::new(FaultPlan::at_nvm_write(w), vec![Box::new(ic), Box::new(rc)]);
-    let switch = trigger.switch();
-    let guard = sanitize::install(Box::new(trigger));
-
-    let mut m = Machine::new(config(mode, false))?;
-    m.hw.mc.arm_power_cut(switch.clone());
-    let pid = m.spawn_process()?;
-    run_workload(&mut m, pid)?;
-    assert!(switch.is_cut(), "NVM write {w} never reached; golden run out of sync");
+fn crash_at_nvm_write(
+    cfg: &MachineConfig,
+    pool: Option<&SnapshotPool>,
+    w: u64,
+    rng: &mut Rng64,
+) -> Result<(bool, Vec<u64>)> {
+    let CutRun { mut m, pid, _guard, ic_log, rc_log } =
+        run_to_cut(cfg, pool, FaultPoint::NvmWrite(w))?;
 
     m.crash_torn(rng)?;
     let report = m.recover()?;
@@ -466,7 +904,6 @@ fn crash_at_nvm_write(mode: PtMode, w: u64, rng: &mut Rng64) -> Result<(bool, Ve
         report.dram_entries_dropped,
         m.now().as_u64(),
     ];
-    drop(guard);
     Ok((recovered, words))
 }
 
@@ -498,14 +935,40 @@ pub fn run_nvm_write_sweep_jobs(
     stride: u64,
     jobs: usize,
 ) -> Result<SweepOutcome> {
-    let golden = golden_run(mode)?;
+    Ok(run_nvm_write_sweep_instrumented(mode, seed, stride, jobs, SweepStrategy::default())?.0)
+}
+
+/// [`run_nvm_write_sweep`] with an explicit worker count and strategy,
+/// also returning the sweep's [`SweepTelemetry`] (the `sweep` bench binary
+/// publishes it as the `SWEEP_timing.json` CI artifact).
+///
+/// # Errors
+///
+/// As [`run_nvm_write_sweep`].
+pub fn run_nvm_write_sweep_instrumented(
+    mode: PtMode,
+    seed: u64,
+    stride: u64,
+    jobs: usize,
+    strategy: SweepStrategy,
+) -> Result<(SweepOutcome, SweepTelemetry)> {
+    let cfg = config(mode, false);
+    let (golden, pool) = match strategy {
+        SweepStrategy::SnapshotFork => {
+            let (g, p) = recorded_golden_cfg(&cfg)?;
+            (g, Some(p))
+        }
+        SweepStrategy::ReplayFromZero => (golden_run_cfg(&cfg)?, None),
+    };
     let stride = stride.max(1);
     let ambient = kindle_sim::thread_media_faults();
+    let cfg_ref = &cfg;
+    let pool_ref = pool.as_ref();
     let points: Vec<u64> = (0..golden.nvm_writes).step_by(stride as usize).collect();
     let results = parallel::par_map(jobs, points.clone(), move |w| {
         kindle_sim::set_thread_media_faults(ambient);
-        let mut rng = Rng64::new(seed ^ (w + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        crash_at_nvm_write(mode, w, &mut rng)
+        let mut rng = Rng64::new(seed ^ (w + 1).wrapping_mul(GOLDEN_GAMMA));
+        crash_at_nvm_write(cfg_ref, pool_ref, w, &mut rng)
     });
     let mut digest_words = vec![golden.boundaries, golden.nvm_writes, stride];
     let mut recovered = 0u64;
@@ -514,11 +977,17 @@ pub fn run_nvm_write_sweep_jobs(
         recovered += u64::from(rec);
         digest_words.extend(words);
     }
-    Ok(SweepOutcome {
+    let telemetry = pool.as_ref().map(|p| p.telemetry(&golden)).unwrap_or(SweepTelemetry {
+        boundaries: golden.boundaries,
+        nvm_writes: golden.nvm_writes,
+        ..SweepTelemetry::default()
+    });
+    let outcome = SweepOutcome {
         boundaries: points.len() as u64,
         recovered,
         digest: checksum64(&digest_words),
-    })
+    };
+    Ok((outcome, telemetry))
 }
 
 /// NVM data pages the integrity workload maps and fills per grid point.
@@ -578,12 +1047,20 @@ fn integrity_config(budget: u32, daemons: bool, seed: u64) -> MachineConfig {
 ///   mismatch count); the sanitizer stays quiet only because the workload
 ///   never reads the corrupt lines.
 ///
+/// Under [`SweepStrategy::SnapshotFork`] the machine additionally makes a
+/// `snapshot → restore` round trip right after fault seeding and the rest
+/// of the point runs on the *restored* machine — this sweep has no shared
+/// prefix to fork (each grid point is independent), so its strategy
+/// cross-check instead pins that a round trip is perfectly transparent to
+/// live patrol/kill behaviour, byte-identical digest included.
+///
 /// Returns `(healed, poisoned, killed, digest_words)`.
 fn run_integrity_point(
     budget: u32,
     daemons: bool,
     stuck: usize,
     seed: u64,
+    strategy: SweepStrategy,
 ) -> Result<(u64, u64, u64, Vec<u64>)> {
     const WORDS_PER_PAGE: u64 = PAGE_SIZE as u64 / 8;
     const LINES_PER_PAGE: u64 = PAGE_SIZE as u64 / 64;
@@ -634,6 +1111,14 @@ fn run_integrity_point(
         degraded_pages.insert(page);
     }
     let stuck = chosen.len() as u64;
+
+    // Snapshot/restore round trip: the rest of the point — patrol passes,
+    // healing, poison kills — must behave byte-identically on the restored
+    // machine, or a forked sweep could never be trusted.
+    if strategy == SweepStrategy::SnapshotFork {
+        let snap = m.snapshot();
+        m = Machine::restore(&snap);
+    }
 
     // Drive the clock from the driver process until patrold has covered
     // the pool (or the victim died); with daemons off, just a fixed spin.
@@ -731,7 +1216,12 @@ fn run_integrity_point(
 /// Panics when a point violates the integrity contract (missed heal,
 /// corrupt read, surviving owner of a lost page, sanitizer violations).
 pub fn run_data_integrity_sweep(seed: u64, stuck: usize) -> Result<DataIntegrityOutcome> {
-    run_data_integrity_sweep_jobs(seed, stuck, parallel::default_jobs())
+    run_data_integrity_sweep_strategy(
+        seed,
+        stuck,
+        parallel::default_jobs(),
+        SweepStrategy::default(),
+    )
 }
 
 /// [`run_data_integrity_sweep`] with an explicit worker count (`jobs = 1`
@@ -745,6 +1235,23 @@ pub fn run_data_integrity_sweep_jobs(
     stuck: usize,
     jobs: usize,
 ) -> Result<DataIntegrityOutcome> {
+    run_data_integrity_sweep_strategy(seed, stuck, jobs, SweepStrategy::default())
+}
+
+/// [`run_data_integrity_sweep`] with an explicit worker count and
+/// strategy. The two strategies must produce identical outcomes: the
+/// snapshot-fork arm runs each point's patrol/kill tail on a machine that
+/// made a `snapshot → restore` round trip mid-point.
+///
+/// # Errors
+///
+/// As [`run_data_integrity_sweep`].
+pub fn run_data_integrity_sweep_strategy(
+    seed: u64,
+    stuck: usize,
+    jobs: usize,
+    strategy: SweepStrategy,
+) -> Result<DataIntegrityOutcome> {
     let grid: Vec<(u64, u32, bool)> = [(0u32, false), (0, true), (2, false), (2, true)]
         .iter()
         .enumerate()
@@ -752,8 +1259,8 @@ pub fn run_data_integrity_sweep_jobs(
         .collect();
     let results = parallel::par_map(jobs, grid, move |(i, budget, daemons)| {
         // A fresh generator per point keeps grid points independent.
-        let pseed = seed ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        run_integrity_point(budget, daemons, stuck, pseed)
+        let pseed = seed ^ (i + 1).wrapping_mul(GOLDEN_GAMMA);
+        run_integrity_point(budget, daemons, stuck, pseed, strategy)
     });
     let mut digest_words = vec![seed, stuck as u64];
     let (mut healed, mut poisoned, mut killed, mut points) = (0u64, 0u64, 0u64, 0u64);
@@ -797,6 +1304,24 @@ mod tests {
     }
 
     #[test]
+    fn recorded_golden_matches_plain_enumeration() {
+        // Arming the recorder's (never-cut) power switch and taking
+        // snapshots must not perturb the boundary structure.
+        let cfg = config(PtMode::Rebuild, false);
+        let plain = golden_run_cfg(&cfg).unwrap();
+        let (recorded, pool) = recorded_golden_cfg(&cfg).unwrap();
+        assert_eq!(plain, recorded);
+        assert!(!pool.records.is_empty());
+        assert!(pool.records.len() <= pool.capacity);
+        // Step 0 (post-spawn baseline) survives every thinning round.
+        assert_eq!(pool.records[0].step, 0);
+        let t = pool.telemetry(&recorded);
+        assert_eq!(t.snapshots_offered, workload_steps().len() as u64 + 1);
+        assert!(t.pool_high_water <= t.pool_capacity);
+        assert!(t.snapshots_retained >= 1);
+    }
+
+    #[test]
     fn expected_marker_uses_flip_drain_boundary() {
         let g = GoldenRun { boundaries: 20, nvm_writes: 0, publishes: vec![(5, 0xaa), (12, 0xbb)] };
         assert_eq!(expected_marker(&g, 3), None);
@@ -806,5 +1331,48 @@ mod tests {
         assert_eq!(expected_marker(&g, 10), Some(0xaa));
         assert_eq!(expected_marker(&g, 11), Some(0xbb));
         assert_eq!(expected_marker(&g, 19), Some(0xbb));
+    }
+
+    fn dummy_record(step: usize, boundaries: u64) -> SnapshotRecord {
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        SnapshotRecord {
+            step,
+            boundaries,
+            nvm_writes: boundaries * 10,
+            publishes: Vec::new(),
+            state: WorkloadState::default(),
+            pid: 1,
+            snap: m.snapshot(),
+        }
+    }
+
+    #[test]
+    fn snapshot_pool_thins_by_doubling_stride() {
+        let mut pool = SnapshotPool::new(4);
+        for step in 0..12 {
+            pool.offer(dummy_record(step, step as u64));
+        }
+        assert!(pool.records.len() <= 4, "capacity respected: {}", pool.records.len());
+        assert_eq!(pool.high_water, 4, "high water caps at capacity");
+        assert!(pool.stride >= 4, "stride doubled at least twice: {}", pool.stride);
+        assert_eq!(pool.records[0].step, 0, "baseline survives thinning");
+        assert!(pool.records.iter().all(|r| r.step % pool.stride == 0));
+        assert_eq!(pool.offered, 12);
+    }
+
+    #[test]
+    fn snapshot_pool_nearest_picks_latest_usable() {
+        let mut pool = SnapshotPool::new(8);
+        for step in 0..4 {
+            pool.offer(dummy_record(step, step as u64 * 5));
+        }
+        // Records at boundaries 0, 5, 10, 15.
+        assert_eq!(pool.nearest_boundary(0).unwrap().boundaries, 0);
+        assert_eq!(pool.nearest_boundary(4).unwrap().boundaries, 0);
+        assert_eq!(pool.nearest_boundary(5).unwrap().boundaries, 5);
+        assert_eq!(pool.nearest_boundary(12).unwrap().boundaries, 10);
+        assert_eq!(pool.nearest_boundary(99).unwrap().boundaries, 15);
+        assert_eq!(pool.nearest_nvm_write(49).unwrap().nvm_writes, 0);
+        assert_eq!(pool.nearest_nvm_write(120).unwrap().nvm_writes, 100);
     }
 }

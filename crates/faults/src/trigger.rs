@@ -131,18 +131,33 @@ impl Sanitizer for PowerCutTrigger {
     }
 }
 
+/// One checkpoint publish observed by a [`BoundaryCounter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishRecord {
+    /// Boundary index the publish landed on.
+    pub boundary: u64,
+    /// Slot base physical address (the event's `lo`).
+    pub slot: u64,
+    /// A/B copy index published.
+    pub copy: u64,
+}
+
 /// A passive [`Sanitizer`] for golden runs: counts persist-boundary events
 /// and records, for each checkpoint publish, the boundary index it landed
-/// on. Feed the totals to [`FaultPlan::at_boundary`] to sweep every kill
-/// point of the same (deterministic) workload.
+/// on plus its slot and copy (so a forked [`RecoveryChecker`] can be
+/// seeded with the copy-alternation state a prefix already established).
+/// Feed the totals to [`FaultPlan::at_boundary`] to sweep every kill point
+/// of the same (deterministic) workload.
+///
+/// [`RecoveryChecker`]: crate::recovery_checker::RecoveryChecker
 #[derive(Debug, Default)]
 pub struct BoundaryCounter {
     /// Persist-boundary events seen so far.
     pub boundaries: u64,
     /// NVM line writes seen so far.
     pub nvm_writes: u64,
-    /// `(boundary_index, copy)` of each checkpoint publish, in order.
-    pub publishes: Vec<(u64, u64)>,
+    /// Every checkpoint publish, in order.
+    pub publishes: Vec<PublishRecord>,
 }
 
 impl BoundaryCounter {
@@ -158,8 +173,8 @@ impl Sanitizer for BoundaryCounter {
             self.nvm_writes += 1;
         }
         if is_boundary(ev) {
-            if let Event::CheckpointPublish { copy, .. } = *ev {
-                self.publishes.push((self.boundaries, copy));
+            if let Event::CheckpointPublish { lo, copy, .. } = *ev {
+                self.publishes.push(PublishRecord { boundary: self.boundaries, slot: lo, copy });
             }
             self.boundaries += 1;
         }
@@ -285,6 +300,6 @@ mod tests {
         c.on_event(ThreadId::MAIN, &Event::LogTruncate); // boundary 2
         assert_eq!(c.boundaries, 3);
         assert_eq!(c.nvm_writes, 1);
-        assert_eq!(c.publishes, vec![(1, 1)]);
+        assert_eq!(c.publishes, vec![PublishRecord { boundary: 1, slot: 0, copy: 1 }]);
     }
 }

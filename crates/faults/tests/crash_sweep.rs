@@ -6,8 +6,9 @@
 //! deterministic per seed.
 
 use kindle_faults::{
-    run_nvm_write_sweep, run_nvm_write_sweep_jobs, run_stuck_sweep_jobs, run_sweep, run_sweep_jobs,
-    run_sweep_threaded,
+    run_data_integrity_sweep_strategy, run_nvm_write_sweep, run_nvm_write_sweep_instrumented,
+    run_nvm_write_sweep_jobs, run_stuck_sweep_jobs, run_stuck_sweep_strategy, run_sweep,
+    run_sweep_jobs, run_sweep_strategy, run_sweep_threaded, SweepStrategy,
 };
 use kindle_os::PtMode;
 
@@ -102,4 +103,94 @@ fn stuck_cell_sweep_recovers_and_is_jobs_invariant() {
 
     let parallel = run_stuck_sweep_jobs(PtMode::Persistent, SEED, 4096, 8).unwrap();
     assert_eq!(serial, parallel, "jobs=1 vs jobs=8 must agree bit-for-bit");
+}
+
+// --- Snapshot-fork vs replay-from-zero cross-checks -------------------
+//
+// The sweep's O(n) tier forks each crash point from a golden-run machine
+// snapshot. These tests pin the whole point of `Machine::snapshot`: the
+// forked execution must be *indistinguishable* from re-executing the
+// prefix from cycle 0 — same recovered set, same digest, byte for byte —
+// for every sweep family. Any state the snapshot missed (a cache line, a
+// TLB entry, the media RNG, the write-buffer undo map, the ambient fault
+// epoch) would surface here as a digest mismatch.
+
+#[test]
+fn forked_boundary_sweep_matches_replay_from_zero() {
+    for mode in [PtMode::Rebuild, PtMode::Persistent] {
+        let forked = run_sweep_strategy(mode, SEED, false, 4, SweepStrategy::SnapshotFork).unwrap();
+        let replayed =
+            run_sweep_strategy(mode, SEED, false, 4, SweepStrategy::ReplayFromZero).unwrap();
+        assert_eq!(forked, replayed, "{mode:?}: forked digest must match full replay");
+    }
+}
+
+#[test]
+fn forked_threaded_sweep_matches_replay_from_zero() {
+    let forked =
+        run_sweep_strategy(PtMode::Rebuild, SEED, true, 4, SweepStrategy::SnapshotFork).unwrap();
+    let replayed =
+        run_sweep_strategy(PtMode::Rebuild, SEED, true, 4, SweepStrategy::ReplayFromZero).unwrap();
+    assert_eq!(forked, replayed, "kthread state must round-trip through snapshots");
+}
+
+#[test]
+fn forked_stuck_sweep_matches_replay_from_zero() {
+    // The hardest state to capture: media fault RNG, stuck-cell map, ECP
+    // correction directory and scrubd progress all live below the OS.
+    let forked =
+        run_stuck_sweep_strategy(PtMode::Persistent, SEED, 4096, 4, SweepStrategy::SnapshotFork)
+            .unwrap();
+    let replayed =
+        run_stuck_sweep_strategy(PtMode::Persistent, SEED, 4096, 4, SweepStrategy::ReplayFromZero)
+            .unwrap();
+    assert_eq!(forked, replayed, "media/scrub state must round-trip through snapshots");
+}
+
+#[test]
+fn forked_nvm_write_sweep_matches_replay_from_zero() {
+    let (forked, telemetry) = run_nvm_write_sweep_instrumented(
+        PtMode::Rebuild,
+        SEED,
+        151,
+        4,
+        SweepStrategy::SnapshotFork,
+    )
+    .unwrap();
+    let (replayed, _) = run_nvm_write_sweep_instrumented(
+        PtMode::Rebuild,
+        SEED,
+        151,
+        4,
+        SweepStrategy::ReplayFromZero,
+    )
+    .unwrap();
+    assert_eq!(forked, replayed, "write-granular forks must match full replay");
+    // The fork tier really ran on snapshots: the pool was populated and
+    // stayed within its bound.
+    assert!(telemetry.snapshots_retained > 0, "no snapshots recorded: {telemetry:?}");
+    assert!(telemetry.pool_high_water <= telemetry.pool_capacity, "pool overflow: {telemetry:?}");
+}
+
+#[test]
+fn round_tripped_data_integrity_sweep_matches_straight_run() {
+    // The data-integrity grid has no shared prefix to fork; its strategy
+    // cross-check instead runs each point's patrol/kill tail on a machine
+    // that made a snapshot→restore round trip right after fault seeding.
+    let forked =
+        run_data_integrity_sweep_strategy(SEED, 6, 4, SweepStrategy::SnapshotFork).unwrap();
+    let replayed =
+        run_data_integrity_sweep_strategy(SEED, 6, 4, SweepStrategy::ReplayFromZero).unwrap();
+    assert_eq!(forked, replayed, "snapshot round trip must be invisible to patrol/poison");
+}
+
+#[test]
+fn forked_sweep_is_jobs_invariant() {
+    // Workers each republish the ambient fault epoch captured in the
+    // snapshot; one worker and eight must still agree bit-for-bit.
+    let serial =
+        run_sweep_strategy(PtMode::Rebuild, SEED, false, 1, SweepStrategy::SnapshotFork).unwrap();
+    let parallel =
+        run_sweep_strategy(PtMode::Rebuild, SEED, false, 8, SweepStrategy::SnapshotFork).unwrap();
+    assert_eq!(serial, parallel, "forked sweep jobs=1 vs jobs=8 must agree bit-for-bit");
 }

@@ -91,7 +91,7 @@ pub struct MigrationOutcome {
 
 /// The HSCC engine. The simulator calls [`HsccEngine::migrate`] from its
 /// timer loop and [`HsccEngine::on_tlb_evict`] from the translation path.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HsccEngine {
     cfg: HsccConfig,
     table: MappingTable,

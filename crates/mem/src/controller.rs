@@ -14,9 +14,9 @@
 //!    revert and all DRAM contents are wiped — exactly the semantics the
 //!    paper's process-persistence machinery must survive.
 
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use kindle_types::rng::Rng64;
 use kindle_types::sanitize::{self, Event};
@@ -39,7 +39,7 @@ type PageBox = Box<[u8; PAGE_SIZE]>;
 /// media, so the eventual [`MemoryController::crash_torn`] reverts state to
 /// exactly the cut instant.
 #[derive(Clone, Debug, Default)]
-pub struct PowerSwitch(Rc<Cell<bool>>);
+pub struct PowerSwitch(Arc<AtomicBool>);
 
 impl PowerSwitch {
     /// Creates a switch with power on.
@@ -49,17 +49,17 @@ impl PowerSwitch {
 
     /// Cuts power.
     pub fn cut(&self) {
-        self.0.set(true);
+        self.0.store(true, Ordering::Relaxed);
     }
 
     /// True once power has been cut.
     pub fn is_cut(&self) -> bool {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 
     /// Restores power (after the post-crash reboot).
     pub fn reset(&self) {
-        self.0.set(false);
+        self.0.store(false, Ordering::Relaxed);
     }
 }
 
@@ -83,7 +83,7 @@ pub enum PatrolOutcome {
 }
 
 /// Hybrid DRAM + NVM memory controller. See the module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MemoryController {
     layout: E820Map,
     dram: DramDevice,
@@ -180,6 +180,14 @@ impl MemoryController {
     /// cut, nothing further becomes durable until the crash.
     pub fn arm_power_cut(&mut self, switch: PowerSwitch) {
         self.power = Some(switch);
+    }
+
+    /// Disarms power-cut injection: drops the switch and any latched cut
+    /// state. Used when capturing a [`Clone`]-based machine snapshot so the
+    /// copy never carries a live trigger wiring from the run it forked off.
+    pub fn disarm_power_cut(&mut self) {
+        self.power = None;
+        self.cut_pending = None;
     }
 
     /// Latches the power cut the first time any operation observes the

@@ -139,7 +139,7 @@ pub struct UnmapOutcome {
 }
 
 /// The gemOS-analog kernel.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Kernel {
     /// Instruction-cost table (public: experiments tune it).
     pub costs: KernelCosts,

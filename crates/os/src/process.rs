@@ -20,7 +20,7 @@ pub enum ProcState {
 }
 
 /// A process: execution context plus memory layout.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Process {
     /// Process id.
     pub pid: u32,

@@ -47,7 +47,7 @@ pub struct CheckpointStats {
 }
 
 /// The periodic checkpoint engine. See the module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CheckpointEngine {
     scheme: CheckpointScheme,
     interval: Cycles,

@@ -23,7 +23,7 @@ pub struct LineOutcome {
 }
 
 /// The timing hardware. See the module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Hw {
     /// The in-order core: clock + activity accounting + registers.
     pub core: Core,

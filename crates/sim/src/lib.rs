@@ -37,5 +37,5 @@ pub use config::{
 };
 pub use daemon::{CheckpointDaemon, KernelDaemon, MigrationDaemon, PatrolDaemon, ScrubDaemon};
 pub use hw::Hw;
-pub use machine::{Machine, ReplayOptions, ReplayReport};
+pub use machine::{Machine, MachineSnapshot, ReplayOptions, ReplayReport};
 pub use report::SimReport;

@@ -985,7 +985,114 @@ impl Machine {
     pub fn report(&self) -> SimReport {
         SimReport::collect(self)
     }
+
+    /// Captures a deep, deterministic snapshot of the whole machine:
+    /// hardware pools and data image, caches, TLBs, page tables (they live
+    /// in the memory image), redo log and checkpoint area, kernel +
+    /// scheduler + daemon registry, checksum/scrub/patrol state, and the
+    /// ambient fault-model epoch of the capturing thread.
+    ///
+    /// The copy never carries power-cut wiring: a restored machine arms its
+    /// own fresh [`PowerSwitch`] if it wants one. Cloning touches no
+    /// simulated state, emits no sanitizer events, and advances no clocks,
+    /// so `snapshot(); restore()` round-trips are invisible to the run.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut hw = self.hw.clone();
+        hw.mc.disarm_power_cut();
+        MachineSnapshot {
+            cfg: self.cfg.clone(),
+            hw,
+            tlb: self.tlb.clone(),
+            walker: self.walker.clone(),
+            msr: self.msr.clone(),
+            kernel: self.kernel.clone(),
+            persist: self.persist.clone(),
+            ssp: self.ssp.clone(),
+            hscc: self.hscc.clone(),
+            scrub: self.scrub.clone(),
+            patrol: self.patrol.clone(),
+            tlb_shootdowns: self.tlb_shootdowns,
+            active_pid: self.active_pid,
+            daemons: self.daemons.iter().map(|s| (s.kind, s.tid)).collect(),
+            ambient_faults: crate::config::thread_media_faults(),
+        }
+    }
+
+    /// Rebuilds a machine from a snapshot (a *fork*: the snapshot stays
+    /// usable, any number of machines can restore from it, and the caller
+    /// may be on a different thread than the capturer).
+    ///
+    /// Restoring republishes the captured ambient fault-model epoch on the
+    /// calling thread (so machines *constructed* later on this thread see
+    /// the same media-fault model the capturer had) and re-anchors the
+    /// sanitizer's current-thread stamp to the scheduler's running kthread.
+    pub fn restore(snap: &MachineSnapshot) -> Self {
+        crate::config::set_thread_media_faults(snap.ambient_faults.clone());
+        let m = Machine {
+            cfg: snap.cfg.clone(),
+            hw: snap.hw.clone(),
+            tlb: snap.tlb.clone(),
+            walker: snap.walker.clone(),
+            msr: snap.msr.clone(),
+            kernel: snap.kernel.clone(),
+            persist: snap.persist.clone(),
+            ssp: snap.ssp.clone(),
+            hscc: snap.hscc.clone(),
+            scrub: snap.scrub.clone(),
+            patrol: snap.patrol.clone(),
+            tlb_shootdowns: snap.tlb_shootdowns,
+            active_pid: snap.active_pid,
+            daemons: snap
+                .daemons
+                .iter()
+                .map(|&(kind, tid)| DaemonSlot { kind, daemon: daemon::builtin(kind), tid })
+                .collect(),
+        };
+        sanitize::set_current_thread(m.kernel.sched.current());
+        m
+    }
 }
+
+/// A deep capture of one [`Machine`] at an instant, made by
+/// [`Machine::snapshot`] and turned back into a live machine by
+/// [`Machine::restore`].
+///
+/// Daemon implementations are stateless unit structs behind `Rc`, so the
+/// snapshot records only each slot's `(kind, tid)` and rebuilds the
+/// implementations at restore — that (plus the atomic power switch) is what
+/// keeps the whole capture `Send + Sync`, letting one snapshot pool be
+/// shared by reference across `par_map` sweep workers.
+#[derive(Clone, Debug)]
+pub struct MachineSnapshot {
+    cfg: MachineConfig,
+    hw: Hw,
+    tlb: TwoLevelTlb,
+    walker: PageWalker,
+    msr: MsrFile,
+    kernel: Kernel,
+    persist: Option<CheckpointEngine>,
+    ssp: Option<SspEngine>,
+    hscc: Option<HsccEngine>,
+    scrub: Option<ScrubState>,
+    patrol: Option<PatrolState>,
+    tlb_shootdowns: u64,
+    active_pid: Option<u32>,
+    daemons: Vec<(DaemonKind, Option<ThreadId>)>,
+    /// The capturing thread's ambient media-fault model
+    /// ([`crate::config::thread_media_faults`]) — the fault-model *epoch*.
+    /// Without it, a worker forking on a thread whose ambient model differs
+    /// (or was never published) would build follow-on machines under a
+    /// different fault regime than the golden run, silently changing stuck
+    /// cells, wear state, and retry behaviour mid-sweep.
+    ambient_faults: Option<kindle_mem::MediaFaultConfig>,
+}
+
+// Snapshots cross fork-join worker boundaries by shared reference, so the
+// capture must never regress to holding `Rc`/`Cell` state.
+const _: fn() = {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MachineSnapshot>
+};
 
 #[cfg(test)]
 mod tests {

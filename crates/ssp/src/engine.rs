@@ -56,7 +56,7 @@ pub struct SspStats {
 /// The SSP engine. The simulator calls into it from the access path (write
 /// routing bookkeeping, TLB-eviction spills) and from the timer loop
 /// (interval ends, consolidation-thread wakeups).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SspEngine {
     cfg: SspConfig,
     cache: SspCache,

@@ -9,7 +9,7 @@ use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationL
 /// Flag summary printed when an unknown or malformed argument is seen.
 pub const USAGE: &str = "[--quick] [--sanitize] [--faults <seed>] [--stuck <N>] \
      [--patrol <interval-us>] [--jobs <N>] [--csv <path>] [--json <path>] [--plot <path>] \
-     [--timing <path>] [--verify-replay]";
+     [--timing <path>] [--verify-replay] [--legacy-maps]";
 
 /// Per-line ECP correction budget armed alongside `--stuck`: two entries
 /// absorb every realistically seeded cell (three uniform cells landing in
@@ -53,6 +53,12 @@ pub const STUCK_CORRECTION_ENTRIES: u32 = 2;
 /// * `--verify-replay` asks sweep-style binaries to cross-check the
 ///   snapshot-forked execution against the replay-from-zero oracle
 ///   ([`Harness::verify_replay`]); the digests must be byte-identical.
+/// * `--legacy-maps` makes every machine the experiment builds on this
+///   thread use the legacy ordered-map memory-controller stores instead
+///   of the flat direct-indexed tables. Output must be byte-identical;
+///   only throughput changes (this is the `hotpath` benchmark's
+///   comparison baseline, and an escape hatch for bisecting the flat
+///   layout).
 ///
 /// Unknown `--*` flags are rejected: [`Harness::from_args`] prints the
 /// usage line and exits with status 2 rather than silently running the
@@ -119,6 +125,7 @@ impl Harness {
         let mut plot_path = None;
         let mut timing_path = None;
         let mut verify_replay = false;
+        let mut legacy_maps = false;
         let mut it = args.iter().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -168,6 +175,7 @@ impl Harness {
                     timing_path = Some(it.next().ok_or("--timing requires a path")?.clone());
                 }
                 "--verify-replay" => verify_replay = true,
+                "--legacy-maps" => legacy_maps = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -183,6 +191,9 @@ impl Harness {
                 faults.correction_entries = STUCK_CORRECTION_ENTRIES;
             }
             kindle_core::sim::set_thread_media_faults(Some(faults));
+        }
+        if legacy_maps {
+            kindle_core::sim::set_thread_legacy_maps(true);
         }
         let (guard, log) = if sanitize_requested {
             let checker = InvariantChecker::new();
@@ -278,6 +289,7 @@ impl Harness {
     /// [`KindleError::Corrupted`] when the sanitizer recorded violations.
     pub fn finish(self) -> Result<()> {
         kindle_core::sim::set_thread_media_faults(None);
+        kindle_core::sim::set_thread_legacy_maps(false);
         parallel::set_thread_jobs(1);
         if let Some(log) = &self.log {
             let violations = log.take();
@@ -363,6 +375,16 @@ mod tests {
         h.finish().unwrap();
         let clean = Machine::new(MachineConfig::small()).unwrap();
         assert!(clean.config().mem.faults.is_none(), "finish must clear the ambient seed");
+    }
+
+    #[test]
+    fn harness_legacy_maps_arms_machines_until_finish() {
+        let h = Harness::from_arg_list(&args(&["bin", "--legacy-maps"]));
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        assert!(m.config().mem.legacy_maps, "flag must reach every machine built on this thread");
+        h.finish().unwrap();
+        let clean = Machine::new(MachineConfig::small()).unwrap();
+        assert!(!clean.config().mem.legacy_maps, "finish must clear the ambient request");
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct Cache {
     assoc: usize,
     set_mask: u64,
     tick: u64,
+    /// Running count of valid ways, maintained on every fill/evict so
+    /// [`occupancy`](Self::occupancy) is O(1) instead of a full-array
+    /// recount (telemetry reads it per report, and the LLC has 98k ways).
+    occupied: usize,
     stats: CacheStats,
 }
 
@@ -98,6 +102,7 @@ impl Cache {
             set_mask: sets as u64 - 1,
             cfg,
             tick: 0,
+            occupied: 0,
             stats: CacheStats::default(),
         }
     }
@@ -151,6 +156,7 @@ impl Cache {
         // Reuse an invalid way if present.
         if let Some(way) = ways.iter_mut().find(|w| !w.valid) {
             *way = Way { tag, valid: true, dirty, stamp: tick };
+            self.occupied += 1;
             return None;
         }
         let victim = ways.iter_mut().min_by_key(|w| w.stamp).expect("associativity >= 1");
@@ -192,6 +198,7 @@ impl Cache {
         for way in &mut self.ways[base..base + self.assoc] {
             if way.valid && way.tag == tag {
                 way.valid = false;
+                self.occupied -= 1;
                 return way.dirty;
             }
         }
@@ -223,10 +230,20 @@ impl Cache {
             way.valid = false;
             way.dirty = false;
         }
+        self.occupied = 0;
     }
 
-    /// Number of valid lines currently held.
+    /// Number of valid lines currently held (a maintained counter, not a
+    /// recount; [`recount_occupancy`](Self::recount_occupancy) is the
+    /// oracle the tests hold it against).
     pub fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    /// Recounts valid ways from scratch. Test oracle for the maintained
+    /// [`occupancy`](Self::occupancy) counter.
+    #[doc(hidden)]
+    pub fn recount_occupancy(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
 }
@@ -331,6 +348,47 @@ mod tests {
         let conflicting = PhysAddr::new(pa.as_u64() + 64 * 64 * 64);
         let ev = c.insert(conflicting, false).unwrap();
         assert_eq!(ev.line, pa);
+    }
+
+    #[test]
+    fn occupancy_counter_matches_recount_through_mixed_workload() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        // Deterministic mixed fill/evict/invalidate traffic: addresses
+        // collide across both sets, so inserts exercise both the
+        // invalid-way-reuse branch (+1) and the replace branch (+0).
+        let mut state = 0x9e37_79b9_u64;
+        for step in 0..200u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pa = PhysAddr::new((state >> 33) % 8 * 64);
+            match step % 5 {
+                0 | 1 => {
+                    if !c.lookup(pa, AccessKind::Read) {
+                        c.insert(pa, step % 2 == 0);
+                    }
+                }
+                2 => {
+                    c.insert(pa, false);
+                }
+                3 => {
+                    c.invalidate_line(pa);
+                }
+                _ => {
+                    c.writeback_line(pa);
+                }
+            }
+            assert_eq!(
+                c.occupancy(),
+                c.recount_occupancy(),
+                "counter drifted from recount at step {step}"
+            );
+        }
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.occupancy(), c.recount_occupancy());
+        c.insert(PhysAddr::new(0), true);
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.occupancy(), c.recount_occupancy());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//@path crates/mem/src/legacy.rs
+// The allowlisted cold path: the legacy ordered-map stores kept as the
+// --legacy-maps equivalence baseline may use BTreeMap/BTreeSet freely.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct LegacyPages {
+    pages: BTreeMap<u64, Box<[u8; 4096]>>,
+}
+
+pub fn pending(lines: &BTreeSet<u64>) -> usize {
+    lines.len()
+}

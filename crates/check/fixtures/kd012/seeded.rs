@@ -1,0 +1,16 @@
+//@path crates/mem/src/controller.rs
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Controller {
+    pages: BTreeMap<u64, Box<[u8; 4096]>>,
+    failed_set: BTreeSet<u64>,
+}
+
+impl Controller {
+    pub fn track(&mut self, pfn: u64) {
+        let set: BTreeSet<u64> = self.failed_set.iter().copied().collect();
+        if !set.contains(&pfn) {
+            self.failed_set.insert(pfn);
+        }
+    }
+}

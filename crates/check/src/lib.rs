@@ -2,7 +2,7 @@
 //!
 //! The pipeline is `lexer` (token stream) → `syntax` (brace-matched
 //! block tree, function extraction, test cut) → `rules` (KD001–KD004,
-//! KD006–KD011 on tokens and per-function walks) plus `manifest` (KD005
+//! KD006–KD012 on tokens and per-function walks) plus `manifest` (KD005
 //! on `Cargo.toml`s) and `allow` (inline / allowlist suppression). The
 //! `kindle-check` binary drives it over the workspace; the fixture
 //! golden test (`tests/golden.rs`) drives it over seeded corpora.

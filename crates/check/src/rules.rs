@@ -13,6 +13,7 @@
 //! | KD009 | NVM-mutating primitives in `mem`/`os`/`persist` emit their sanitize event on every path, or sit inside a checkpoint bracket |
 //! | KD010 | `LockAcquire`/`LockRelease` emissions balance per `LOCK_*` id on all paths, early exits included |
 //! | KD011 | no `todo!`/`unimplemented!`/`unreachable!` in non-test simulation code |
+//! | KD012 | no `BTreeMap`/`BTreeSet` in `crates/mem` hot-path modules (flat tables only; `legacy.rs` is the allowlisted cold path) |
 //!
 //! (KD005, the external-dependency rule, lives in [`crate::manifest`].)
 //!
@@ -52,6 +53,14 @@ pub fn is_nvm_discipline_crate(krate: &str) -> bool {
 /// go through its `par_map`, so worker scheduling can never reach
 /// simulation state or reorder results.
 const THREAD_HOME: &str = "crates/core/src/parallel.rs";
+
+/// The `crates/mem` files allowed to keep ordered maps (KD012): the
+/// legacy store implementations preserved as the `--legacy-maps`
+/// equivalence baseline. Everything else in the memory controller is
+/// hot-path and must use the direct-indexed flat tables — a `BTreeMap`
+/// reintroduced there is a performance regression the type system cannot
+/// catch.
+const MEM_MAP_ALLOW: &[&str] = &["crates/mem/src/legacy.rs"];
 
 /// Identifiers that mark a statement as handling addresses or simulated
 /// time (KD003). Compared case-insensitively against identifier tokens.
@@ -119,9 +128,10 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
     let no_panic = krate.map(is_no_panic_crate).unwrap_or(false);
     let types_crate = krate == Some("types");
     let nvm_discipline = krate.map(is_nvm_discipline_crate).unwrap_or(false);
+    let mem_hot = rel_path.starts_with("crates/mem/") && !MEM_MAP_ALLOW.contains(&rel_path);
 
     let mut out = Vec::new();
-    flat_rules(rel_path, sim, no_panic, types_crate, &tokens, &mut out);
+    flat_rules(rel_path, sim, no_panic, types_crate, mem_hot, &tokens, &mut out);
 
     if sim || nvm_discipline {
         let root = syntax::parse(&tokens);
@@ -146,6 +156,7 @@ fn flat_rules(
     sim: bool,
     no_panic: bool,
     types_crate: bool,
+    mem_hot: bool,
     tokens: &[Token<'_>],
     out: &mut Vec<Diagnostic>,
 ) {
@@ -193,6 +204,9 @@ fn flat_rules(
             && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
         {
             hit("KD011", t.line);
+        }
+        if mem_hot && (t.is_ident("BTreeMap") || t.is_ident("BTreeSet")) {
+            hit("KD012", t.line);
         }
     }
 
@@ -300,6 +314,11 @@ fn message_of(rule: &str) -> &'static str {
             "todo!/unimplemented!/unreachable! in simulation code; model the \
              case explicitly or return a KindleError so fault injection cannot \
              reach a panic"
+        }
+        "KD012" => {
+            "ordered map in a memory-controller hot-path module; use the \
+             direct-indexed flat tables (crates/mem/src/store.rs) — only the \
+             legacy equivalence baseline (legacy.rs) may keep BTreeMap/BTreeSet"
         }
         _ => "violation",
     }
@@ -643,6 +662,23 @@ mod tests {
         // In a comment or string: invisible.
         let src = "// a HashMap would be wrong\nlet s = \"HashSet\";\n";
         let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn kd012_flags_ordered_maps_in_mem_hot_path_only() {
+        let src = "use std::collections::BTreeMap;\nlet s: BTreeSet<u64>;\n";
+        let d = check_source("crates/mem/src/controller.rs", Some("mem"), src);
+        assert_eq!(rules_of(&d), ["KD012", "KD012"]);
+        // The legacy equivalence baseline is the allowlisted cold path.
+        let d = check_source("crates/mem/src/legacy.rs", Some("mem"), src);
+        assert!(d.is_empty(), "{d:?}");
+        // Other crates are KD002 territory, not KD012's.
+        let d = check_source("crates/os/src/x.rs", Some("os"), src);
+        assert!(d.is_empty(), "{d:?}");
+        // Comments and strings are invisible as always.
+        let src = "// a BTreeMap here would regress the hot path\n";
+        let d = check_source("crates/mem/src/nvm.rs", Some("mem"), src);
         assert!(d.is_empty(), "{d:?}");
     }
 

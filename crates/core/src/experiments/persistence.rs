@@ -469,6 +469,18 @@ mod tests {
     }
 
     #[test]
+    fn fig4a_rows_are_layout_invariant() {
+        // Flat vs legacy controller stores (the bench harness's
+        // --legacy-maps) must produce byte-identical rows: the store
+        // layout is a host-side data structure, never a simulated one.
+        let flat = run_fig4a(&Fig4aParams::quick()).unwrap();
+        kindle_sim::set_thread_legacy_maps(true);
+        let legacy = run_fig4a(&Fig4aParams::quick());
+        kindle_sim::set_thread_legacy_maps(false);
+        assert_eq!(flat, legacy.unwrap(), "legacy maps changed a Fig. 4a row");
+    }
+
+    #[test]
     fn fig4a_rows_are_jobs_invariant() {
         let serial = run_fig4a(&Fig4aParams::quick()).unwrap();
         parallel::set_thread_jobs(4);

@@ -155,9 +155,11 @@ where
 {
     let jobs = thread_jobs();
     let ambient_faults = kindle_sim::thread_media_faults();
+    let ambient_legacy = kindle_sim::thread_legacy_maps();
     let sanitized = sanitize::installed();
     let run_cell = move |item: T| -> Result<R> {
         kindle_sim::set_thread_media_faults(ambient_faults);
+        kindle_sim::set_thread_legacy_maps(ambient_legacy);
         if !sanitized {
             return f(item);
         }
@@ -271,6 +273,17 @@ mod tests {
         assert!(seeds.iter().all(|&s| s == Some(77)), "{seeds:?}");
         set_thread_jobs(1);
         kindle_sim::set_thread_media_faults(None);
+    }
+
+    #[test]
+    fn par_map_cells_republishes_legacy_maps_on_workers() {
+        kindle_sim::set_thread_legacy_maps(true);
+        set_thread_jobs(4);
+        let flags =
+            par_map_cells((0..8u64).collect(), |_| Ok(kindle_sim::thread_legacy_maps())).unwrap();
+        assert!(flags.iter().all(|&f| f), "{flags:?}");
+        set_thread_jobs(1);
+        kindle_sim::set_thread_legacy_maps(false);
     }
 
     #[test]

@@ -161,6 +161,11 @@ pub struct MemConfig {
     /// (on by default; off exists so equivalence tests can prove the fast
     /// path changes no observable output).
     pub mru_page_cache: bool,
+    /// Use the legacy ordered-map stores for pages, checksums and undo
+    /// state instead of the direct-indexed flat tables (off by default;
+    /// on exists so equivalence tests and the `hotpath` bench can prove
+    /// the flat layout changes no observable output).
+    pub legacy_maps: bool,
 }
 
 impl MemConfig {
@@ -174,6 +179,7 @@ impl MemConfig {
             layout: E820Map::flat(dram_bytes, nvm_bytes),
             faults: None,
             mru_page_cache: true,
+            legacy_maps: false,
         }
     }
 }

@@ -14,7 +14,6 @@
 //!    revert and all DRAM contents are wiped — exactly the semantics the
 //!    paper's process-persistence machinery must survive.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -29,8 +28,7 @@ use crate::dram::DramDevice;
 use crate::e820::E820Map;
 use crate::nvm::{CorrectionOutcome, MediaFaults, NvmDevice, WriteOutcome};
 use crate::stats::MemStats;
-
-type PageBox = Box<[u8; PAGE_SIZE]>;
+use crate::store::{FrameSet, PageBox, PageStore, SumStore, UndoStore};
 
 /// Shared power-cut flag connecting a fault-injection trigger to an armed
 /// controller. Once [`cut`](PowerSwitch::cut) is called, the controller
@@ -88,23 +86,24 @@ pub struct MemoryController {
     layout: E820Map,
     dram: DramDevice,
     nvm: NvmDevice,
-    /// Sparse volatile image: what loads observe.
-    pages: BTreeMap<u64, PageBox>,
+    /// Sparse volatile image: what loads observe. Pfn-indexed flat arena
+    /// by default, the legacy ordered map under `MemConfig::legacy_maps`.
+    pages: PageStore,
     /// Single-entry MRU page cache: the one page most recently touched,
     /// held *out* of `pages` so the common same-page-as-last-access case
-    /// skips the tree walk entirely. Disjoint from `pages` by construction;
-    /// [`flush_mru`](Self::flush_mru) reunites them before any whole-map
-    /// operation.
+    /// skips the store lookup entirely. Disjoint from `pages` by
+    /// construction; [`flush_mru`](Self::flush_mru) reunites them before
+    /// any whole-image operation.
     mru: Option<(u64, PageBox)>,
     /// MRU cache enabled (config; off only for equivalence testing).
     mru_enabled: bool,
     /// Durable snapshots for dirtied-but-not-committed NVM lines, keyed by
     /// line base address.
-    nvm_undo: BTreeMap<u64, [u8; 64]>,
+    nvm_undo: UndoStore,
     /// When power-cut injection is armed: the previous *durable* value of
     /// each line committed into the device write buffer and not yet
     /// drained. A power cut tears or drops these per the buffer state.
-    wbuf_undo: BTreeMap<u64, [u8; 64]>,
+    wbuf_undo: UndoStore,
     /// Power-cut arming (None = classic ADR semantics: committed == durable).
     power: Option<PowerSwitch>,
     /// Device-pending lines captured at the instant the power cut was first
@@ -121,11 +120,11 @@ pub struct MemoryController {
     /// read-verify means the stored copy no longer holds what was written.
     /// Maintained only while a media-fault model is armed; like ECP
     /// metadata it lives with the media and survives crashes.
-    nvm_sums: BTreeMap<u64, u64>,
+    nvm_sums: SumStore,
     /// Frames whose NVM writes exhausted their retries, pending OS
     /// retirement; `failed_set` dedupes repeat offenders.
     failed_frames: Vec<u64>,
-    failed_set: BTreeSet<u64>,
+    failed_set: FrameSet,
     retry_limit: u32,
     retry_backoff: Cycles,
     write_service: Cycles,
@@ -145,22 +144,24 @@ impl MemoryController {
             let nvm = cfg.layout.range(MemKind::Nvm);
             MediaFaults::new(f.clone(), nvm.base.as_u64(), nvm.size)
         });
+        let nvm_base = cfg.layout.range(MemKind::Nvm).base.as_u64();
+        let frames = cfg.layout.end().as_u64() >> PAGE_SHIFT;
         MemoryController {
             layout: cfg.layout.clone(),
             dram: DramDevice::new(cfg.dram.clone()),
             nvm: NvmDevice::new(cfg.nvm.clone()),
-            pages: BTreeMap::new(),
+            pages: PageStore::new(cfg.legacy_maps, frames),
             mru: None,
             mru_enabled: cfg.mru_page_cache,
-            nvm_undo: BTreeMap::new(),
-            wbuf_undo: BTreeMap::new(),
+            nvm_undo: UndoStore::new(cfg.legacy_maps, nvm_base),
+            wbuf_undo: UndoStore::new(cfg.legacy_maps, nvm_base),
             power: None,
             cut_pending: None,
             last_now: Cycles::ZERO,
             media,
-            nvm_sums: BTreeMap::new(),
+            nvm_sums: SumStore::new(cfg.legacy_maps, nvm_base),
             failed_frames: Vec::new(),
-            failed_set: BTreeSet::new(),
+            failed_set: FrameSet::with_base(nvm_base >> PAGE_SHIFT),
             retry_limit: cfg.faults.as_ref().map_or(0, |f| f.retry_limit),
             retry_backoff: Cycles::from_nanos(
                 cfg.faults.as_ref().map_or(0, |f| f.retry_backoff_ns),
@@ -297,11 +298,11 @@ impl MemoryController {
 
     fn page_mut(&mut self, pfn: u64) -> &mut [u8; PAGE_SIZE] {
         if !self.mru_enabled {
-            return self.pages.entry(pfn).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            return self.pages.get_mut_or_alloc(pfn);
         }
         if self.mru.as_ref().is_none_or(|&(cached, _)| cached != pfn) {
             self.flush_mru();
-            let page = self.pages.remove(&pfn).unwrap_or_else(|| Box::new([0u8; PAGE_SIZE]));
+            let page = self.pages.remove(pfn).unwrap_or_else(|| Box::new([0u8; PAGE_SIZE]));
             self.mru = Some((pfn, page));
         }
         &mut self.mru.as_mut().expect("mru slot just filled").1
@@ -314,7 +315,7 @@ impl MemoryController {
                 return Some(page);
             }
         }
-        self.pages.get(&pfn).map(|p| &**p)
+        self.pages.get(pfn)
     }
 
     /// Moves the MRU slot's page back into the map, restoring the
@@ -359,10 +360,10 @@ impl MemoryController {
             let mut line = first;
             while line <= last {
                 sanitize::emit(|| Event::NvmWrite { line, cycle: 0 });
-                if !self.nvm_undo.contains_key(&line) {
+                if !self.nvm_undo.contains(line) {
                     let mut snap = [0u8; 64];
                     self.load_bytes(PhysAddr::new(line), &mut snap);
-                    self.nvm_undo.insert(line, snap);
+                    self.nvm_undo.insert_absent(line, snap);
                 }
                 line += 64;
             }
@@ -483,7 +484,7 @@ impl MemoryController {
         let mut bad = Vec::new();
         for i in 0..PAGE_SIZE / 64 {
             let line = frame_base + (i * 64) as u64;
-            let Some(&want) = self.nvm_sums.get(&line) else {
+            let Some(want) = self.nvm_sums.get(line) else {
                 continue;
             };
             if self.line_checksum(line) == want {
@@ -605,26 +606,26 @@ impl MemoryController {
         }
         sanitize::emit(|| Event::NvmCommit { line: pa.line_base().as_u64() });
         let line = pa.line_base().as_u64();
-        if let Some(snap) = self.nvm_undo.remove(&line) {
+        if let Some(snap) = self.nvm_undo.remove(line) {
             self.nvm_lines_committed += 1;
             if self.power.is_some() {
                 // Non-ADR mode: "committed" only means "accepted into the
                 // device write buffer". Remember the previous durable value
                 // (oldest wins) so a power cut can tear or drop the line.
-                self.wbuf_undo.entry(line).or_insert(snap);
+                self.wbuf_undo.insert_absent(line, snap);
                 self.prune_wbuf_undo();
             }
         }
     }
 
     /// Drops write-buffer undo entries for lines the device has already
-    /// drained, keeping the map bounded while armed.
+    /// drained, keeping the store bounded while armed.
     fn prune_wbuf_undo(&mut self) {
         if self.wbuf_undo.len() < 256 {
             return;
         }
-        let pending: BTreeSet<u64> = self.nvm.pending_lines(self.last_now).into_iter().collect();
-        self.wbuf_undo.retain(|line, _| pending.contains(line));
+        let pending = self.nvm.pending_lines(self.last_now);
+        self.wbuf_undo.retain_pending(&pending);
     }
 
     /// Commits every outstanding NVM line (orderly shutdown / full flush).
@@ -633,21 +634,18 @@ impl MemoryController {
         if self.frozen() {
             return;
         }
+        self.nvm_lines_committed += self.nvm_undo.len() as u64;
+        let undo = self.nvm_undo.drain_sorted();
         if sanitize::installed() {
-            for &line in self.nvm_undo.keys() {
+            for &(line, _) in &undo {
                 sanitize::emit(|| Event::NvmCommit { line });
             }
         }
-        self.nvm_lines_committed += self.nvm_undo.len() as u64;
         if self.power.is_some() {
-            let undo: Vec<(u64, [u8; 64])> =
-                std::mem::take(&mut self.nvm_undo).into_iter().collect();
             for (line, snap) in undo {
-                self.wbuf_undo.entry(line).or_insert(snap);
+                self.wbuf_undo.insert_absent(line, snap);
             }
             self.prune_wbuf_undo();
-        } else {
-            self.nvm_undo.clear();
         }
     }
 
@@ -664,8 +662,7 @@ impl MemoryController {
         self.crashes += 1;
         self.nvm_lines_lost_on_crash = self.nvm_undo.len() as u64;
         self.nvm_lines_torn_on_crash = 0;
-        let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
-        for (line, snap) in undo {
+        for (line, snap) in self.nvm_undo.drain_sorted() {
             self.restore_line(line, &snap, true);
         }
         self.power_off_cleanup();
@@ -687,8 +684,7 @@ impl MemoryController {
 
         // 1. Cache contents never written back: full rollback, as in crash().
         let mut lost = self.nvm_undo.len() as u64;
-        let undo: Vec<(u64, [u8; 64])> = std::mem::take(&mut self.nvm_undo).into_iter().collect();
-        for (line, snap) in undo {
+        for (line, snap) in self.nvm_undo.drain_sorted() {
             self.restore_line(line, &snap, true);
         }
 
@@ -698,7 +694,7 @@ impl MemoryController {
         let banks = self.nvm.banks();
         let mut torn = 0u64;
         for (i, &line) in pending.iter().enumerate() {
-            let Some(snap) = self.wbuf_undo.remove(&line) else {
+            let Some(snap) = self.wbuf_undo.remove(line) else {
                 // Drained earlier under the same address, or committed
                 // before arming: already durable.
                 continue;
@@ -737,7 +733,7 @@ impl MemoryController {
         // check:allow KD009: crash rollback restores the durable image; the
         // callers emit Event::Crash and the sanitizer resets write tracking.
         self.page_mut(pfn)[off..off + 64].copy_from_slice(image);
-        if rehash && self.nvm_sums.contains_key(&line) {
+        if rehash && self.nvm_sums.contains(line) {
             // check:allow KD009: same crash-rollback context as above.
             self.record_line_checksum(line);
         }
@@ -751,8 +747,9 @@ impl MemoryController {
         // would be dropped by the retain below).
         self.flush_mru();
         let layout = self.layout.clone();
-        self.pages
-            .retain(|&pfn, _| layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm));
+        self.pages.retain_frames(|pfn| {
+            layout.kind_of(PhysAddr::new(pfn << PAGE_SHIFT)) == Ok(MemKind::Nvm)
+        });
         self.dram.reset();
         self.nvm.reset();
         self.wbuf_undo.clear();
@@ -1117,6 +1114,68 @@ mod tests {
         let b = mru_workload(&mut slow, dram_pa, nvm_pa);
         assert_eq!(a, b, "MRU cache must not change any observable byte");
         assert_eq!(fast.stats(), slow.stats(), "nor any statistic");
+    }
+
+    #[test]
+    fn legacy_maps_is_observation_equivalent() {
+        let cfg_flat = MemConfig::with_capacities(16 << 20, 16 << 20);
+        let mut cfg_legacy = cfg_flat.clone();
+        cfg_legacy.legacy_maps = true;
+        assert!(!cfg_flat.legacy_maps, "flat stores must default on");
+        let dram_pa = PhysAddr::new(0x1000);
+        let nvm_pa = cfg_flat.layout.range(MemKind::Nvm).base + 0x1000;
+        let mut flat = MemoryController::new(&cfg_flat);
+        let mut legacy = MemoryController::new(&cfg_legacy);
+        let a = mru_workload(&mut flat, dram_pa, nvm_pa);
+        let b = mru_workload(&mut legacy, dram_pa, nvm_pa);
+        assert_eq!(a, b, "flat stores must not change any observable byte");
+        assert_eq!(flat.stats(), legacy.stats(), "nor any statistic");
+    }
+
+    #[test]
+    fn legacy_maps_equivalent_with_media_and_torn_crash() {
+        // Exercises every flattened store at once: pages (stores/loads),
+        // nvm_sums (media armed records checksums; patrol reads them),
+        // nvm_undo/wbuf_undo (armed power cut, commit, torn crash).
+        let run = |legacy: bool| -> (Vec<u8>, MemStats, PatrolOutcome) {
+            let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+            cfg.legacy_maps = legacy;
+            cfg.faults = Some(MediaFaultConfig {
+                stuck_cells: 0,
+                wear_limit: 0,
+                correction_entries: 2,
+                ..MediaFaultConfig::with_seed(11)
+            });
+            let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x3000;
+            let mut m = MemoryController::new(&cfg);
+            let switch = PowerSwitch::new();
+            m.arm_power_cut(switch.clone());
+            for round in 0..4u64 {
+                for i in 0..300u64 {
+                    m.store_bytes(nvm_pa + i * 64, &[(round + i) as u8; 64]);
+                    if i % 3 == 0 {
+                        m.commit_line(nvm_pa + i * 64);
+                    }
+                }
+            }
+            m.commit_all();
+            for i in 0..8u64 {
+                m.store_bytes(nvm_pa + i * 64, &[0xEE; 64]);
+                m.commit_line(nvm_pa + i * 64);
+            }
+            switch.cut();
+            let mut rng = Rng64::new(7);
+            m.crash_torn(&mut rng);
+            let patrol = m.patrol_frame(nvm_pa.page_base().as_u64());
+            let mut observed = vec![0u8; 300 * 64];
+            m.load_bytes(nvm_pa, &mut observed);
+            (observed, m.stats(), patrol)
+        };
+        let (bytes_flat, stats_flat, patrol_flat) = run(false);
+        let (bytes_legacy, stats_legacy, patrol_legacy) = run(true);
+        assert_eq!(bytes_flat, bytes_legacy, "post-crash image must match byte for byte");
+        assert_eq!(stats_flat, stats_legacy, "every counter must match");
+        assert_eq!(patrol_flat, patrol_legacy, "patrol verdicts must match");
     }
 
     /// Controller with a media-fault model armed but no random faults:

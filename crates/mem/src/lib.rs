@@ -25,8 +25,10 @@ pub mod config;
 pub mod controller;
 pub mod dram;
 pub mod e820;
+pub mod legacy;
 pub mod nvm;
 pub mod stats;
+pub mod store;
 
 pub use config::{DramConfig, MediaFaultConfig, MemConfig, NvmConfig};
 pub use controller::{MemoryController, PatrolOutcome, PowerSwitch};

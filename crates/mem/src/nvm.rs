@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 
 use kindle_types::rng::Rng64;
-use kindle_types::{checksum64, AccessKind, Cycles, PhysAddr, CACHE_LINE};
+use kindle_types::{checksum64, AccessKind, Cycles, LineTable, PhysAddr, CACHE_LINE};
 
 use crate::config::{MediaFaultConfig, NvmConfig};
 
@@ -196,51 +196,6 @@ pub enum CorrectionOutcome {
         /// The configured per-line correction-entry budget.
         budget: u32,
     },
-}
-
-/// Cache lines per lazily allocated chunk of a [`LineTable`].
-const LINES_PER_CHUNK: usize = 64;
-
-/// A direct-indexed per-line `u64` table over the NVM range, chunked so
-/// storage is only allocated near lines actually touched. This replaces
-/// the per-access `BTreeMap` walks on the media-fault hot path (every NVM
-/// cell write consults wear *and* stuck state) with two array indexings.
-#[derive(Clone, Debug, Default)]
-struct LineTable {
-    chunks: Vec<Option<Box<[u64; LINES_PER_CHUNK]>>>,
-}
-
-impl LineTable {
-    /// The value at line index `idx` (0 where never set).
-    fn get(&self, idx: usize) -> u64 {
-        match self.chunks.get(idx / LINES_PER_CHUNK) {
-            Some(Some(chunk)) => chunk[idx % LINES_PER_CHUNK],
-            _ => 0,
-        }
-    }
-
-    /// Sets the value at line index `idx`, allocating its chunk if needed.
-    fn set(&mut self, idx: usize, v: u64) {
-        let c = idx / LINES_PER_CHUNK;
-        if c >= self.chunks.len() {
-            self.chunks.resize_with(c + 1, || None);
-        }
-        let chunk = self.chunks[c].get_or_insert_with(|| Box::new([0; LINES_PER_CHUNK]));
-        chunk[idx % LINES_PER_CHUNK] = v;
-    }
-
-    /// All `(index, value)` pairs with a non-zero value, in index order.
-    fn iter_set(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.chunks.iter().enumerate().flat_map(|(c, chunk)| {
-            chunk.iter().flat_map(move |chunk| {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &e)| e != 0)
-                    .map(move |(i, &e)| (c * LINES_PER_CHUNK + i, e))
-            })
-        })
-    }
 }
 
 /// Deterministic NVM media faults: per-line wear counters with jittered
@@ -644,20 +599,6 @@ mod tests {
         assert_eq!(m.stats().uncorrectable_line_writes, 1);
         let cells = m.uncorrected_stuck_in_line(line).expect("seeded cells stay uncorrected");
         assert!(!cells.is_empty());
-    }
-
-    #[test]
-    fn line_tables_match_map_semantics() {
-        let mut t = LineTable::default();
-        assert_eq!(t.get(0), 0);
-        assert_eq!(t.get(1_000_000), 0, "reads never allocate");
-        t.set(5, 7);
-        t.set(200, 9);
-        t.set(5, 8); // overwrite
-        assert_eq!(t.get(5), 8);
-        assert_eq!(t.get(200), 9);
-        assert_eq!(t.get(6), 0);
-        assert_eq!(t.iter_set().collect::<Vec<_>>(), vec![(5, 8), (200, 9)]);
     }
 
     #[test]

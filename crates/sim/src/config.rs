@@ -200,6 +200,28 @@ pub fn thread_media_faults() -> Option<MediaFaultConfig> {
     MEDIA_FAULTS.with(Cell::get)
 }
 
+thread_local! {
+    /// Ambient legacy-maps request (`--legacy-maps`), so equivalence
+    /// drivers can flip machines they do not construct onto the legacy
+    /// ordered-map stores. Same publication discipline as
+    /// [`MEDIA_FAULTS`]: captured by fork-join executors and republished
+    /// per worker.
+    static LEGACY_MAPS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets (or with `false` clears) the thread-local legacy-maps request.
+/// Machines built on this thread have `mem.legacy_maps` forced on; the
+/// default `false` leaves configs untouched.
+pub fn set_thread_legacy_maps(legacy: bool) {
+    LEGACY_MAPS.with(|s| s.set(legacy));
+}
+
+/// Whether this thread requests legacy ordered-map stores. Public so
+/// fork-join executors can capture and republish it on worker threads.
+pub fn thread_legacy_maps() -> bool {
+    LEGACY_MAPS.with(Cell::get)
+}
+
 impl Default for MachineConfig {
     fn default() -> Self {
         Self::table_i()

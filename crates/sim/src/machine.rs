@@ -104,6 +104,9 @@ impl Machine {
         if cfg.mem.faults.is_none() {
             cfg.mem.faults = crate::config::thread_media_faults();
         }
+        if crate::config::thread_legacy_maps() {
+            cfg.mem.legacy_maps = true;
+        }
         let mut hw = Hw::new(&cfg);
         let kcfg = KernelConfig {
             memory_map: cfg.mem.layout.clone(),
@@ -1015,6 +1018,7 @@ impl Machine {
             active_pid: self.active_pid,
             daemons: self.daemons.iter().map(|s| (s.kind, s.tid)).collect(),
             ambient_faults: crate::config::thread_media_faults(),
+            ambient_legacy: crate::config::thread_legacy_maps(),
         }
     }
 
@@ -1028,6 +1032,7 @@ impl Machine {
     /// sanitizer's current-thread stamp to the scheduler's running kthread.
     pub fn restore(snap: &MachineSnapshot) -> Self {
         crate::config::set_thread_media_faults(snap.ambient_faults.clone());
+        crate::config::set_thread_legacy_maps(snap.ambient_legacy);
         let m = Machine {
             cfg: snap.cfg.clone(),
             hw: snap.hw.clone(),
@@ -1085,6 +1090,11 @@ pub struct MachineSnapshot {
     /// different fault regime than the golden run, silently changing stuck
     /// cells, wear state, and retry behaviour mid-sweep.
     ambient_faults: Option<kindle_mem::MediaFaultConfig>,
+    /// The capturing thread's ambient legacy-maps request
+    /// ([`crate::config::thread_legacy_maps`]), republished for the same
+    /// reason: follow-on machines a worker builds must pick the same store
+    /// layout as the golden run's.
+    ambient_legacy: bool,
 }
 
 // Snapshots cross fork-join worker boundaries by shared reference, so the

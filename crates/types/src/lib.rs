@@ -24,6 +24,7 @@ pub mod physmem;
 pub mod pte;
 pub mod rng;
 pub mod sanitize;
+pub mod table;
 pub mod time;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
@@ -33,6 +34,7 @@ pub use flags::{AccessKind, MapFlags, MemKind, Prot};
 pub use physmem::PhysMem;
 pub use pte::Pte;
 pub use rng::Rng64;
+pub use table::{LineTable, SumTable};
 pub use time::{Cycles, CPU_FREQ_GHZ};
 
 /// Size of one page in bytes (4 KiB, matching x86-64 base pages).

@@ -1,0 +1,150 @@
+//! Direct-indexed per-line tables for hot-path bookkeeping.
+//!
+//! Simulated memory state that is logically a map keyed by cache-line
+//! index is stored flat here: a lookup is two array indexings instead of
+//! an O(log n) pointer-chase, and storage is chunked so a sparse table
+//! only allocates near lines actually touched. [`LineTable`] holds one
+//! `u64` per line with 0 meaning "never set" (wear counters, packed
+//! stuck-cell slots, correction budgets); [`SumTable`] adds an explicit
+//! validity bit per entry for values — like FNV checksums — where 0 is a
+//! perfectly legal stored value.
+
+/// Cache lines per lazily allocated chunk of a [`LineTable`].
+const LINES_PER_CHUNK: usize = 64;
+
+/// A direct-indexed per-line `u64` table, chunked so storage is only
+/// allocated near lines actually touched. This replaces per-access
+/// `BTreeMap` walks on the media and controller hot paths (every NVM
+/// cell write consults wear *and* stuck state) with two array indexings.
+#[derive(Clone, Debug, Default)]
+pub struct LineTable {
+    chunks: Vec<Option<Box<[u64; LINES_PER_CHUNK]>>>,
+}
+
+impl LineTable {
+    /// The value at line index `idx` (0 where never set).
+    pub fn get(&self, idx: usize) -> u64 {
+        match self.chunks.get(idx / LINES_PER_CHUNK) {
+            Some(Some(chunk)) => chunk[idx % LINES_PER_CHUNK],
+            _ => 0,
+        }
+    }
+
+    /// Sets the value at line index `idx`, allocating its chunk if needed.
+    pub fn set(&mut self, idx: usize, v: u64) {
+        let c = idx / LINES_PER_CHUNK;
+        if c >= self.chunks.len() {
+            self.chunks.resize_with(c + 1, || None);
+        }
+        let chunk = self.chunks[c].get_or_insert_with(|| Box::new([0; LINES_PER_CHUNK]));
+        chunk[idx % LINES_PER_CHUNK] = v;
+    }
+
+    /// All `(index, value)` pairs with a non-zero value, in index order.
+    pub fn iter_set(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.chunks.iter().enumerate().flat_map(|(c, chunk)| {
+            chunk.iter().flat_map(move |chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &e)| e != 0)
+                    .map(move |(i, &e)| (c * LINES_PER_CHUNK + i, e))
+            })
+        })
+    }
+
+    /// Drops every entry, releasing all chunk storage.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+/// One chunk of a [`SumTable`]: 64 values plus a validity bitmask, so
+/// presence is tracked separately from the stored value.
+#[derive(Clone, Debug)]
+struct SumChunk {
+    valid: u64,
+    vals: [u64; LINES_PER_CHUNK],
+}
+
+/// A direct-indexed per-line `u64` table with an explicit validity bit
+/// per entry. Unlike [`LineTable`], a stored value of 0 is
+/// distinguishable from "never set" — required for checksum storage,
+/// where 0 is a legal digest.
+#[derive(Clone, Debug, Default)]
+pub struct SumTable {
+    chunks: Vec<Option<Box<SumChunk>>>,
+}
+
+impl SumTable {
+    /// The value at index `idx`, or `None` where never set.
+    pub fn get(&self, idx: usize) -> Option<u64> {
+        match self.chunks.get(idx / LINES_PER_CHUNK) {
+            Some(Some(chunk)) if chunk.valid >> (idx % LINES_PER_CHUNK) & 1 == 1 => {
+                Some(chunk.vals[idx % LINES_PER_CHUNK])
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether index `idx` holds a value.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.get(idx).is_some()
+    }
+
+    /// Sets the value at index `idx`, allocating its chunk if needed.
+    pub fn set(&mut self, idx: usize, v: u64) {
+        let c = idx / LINES_PER_CHUNK;
+        if c >= self.chunks.len() {
+            self.chunks.resize_with(c + 1, || None);
+        }
+        let chunk = self.chunks[c]
+            .get_or_insert_with(|| Box::new(SumChunk { valid: 0, vals: [0; LINES_PER_CHUNK] }));
+        chunk.valid |= 1 << (idx % LINES_PER_CHUNK);
+        chunk.vals[idx % LINES_PER_CHUNK] = v;
+    }
+
+    /// Drops every entry, releasing all chunk storage.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_tables_match_map_semantics() {
+        let mut t = LineTable::default();
+        assert_eq!(t.get(0), 0);
+        assert_eq!(t.get(1_000_000), 0, "reads never allocate");
+        t.set(5, 7);
+        t.set(200, 9);
+        t.set(5, 8); // overwrite
+        assert_eq!(t.get(5), 8);
+        assert_eq!(t.get(200), 9);
+        assert_eq!(t.get(6), 0);
+        assert_eq!(t.iter_set().collect::<Vec<_>>(), vec![(5, 8), (200, 9)]);
+        t.clear();
+        assert_eq!(t.get(5), 0);
+    }
+
+    #[test]
+    fn sum_tables_distinguish_zero_from_absent() {
+        let mut t = SumTable::default();
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(1_000_000), None, "reads never allocate");
+        assert!(!t.contains(7));
+        t.set(7, 0); // zero is a legal stored value
+        assert!(t.contains(7));
+        assert_eq!(t.get(7), Some(0));
+        t.set(7, 42); // overwrite
+        assert_eq!(t.get(7), Some(42));
+        t.set(200, u64::MAX);
+        assert_eq!(t.get(200), Some(u64::MAX));
+        assert_eq!(t.get(201), None, "neighbours in the same chunk stay absent");
+        t.clear();
+        assert_eq!(t.get(7), None);
+    }
+}

@@ -1,18 +1,28 @@
 //! Ablation (paper §V-D): swap the NVM technology profile and rerun the
 //! persistence and workload studies — "the scope for such studies
 //! increases the value of Kindle in hybrid memory research".
+//!
+//! Technologies come from the backend registry's NVM subset
+//! ([`kindle_core::mem::Backend::registry`]), the same source of truth
+//! as `NvmConfig::technologies()` — a preset can never drift from its
+//! backend.
 
 use kindle_bench::*;
-use kindle_core::mem::NvmConfig;
+use kindle_core::mem::Backend;
 use kindle_core::os::PtMode;
 use kindle_core::prelude::*;
 use kindle_core::types::PAGE_SIZE;
 
-fn persistence_cell(nvm: NvmConfig, mode: PtMode) -> Result<f64> {
+/// The registered NVM technology backends, in registry order.
+fn technologies() -> Vec<Backend> {
+    Backend::registry().iter().copied().filter(|b| b.instance().is_nvm_technology()).collect()
+}
+
+fn persistence_cell(backend: Backend, mode: PtMode) -> Result<f64> {
     let mut cfg = MachineConfig::table_i()
         .with_pt_mode(mode)
         .with_checkpointing(Cycles::from_millis(10))
-        .with_nvm_technology(nvm);
+        .with_backend(backend);
     cfg.costs.mapping_list_op = 2600;
     cfg.costs.zero_new_frames = false;
     let mut m = Machine::new(cfg)?;
@@ -43,10 +53,10 @@ fn main() -> Result<()> {
         "technology", "rebuild ms", "persistent ms", "reb/pers"
     );
     rule(66);
-    let cells = parallel::par_map_cells(NvmConfig::technologies(), |(name, nvm)| {
-        let reb = persistence_cell(nvm.clone(), PtMode::Rebuild)?;
-        let per = persistence_cell(nvm, PtMode::Persistent)?;
-        Ok((name, reb, per))
+    let cells = parallel::par_map_cells(technologies(), |backend| {
+        let reb = persistence_cell(backend, PtMode::Rebuild)?;
+        let per = persistence_cell(backend, PtMode::Persistent)?;
+        Ok((backend.instance().label(), reb, per))
     })?;
     for (name, reb, per) in cells {
         println!("{:<10} | {:>12} | {:>14} | {:>8.2}x", name, ms(reb), ms(per), reb / per);
@@ -57,10 +67,10 @@ fn main() -> Result<()> {
     println!("{:<10} | {:>12}", "technology", "exec ms");
     rule(40);
     let kindle = Kindle::prepare_streaming(WorkloadKind::YcsbMem, ops, 42);
-    let replays = parallel::par_map_cells(NvmConfig::technologies(), |(name, nvm)| {
-        let cfg = MachineConfig::table_i().with_nvm_technology(nvm);
+    let replays = parallel::par_map_cells(technologies(), |backend| {
+        let cfg = MachineConfig::table_i().with_backend(backend);
         let (run, _) = kindle.simulate(cfg, ReplayOptions::default())?;
-        Ok((name, run.cycles.as_millis_f64()))
+        Ok((backend.instance().label(), run.cycles.as_millis_f64()))
     })?;
     for (name, exec_ms) in replays {
         println!("{:<10} | {:>12}", name, ms(exec_ms));

@@ -1,21 +1,30 @@
 //! Prints the machine configuration — the paper's Table I.
+//!
+//! The far-tier row comes from the selected backend's trait accessors
+//! (`--backend`, default PCM), never from raw `NvmConfig` fields — the
+//! KD013 lint keeps latency/endurance fields inside the backend layer.
 
 use kindle_bench::*;
+use kindle_core::mem::MemoryBackend;
 
 fn main() -> Result<()> {
     let harness = Harness::from_args();
     let cfg = MachineConfig::table_i();
+    let far = harness.backend().instance();
     println!("TABLE I: gem5-analog Memory Configuration");
     rule(52);
     println!("{:<28} {}", "Parameter", "Used Setting");
     rule(52);
     println!("{:<28} DDR4-2400 ({} banks)", "DRAM interface", cfg.mem.dram.banks);
     println!(
-        "{:<28} PCM ({} ns rd / {} ns wr)",
-        "NVM interface", cfg.mem.nvm.read_ns, cfg.mem.nvm.write_service_ns
+        "{:<28} {} ({} ns rd / {} ns wr)",
+        "NVM interface",
+        far.label(),
+        far.read_latency_ns(),
+        far.write_latency_ns()
     );
-    println!("{:<28} {}", "NVM Write buffer size", cfg.mem.nvm.write_buffer);
-    println!("{:<28} {}", "NVM Read buffer size", cfg.mem.nvm.read_buffer);
+    println!("{:<28} {}", "NVM Write buffer size", far.write_buffer_entries());
+    println!("{:<28} {}", "NVM Read buffer size", far.read_buffer_entries());
     println!(
         "{:<28} {} GB DRAM + {} GB NVM",
         "Memory capacity",
@@ -30,24 +39,24 @@ fn main() -> Result<()> {
         cfg.caches.llc.size_bytes >> 20
     );
     println!("{:<28} 3 GHz in-order x86-64", "CPU");
-    harness.maybe_json_body(&config_json(&cfg));
+    harness.maybe_json_body(&config_json(&cfg, far));
     harness.finish()
 }
 
 /// Renders the Table I configuration as a JSON object. Table I has no
 /// experiment rows, so this is hand-written rather than going through
 /// `experiments::to_json`; the harness wraps it in the bench envelope.
-fn config_json(cfg: &MachineConfig) -> String {
+fn config_json(cfg: &MachineConfig, far: &dyn MemoryBackend) -> String {
     format!(
         "{{\n  \"dram_banks\": {},\n  \"nvm_read_ns\": {},\n  \"nvm_write_service_ns\": {},\n  \
          \"nvm_write_buffer\": {},\n  \"nvm_read_buffer\": {},\n  \"dram_gb\": {},\n  \
          \"nvm_gb\": {},\n  \"l1_kib\": {},\n  \"l2_kib\": {},\n  \"llc_mib\": {},\n  \
          \"cpu_freq_ghz\": {}\n}}\n",
         cfg.mem.dram.banks,
-        cfg.mem.nvm.read_ns,
-        cfg.mem.nvm.write_service_ns,
-        cfg.mem.nvm.write_buffer,
-        cfg.mem.nvm.read_buffer,
+        far.read_latency_ns(),
+        far.write_latency_ns(),
+        far.write_buffer_entries(),
+        far.read_buffer_entries(),
         cfg.mem.layout.total(MemKind::Dram) >> 30,
         cfg.mem.layout.total(MemKind::Nvm) >> 30,
         cfg.caches.l1.size_bytes >> 10,

@@ -9,7 +9,7 @@ use kindle_core::types::sanitize::{self, Installed, InvariantChecker, ViolationL
 /// Flag summary printed when an unknown or malformed argument is seen.
 pub const USAGE: &str = "[--quick] [--sanitize] [--faults <seed>] [--stuck <N>] \
      [--patrol <interval-us>] [--jobs <N>] [--csv <path>] [--json <path>] [--plot <path>] \
-     [--timing <path>] [--verify-replay] [--legacy-maps]";
+     [--timing <path>] [--verify-replay] [--legacy-maps] [--backend <name>]";
 
 /// Per-line ECP correction budget armed alongside `--stuck`: two entries
 /// absorb every realistically seeded cell (three uniform cells landing in
@@ -59,6 +59,12 @@ pub const STUCK_CORRECTION_ENTRIES: u32 = 2;
 ///   only throughput changes (this is the `hotpath` benchmark's
 ///   comparison baseline, and an escape hatch for bisecting the flat
 ///   layout).
+/// * `--backend <name>` swaps the far-tier memory backend
+///   ([`mem::Backend::registry`]: `pcm`, `numa`, `sttram`, `cxl`, ...)
+///   under every machine the experiment builds on this thread. The
+///   default `pcm` is byte-identical to not passing the flag; unknown
+///   names exit 2 listing the registered backends. The resolved name is
+///   echoed in every `--json` envelope.
 ///
 /// Unknown `--*` flags are rejected: [`Harness::from_args`] prints the
 /// usage line and exits with status 2 rather than silently running the
@@ -73,6 +79,7 @@ pub struct Harness {
     plot_path: Option<String>,
     timing_path: Option<String>,
     verify_replay: bool,
+    backend: mem::Backend,
     started: std::time::Instant,
 }
 
@@ -126,6 +133,7 @@ impl Harness {
         let mut timing_path = None;
         let mut verify_replay = false;
         let mut legacy_maps = false;
+        let mut backend = None;
         let mut it = args.iter().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -176,6 +184,18 @@ impl Harness {
                 }
                 "--verify-replay" => verify_replay = true,
                 "--legacy-maps" => legacy_maps = true,
+                "--backend" => {
+                    let v = it.next().ok_or_else(|| {
+                        format!("--backend requires a name (registered: {})", mem::Backend::names())
+                    })?;
+                    let b = mem::Backend::from_name(v).ok_or_else(|| {
+                        format!(
+                            "--backend: unknown backend {v:?} (registered: {})",
+                            mem::Backend::names()
+                        )
+                    })?;
+                    backend = Some(b);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag: {other}"));
                 }
@@ -195,6 +215,11 @@ impl Harness {
         if legacy_maps {
             kindle_core::sim::set_thread_legacy_maps(true);
         }
+        if let Some(b) = backend {
+            // Only publish when the flag was passed: the unset default
+            // must stay byte-identical to the pre-backend harness.
+            kindle_core::sim::set_thread_backend(Some(b));
+        }
         let (guard, log) = if sanitize_requested {
             let checker = InvariantChecker::new();
             let log = checker.log();
@@ -212,6 +237,7 @@ impl Harness {
             plot_path,
             timing_path,
             verify_replay,
+            backend: backend.unwrap_or_default(),
             started: std::time::Instant::now(),
         })
     }
@@ -254,6 +280,12 @@ impl Harness {
         self.verify_replay
     }
 
+    /// The resolved far-tier backend (`--backend <name>`, default PCM).
+    #[must_use]
+    pub fn backend(&self) -> mem::Backend {
+        self.backend
+    }
+
     /// Writes rows as JSON when `--json <path>` was passed, wrapped in the
     /// bench envelope (`jobs`, `elapsed_ms`, `rows`) consumed by the CI
     /// bench-smoke job's golden-range diff.
@@ -270,9 +302,10 @@ impl Harness {
         // clocks out of the simulation crates; the bench crate is exempt).
         let elapsed_ms = self.started.elapsed().as_millis();
         let data = format!(
-            "{{\n\"jobs\": {},\n\"elapsed_ms\": {},\n\"rows\": {}\n}}\n",
+            "{{\n\"jobs\": {},\n\"elapsed_ms\": {},\n\"backend\": \"{}\",\n\"rows\": {}\n}}\n",
             self.jobs,
             elapsed_ms,
+            self.backend.name(),
             body.trim_end()
         );
         match std::fs::write(path, data) {
@@ -290,6 +323,7 @@ impl Harness {
     pub fn finish(self) -> Result<()> {
         kindle_core::sim::set_thread_media_faults(None);
         kindle_core::sim::set_thread_legacy_maps(false);
+        kindle_core::sim::set_thread_backend(None);
         parallel::set_thread_jobs(1);
         if let Some(log) = &self.log {
             let violations = log.take();
@@ -385,6 +419,38 @@ mod tests {
         h.finish().unwrap();
         let clean = Machine::new(MachineConfig::small()).unwrap();
         assert!(!clean.config().mem.legacy_maps, "finish must clear the ambient request");
+    }
+
+    #[test]
+    fn harness_backend_arms_machines_until_finish() {
+        let h = Harness::from_arg_list(&args(&["bin", "--backend", "numa"]));
+        assert_eq!(h.backend(), mem::Backend::Numa);
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        assert_eq!(
+            m.config().mem.backend,
+            Some(mem::Backend::Numa),
+            "flag must reach every machine built on this thread"
+        );
+        h.finish().unwrap();
+        let clean = Machine::new(MachineConfig::small()).unwrap();
+        assert!(clean.config().mem.backend.is_none(), "finish must clear the ambient choice");
+
+        // Without the flag: resolved default is pcm, nothing published.
+        let h = Harness::from_arg_list(&args(&["bin"]));
+        assert_eq!(h.backend(), mem::Backend::Pcm);
+        let m = Machine::new(MachineConfig::small()).unwrap();
+        assert!(m.config().mem.backend.is_none(), "unset default must not publish ambient state");
+        h.finish().unwrap();
+    }
+
+    #[test]
+    fn harness_rejects_unknown_backend_listing_registry() {
+        let err = Harness::try_from_arg_list(&args(&["bin", "--backend", "flash"])).err().unwrap();
+        assert!(err.contains("unknown backend"), "{err}");
+        for name in ["pcm", "numa", "sttram", "cxl"] {
+            assert!(err.contains(name), "error must list registered backend {name}: {err}");
+        }
+        assert!(Harness::try_from_arg_list(&args(&["bin", "--backend"])).is_err());
     }
 
     #[test]
@@ -487,6 +553,7 @@ mod tests {
         h.maybe_json(&rows);
         let data = std::fs::read_to_string(&path).unwrap();
         assert!(data.starts_with("{\n\"jobs\": 2,\n\"elapsed_ms\": "), "{data}");
+        assert!(data.contains("\"backend\": \"pcm\""), "envelope must echo the backend: {data}");
         assert!(data.contains("\"rows\": ["), "{data}");
         assert!(data.contains("\"size_mib\": 64"), "{data}");
         assert!(data.trim_end().ends_with('}'), "{data}");

@@ -1,0 +1,8 @@
+//@path crates/mem/src/backend.rs
+// The backend modules are the allowlisted home of the raw timing
+// fields; direct access here is the point of the allowlist.
+use crate::config::NvmConfig;
+
+pub fn drain_floor(cfg: &NvmConfig) -> u64 {
+    cfg.write_service_ns + cfg.buffer_insert_ns + cfg.forward_ns
+}

@@ -1,0 +1,9 @@
+//@path crates/bench/src/bin/tuner.rs
+use kindle_core::mem::{MediaFaultConfig, NvmConfig};
+pub fn turnaround(cfg: &NvmConfig) -> u64 { cfg.read_ns + cfg.forward_ns }
+
+pub fn tune(cfg: &mut NvmConfig, faults: &mut MediaFaultConfig) {
+    cfg.write_service_ns /= 2;
+    let slack = cfg.buffer_insert_ns;
+    faults.wear_limit = slack as usize;
+}

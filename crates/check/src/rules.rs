@@ -14,6 +14,7 @@
 //! | KD010 | `LockAcquire`/`LockRelease` emissions balance per `LOCK_*` id on all paths, early exits included |
 //! | KD011 | no `todo!`/`unimplemented!`/`unreachable!` in non-test simulation code |
 //! | KD012 | no `BTreeMap`/`BTreeSet` in `crates/mem` hot-path modules (flat tables only; `legacy.rs` is the allowlisted cold path) |
+//! | KD013 | no direct `NvmConfig` latency/endurance field access outside the `crates/mem` backend modules (go through `MemoryBackend`) |
 //!
 //! (KD005, the external-dependency rule, lives in [`crate::manifest`].)
 //!
@@ -61,6 +62,23 @@ const THREAD_HOME: &str = "crates/core/src/parallel.rs";
 /// reintroduced there is a performance regression the type system cannot
 /// catch.
 const MEM_MAP_ALLOW: &[&str] = &["crates/mem/src/legacy.rs"];
+
+/// `NvmConfig` latency/endurance fields whose direct access is banned
+/// outside the backend modules (KD013). Every other layer reads timing
+/// through the `MemoryBackend` trait accessors, so a far-tier swap can
+/// never be bypassed by a caller assuming PCM's raw numbers.
+const NVM_FIELD_BAN: &[&str] =
+    &["read_ns", "write_service_ns", "buffer_insert_ns", "forward_ns", "wear_limit"];
+
+/// The modules allowed to touch those fields directly (KD013): the
+/// backend definitions, the config type they hand out, and the two
+/// consumers that turn timings into device behavior.
+const NVM_FIELD_ALLOW: &[&str] = &[
+    "crates/mem/src/backend.rs",
+    "crates/mem/src/config.rs",
+    "crates/mem/src/controller.rs",
+    "crates/mem/src/nvm.rs",
+];
 
 /// Identifiers that mark a statement as handling addresses or simulated
 /// time (KD003). Compared case-insensitively against identifier tokens.
@@ -129,9 +147,10 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
     let types_crate = krate == Some("types");
     let nvm_discipline = krate.map(is_nvm_discipline_crate).unwrap_or(false);
     let mem_hot = rel_path.starts_with("crates/mem/") && !MEM_MAP_ALLOW.contains(&rel_path);
+    let nvm_fields_banned = !NVM_FIELD_ALLOW.contains(&rel_path);
 
     let mut out = Vec::new();
-    flat_rules(rel_path, sim, no_panic, types_crate, mem_hot, &tokens, &mut out);
+    flat_rules(rel_path, sim, no_panic, types_crate, mem_hot, nvm_fields_banned, &tokens, &mut out);
 
     if sim || nvm_discipline {
         let root = syntax::parse(&tokens);
@@ -151,12 +170,14 @@ pub fn check_source(rel_path: &str, krate: Option<&str>, source: &str) -> Vec<Di
 
 /// The token-window rules: everything that needs no per-function
 /// control-flow, just the (test-truncated) stream.
+#[allow(clippy::too_many_arguments)]
 fn flat_rules(
     rel_path: &str,
     sim: bool,
     no_panic: bool,
     types_crate: bool,
     mem_hot: bool,
+    nvm_fields_banned: bool,
     tokens: &[Token<'_>],
     out: &mut Vec<Diagnostic>,
 ) {
@@ -207,6 +228,12 @@ fn flat_rules(
         }
         if mem_hot && (t.is_ident("BTreeMap") || t.is_ident("BTreeSet")) {
             hit("KD012", t.line);
+        }
+        if nvm_fields_banned
+            && t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| NVM_FIELD_BAN.iter().any(|w| n.is_ident(w)))
+        {
+            hit("KD013", tokens[i + 1].line);
         }
     }
 
@@ -319,6 +346,12 @@ fn message_of(rule: &str) -> &'static str {
             "ordered map in a memory-controller hot-path module; use the \
              direct-indexed flat tables (crates/mem/src/store.rs) — only the \
              legacy equivalence baseline (legacy.rs) may keep BTreeMap/BTreeSet"
+        }
+        "KD013" => {
+            "direct NvmConfig latency/endurance field access outside the \
+             crates/mem backend modules; read timing through the \
+             MemoryBackend trait (read_latency_ns, write_latency_ns, \
+             fault_model) so every far tier keeps its own semantics"
         }
         _ => "violation",
     }

@@ -92,7 +92,7 @@ fn every_rule_has_a_firing_fixture() {
     .unwrap();
     for rule in [
         "KD001", "KD002", "KD003", "KD004", "KD005", "KD006", "KD007", "KD008", "KD009", "KD010",
-        "KD011", "KD012",
+        "KD011", "KD012", "KD013",
     ] {
         assert!(
             golden.lines().any(|l| l.ends_with(rule)),

@@ -8,16 +8,19 @@
 //! | Table IV | [`run_table4`] | checkpoint interval × churn size × scheme |
 //! | Fig. 5 | [`run_fig5`] | SSP consistency interval × benchmark |
 //! | Fig. 6 / Tables V & VI | [`run_fig6`] | HSCC fetch threshold × benchmark |
+//! | Backends grid | [`run_backend_grid`] | far-tier backend × page-table scheme |
 //!
 //! Every driver takes a params struct with `paper()` (full scale) and
 //! `quick()` (CI/bench scale) constructors and returns serialisable row
 //! types whose columns match the paper's.
 
+mod backends;
 pub mod csv;
 mod hscc_study;
 mod persistence;
 mod ssp_study;
 
+pub use backends::{run_backend_grid, BackendGridParams};
 pub use csv::{to_csv, to_json, CsvRow};
 pub use hscc_study::{run_fig6, Fig6Params, Fig6Row};
 pub use persistence::{

@@ -481,6 +481,22 @@ mod tests {
     }
 
     #[test]
+    fn fig4a_rows_are_backend_pcm_invariant() {
+        // PCM through the MemoryBackend trait (the bench harness's
+        // --backend pcm) must be byte-identical to the pre-trait default
+        // path, serial and parallel alike.
+        let direct = run_fig4a(&Fig4aParams::quick()).unwrap();
+        kindle_sim::set_thread_backend(Some(kindle_mem::Backend::Pcm));
+        let via_trait = run_fig4a(&Fig4aParams::quick());
+        parallel::set_thread_jobs(4);
+        let via_trait_par = run_fig4a(&Fig4aParams::quick());
+        parallel::set_thread_jobs(1);
+        kindle_sim::set_thread_backend(None);
+        assert_eq!(direct, via_trait.unwrap(), "backend=pcm changed a Fig. 4a row");
+        assert_eq!(direct, via_trait_par.unwrap(), "backend=pcm diverged under jobs=4");
+    }
+
+    #[test]
     fn fig4a_rows_are_jobs_invariant() {
         let serial = run_fig4a(&Fig4aParams::quick()).unwrap();
         parallel::set_thread_jobs(4);

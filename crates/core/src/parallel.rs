@@ -156,10 +156,12 @@ where
     let jobs = thread_jobs();
     let ambient_faults = kindle_sim::thread_media_faults();
     let ambient_legacy = kindle_sim::thread_legacy_maps();
+    let ambient_backend = kindle_sim::thread_backend();
     let sanitized = sanitize::installed();
     let run_cell = move |item: T| -> Result<R> {
         kindle_sim::set_thread_media_faults(ambient_faults);
         kindle_sim::set_thread_legacy_maps(ambient_legacy);
+        kindle_sim::set_thread_backend(ambient_backend);
         if !sanitized {
             return f(item);
         }
@@ -284,6 +286,17 @@ mod tests {
         assert!(flags.iter().all(|&f| f), "{flags:?}");
         set_thread_jobs(1);
         kindle_sim::set_thread_legacy_maps(false);
+    }
+
+    #[test]
+    fn par_map_cells_republishes_backend_on_workers() {
+        kindle_sim::set_thread_backend(Some(kindle_mem::Backend::Cxl));
+        set_thread_jobs(4);
+        let backends =
+            par_map_cells((0..8u64).collect(), |_| Ok(kindle_sim::thread_backend())).unwrap();
+        assert!(backends.iter().all(|&b| b == Some(kindle_mem::Backend::Cxl)), "{backends:?}");
+        set_thread_jobs(1);
+        kindle_sim::set_thread_backend(None);
     }
 
     #[test]

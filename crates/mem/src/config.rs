@@ -86,13 +86,17 @@ impl NvmConfig {
     }
 
     /// All named technology profiles with labels (for sweeps).
+    ///
+    /// Delegates to the backend registry so a preset can never drift
+    /// from its [`crate::backend::MemoryBackend`] instance — the
+    /// registry is the single source of truth for both.
     pub fn technologies() -> Vec<(&'static str, NvmConfig)> {
-        vec![
-            ("PCM", Self::pcm()),
-            ("STT-MRAM", Self::stt_mram()),
-            ("ReRAM", Self::reram()),
-            ("Optane-DC", Self::optane_dc()),
-        ]
+        crate::backend::Backend::registry()
+            .iter()
+            .map(|b| b.instance())
+            .filter(|i| i.is_nvm_technology())
+            .map(|i| (i.label(), i.timing()))
+            .collect()
     }
 }
 
@@ -166,6 +170,12 @@ pub struct MemConfig {
     /// on exists so equivalence tests and the `hotpath` bench can prove
     /// the flat layout changes no observable output).
     pub legacy_maps: bool,
+    /// Far-tier backend selection. `None` (the default) means PCM with
+    /// this config's `nvm` timings — byte-identical to the pre-trait
+    /// path. `Some(b)` routes timing, fault filtering, patrol
+    /// capability and access penalties through `b`'s
+    /// [`crate::backend::MemoryBackend`] instance.
+    pub backend: Option<crate::backend::Backend>,
 }
 
 impl MemConfig {
@@ -180,6 +190,7 @@ impl MemConfig {
             faults: None,
             mru_page_cache: true,
             legacy_maps: false,
+            backend: None,
         }
     }
 }

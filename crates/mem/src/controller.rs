@@ -23,6 +23,7 @@ use kindle_types::{
     checksum64, AccessKind, Cycles, MemKind, PhysAddr, Result, PAGE_SHIFT, PAGE_SIZE,
 };
 
+use crate::backend::Backend;
 use crate::config::MemConfig;
 use crate::dram::DramDevice;
 use crate::e820::E820Map;
@@ -128,6 +129,16 @@ pub struct MemoryController {
     retry_limit: u32,
     retry_backoff: Cycles,
     write_service: Cycles,
+    /// Far-tier backend identity; its instance supplied the timing, the
+    /// fault filter and the penalties below at construction time.
+    backend: Backend,
+    /// Per-access interconnect penalties (CXL link + far controller),
+    /// precomputed from the backend. `ZERO` for bus-attached tiers.
+    read_penalty: Cycles,
+    write_penalty: Cycles,
+    /// Whether the backend participates in checksum patrol / ECP; when
+    /// false, `patrol_frame` reports `Clean` by contract.
+    patrol_capable: bool,
     nvm_lines_committed: u64,
     nvm_lines_lost_on_crash: u64,
     nvm_lines_torn_on_crash: u64,
@@ -139,17 +150,28 @@ pub struct MemoryController {
 impl MemoryController {
     /// Creates a controller for the given configuration, with all memory
     /// reading as zero.
+    ///
+    /// The far tier's semantics come from `cfg.backend` (PCM when unset):
+    /// device timing is the backend's — except for PCM, which keeps
+    /// honouring `cfg.nvm` verbatim so explicit timing overrides and the
+    /// pre-trait path stay byte-identical — and the requested fault model
+    /// is filtered through [`crate::backend::MemoryBackend::fault_model`]
+    /// before arming.
     pub fn new(cfg: &MemConfig) -> Self {
-        let media = cfg.faults.as_ref().map(|f| {
+        let backend = cfg.backend.unwrap_or(Backend::Pcm);
+        let bi = backend.instance();
+        let nvm_cfg = if backend == Backend::Pcm { cfg.nvm.clone() } else { bi.timing() };
+        let faults = bi.fault_model(cfg.faults);
+        let media = faults.as_ref().map(|f| {
             let nvm = cfg.layout.range(MemKind::Nvm);
-            MediaFaults::new(f.clone(), nvm.base.as_u64(), nvm.size)
+            MediaFaults::new(*f, nvm.base.as_u64(), nvm.size)
         });
         let nvm_base = cfg.layout.range(MemKind::Nvm).base.as_u64();
         let frames = cfg.layout.end().as_u64() >> PAGE_SHIFT;
         MemoryController {
             layout: cfg.layout.clone(),
             dram: DramDevice::new(cfg.dram.clone()),
-            nvm: NvmDevice::new(cfg.nvm.clone()),
+            nvm: NvmDevice::new(nvm_cfg.clone()),
             pages: PageStore::new(cfg.legacy_maps, frames),
             mru: None,
             mru_enabled: cfg.mru_page_cache,
@@ -162,11 +184,13 @@ impl MemoryController {
             nvm_sums: SumStore::new(cfg.legacy_maps, nvm_base),
             failed_frames: Vec::new(),
             failed_set: FrameSet::with_base(nvm_base >> PAGE_SHIFT),
-            retry_limit: cfg.faults.as_ref().map_or(0, |f| f.retry_limit),
-            retry_backoff: Cycles::from_nanos(
-                cfg.faults.as_ref().map_or(0, |f| f.retry_backoff_ns),
-            ),
-            write_service: Cycles::from_nanos(cfg.nvm.write_service_ns),
+            retry_limit: faults.as_ref().map_or(0, |f| f.retry_limit),
+            retry_backoff: Cycles::from_nanos(faults.as_ref().map_or(0, |f| f.retry_backoff_ns)),
+            write_service: Cycles::from_nanos(nvm_cfg.write_service_ns),
+            backend,
+            read_penalty: Cycles::from_nanos(bi.access_penalty_ns(false)),
+            write_penalty: Cycles::from_nanos(bi.access_penalty_ns(true)),
+            patrol_capable: bi.patrol_capable(),
             nvm_lines_committed: 0,
             nvm_lines_lost_on_crash: 0,
             nvm_lines_torn_on_crash: 0,
@@ -230,6 +254,9 @@ impl MemoryController {
             MemKind::Dram => self.dram.access(pa, kind, now),
             MemKind::Nvm => {
                 let mut lat = self.nvm.access(pa, kind, now);
+                // Backend interconnect cost (Cycles::ZERO off-CXL).
+                lat +=
+                    if kind == AccessKind::Write { self.write_penalty } else { self.read_penalty };
                 if kind == AccessKind::Write && self.media.is_some() {
                     lat += self.media_write_penalty(pa.line_base().as_u64());
                 }
@@ -480,6 +507,11 @@ impl MemoryController {
     /// cannot be reconstructed — ECP budget exhausted, or content torn at a
     /// crash — are reported [`PatrolOutcome::Uncorrectable`].
     pub fn patrol_frame(&mut self, frame_base: u64) -> PatrolOutcome {
+        if !self.patrol_capable {
+            // DRAM-class far tiers record no line checksums: patrol is a
+            // clean no-op by backend contract, not by accident.
+            return PatrolOutcome::Clean;
+        }
         let mut healed = 0u32;
         let mut bad = Vec::new();
         for i in 0..PAGE_SIZE / 64 {
@@ -760,6 +792,11 @@ impl MemoryController {
         // Let the recovered kernel re-learn failed frames on the next write.
         self.failed_frames.clear();
         self.failed_set.clear();
+    }
+
+    /// The far-tier backend this controller was built with.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Aggregated statistics snapshot.
@@ -1176,6 +1213,147 @@ mod tests {
         assert_eq!(bytes_flat, bytes_legacy, "post-crash image must match byte for byte");
         assert_eq!(stats_flat, stats_legacy, "every counter must match");
         assert_eq!(patrol_flat, patrol_legacy, "patrol verdicts must match");
+    }
+
+    #[test]
+    fn backend_pcm_is_observation_equivalent() {
+        let cfg_direct = MemConfig::with_capacities(16 << 20, 16 << 20);
+        let mut cfg_trait = cfg_direct.clone();
+        cfg_trait.backend = Some(Backend::Pcm);
+        assert!(cfg_direct.backend.is_none(), "backend must default unset");
+        let dram_pa = PhysAddr::new(0x1000);
+        let nvm_pa = cfg_direct.layout.range(MemKind::Nvm).base + 0x1000;
+        let mut direct = MemoryController::new(&cfg_direct);
+        let mut via_trait = MemoryController::new(&cfg_trait);
+        let a = mru_workload(&mut direct, dram_pa, nvm_pa);
+        let b = mru_workload(&mut via_trait, dram_pa, nvm_pa);
+        assert_eq!(a, b, "PCM via the trait must not change any observable byte");
+        assert_eq!(direct.stats(), via_trait.stats(), "nor any statistic");
+        assert_eq!(
+            direct.access(nvm_pa, AccessKind::Read, Cycles::from_nanos(1 << 30)),
+            via_trait.access(nvm_pa, AccessKind::Read, Cycles::from_nanos(1 << 30)),
+            "nor any latency"
+        );
+    }
+
+    #[test]
+    fn backend_pcm_equivalent_with_media_and_torn_crash() {
+        // Same armed-media torn-crash gauntlet as the legacy-maps proof,
+        // but comparing the pre-trait default path against backend=Pcm.
+        let run = |backend: Option<Backend>| -> (Vec<u8>, MemStats, PatrolOutcome) {
+            let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+            cfg.backend = backend;
+            cfg.faults = Some(MediaFaultConfig {
+                stuck_cells: 0,
+                wear_limit: 0,
+                correction_entries: 2,
+                ..MediaFaultConfig::with_seed(11)
+            });
+            let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x3000;
+            let mut m = MemoryController::new(&cfg);
+            let switch = PowerSwitch::new();
+            m.arm_power_cut(switch.clone());
+            for round in 0..4u64 {
+                for i in 0..300u64 {
+                    m.store_bytes(nvm_pa + i * 64, &[(round + i) as u8; 64]);
+                    if i % 3 == 0 {
+                        m.commit_line(nvm_pa + i * 64);
+                    }
+                }
+            }
+            m.commit_all();
+            for i in 0..8u64 {
+                m.store_bytes(nvm_pa + i * 64, &[0xEE; 64]);
+                m.commit_line(nvm_pa + i * 64);
+            }
+            switch.cut();
+            let mut rng = Rng64::new(7);
+            m.crash_torn(&mut rng);
+            let patrol = m.patrol_frame(nvm_pa.page_base().as_u64());
+            let mut observed = vec![0u8; 300 * 64];
+            m.load_bytes(nvm_pa, &mut observed);
+            (observed, m.stats(), patrol)
+        };
+        let (bytes_direct, stats_direct, patrol_direct) = run(None);
+        let (bytes_trait, stats_trait, patrol_trait) = run(Some(Backend::Pcm));
+        assert_eq!(bytes_direct, bytes_trait, "post-crash image must match byte for byte");
+        assert_eq!(stats_direct, stats_trait, "every counter must match");
+        assert_eq!(patrol_direct, patrol_trait, "patrol verdicts must match");
+    }
+
+    /// Hammers one NVM line far past a tiny wear budget and reports the
+    /// wear-visible counters.
+    fn hammer_line(backend: Option<Backend>) -> MemStats {
+        let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+        cfg.backend = backend;
+        cfg.faults = Some(MediaFaultConfig { wear_limit: 8, ..MediaFaultConfig::with_seed(5) });
+        let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x2000;
+        let mut m = MemoryController::new(&cfg);
+        for i in 0..200u64 {
+            m.access(nvm_pa, AccessKind::Write, Cycles::from_nanos(i * 1_000));
+            m.store_bytes(nvm_pa, &[i as u8; 64]);
+        }
+        assert_eq!(
+            m.take_failed_frames().is_empty(),
+            m.stats().nvm_frames_failed == 0,
+            "retirement queue must agree with the counter"
+        );
+        m.stats()
+    }
+
+    #[test]
+    fn sttram_backend_never_wears_or_retires() {
+        // The same hammering wears PCM out (the test is actually lethal)...
+        let pcm = hammer_line(Some(Backend::Pcm));
+        assert!(pcm.nvm_write_retries > 0, "wear budget of 8 must force PCM retries");
+        assert!(pcm.nvm_frames_failed > 0, "and permanent failure");
+        // ...but STT-RAM's fault filter zeroes the wear budget, so the
+        // wear-out/retirement paths no-op through the trait.
+        let stt = hammer_line(Some(Backend::SttRam));
+        assert_eq!(stt.nvm_write_retries, 0, "STT-RAM must never retry for wear");
+        assert_eq!(stt.nvm_frames_failed, 0, "nor retire frames");
+        assert_eq!(stt.media.lines_worn_out, 0, "nor wear a line out");
+    }
+
+    #[test]
+    fn numa_backend_has_no_media_machinery() {
+        let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+        cfg.backend = Some(Backend::Numa);
+        // Even an explicit fault request is dropped: remote DRAM has no
+        // NVM media to inject faults into.
+        cfg.faults = Some(MediaFaultConfig::with_seed(5));
+        let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x2000;
+        let mut m = MemoryController::new(&cfg);
+        for i in 0..64u64 {
+            m.store_bytes(nvm_pa + i * 64, &[i as u8; 64]);
+            m.commit_line(nvm_pa + i * 64);
+        }
+        assert!(m.media_mut().is_none(), "no media-fault model may arm");
+        assert!(!m.degrade_line_bit(nvm_pa.as_u64(), 3), "no stuck cells to place");
+        assert_eq!(
+            m.patrol_frame(nvm_pa.page_base().as_u64()),
+            PatrolOutcome::Clean,
+            "patrol must be a clean no-op"
+        );
+        let stats = m.stats();
+        assert_eq!(stats.media, Default::default(), "zero ECP/patrol/wear activity");
+        assert_eq!(stats.nvm_write_retries, 0);
+        assert_eq!(stats.nvm_frames_failed, 0);
+    }
+
+    #[test]
+    fn cxl_backend_charges_link_and_controller_latency() {
+        let mut cfg = MemConfig::with_capacities(16 << 20, 16 << 20);
+        cfg.backend = Some(Backend::Cxl);
+        let nvm_pa = cfg.layout.range(MemKind::Nvm).base + 0x1000;
+        let mut m = MemoryController::new(&cfg);
+        let cxl = Backend::Cxl.instance();
+        assert_eq!(
+            m.access(nvm_pa, AccessKind::Read, Cycles::ZERO),
+            Cycles::from_nanos(cxl.read_latency_ns()),
+            "idle far read = media latency + link/controller penalty"
+        );
+        assert_eq!(m.backend(), Backend::Cxl);
     }
 
     /// Controller with a media-fault model armed but no random faults:

@@ -21,6 +21,7 @@
 //! assert!(lat > Cycles::ZERO);
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod controller;
 pub mod dram;
@@ -30,6 +31,10 @@ pub mod nvm;
 pub mod stats;
 pub mod store;
 
+pub use backend::{
+    Backend, CxlBackend, MemoryBackend, NumaBackend, OptaneDcBackend, PcmBackend, ReRamBackend,
+    SttRamBackend,
+};
 pub use config::{DramConfig, MediaFaultConfig, MemConfig, NvmConfig};
 pub use controller::{MemoryController, PatrolOutcome, PowerSwitch};
 pub use dram::DramDevice;

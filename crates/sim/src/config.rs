@@ -136,6 +136,13 @@ impl MachineConfig {
         self
     }
 
+    /// Selects the far-tier memory backend (timing, endurance/fault
+    /// semantics, patrol capability — see [`kindle_mem::Backend`]).
+    pub fn with_backend(mut self, backend: kindle_mem::Backend) -> Self {
+        self.mem.backend = Some(backend);
+        self
+    }
+
     /// Enables the NVM media-fault model (wear-out + stuck cells) with the
     /// default intensities for `seed`.
     pub fn with_media_faults(mut self, seed: u64) -> Self {
@@ -220,6 +227,29 @@ pub fn set_thread_legacy_maps(legacy: bool) {
 /// fork-join executors can capture and republish it on worker threads.
 pub fn thread_legacy_maps() -> bool {
     LEGACY_MAPS.with(Cell::get)
+}
+
+thread_local! {
+    /// Ambient far-tier backend choice (`--backend`), so CLI flags and
+    /// sweep drivers can swap the far tier under machines whose
+    /// construction sites they do not control. Same publication
+    /// discipline as [`MEDIA_FAULTS`]: captured by fork-join executors
+    /// and machine snapshots, republished per worker / on restore.
+    static BACKEND: Cell<Option<kindle_mem::Backend>> = const { Cell::new(None) };
+}
+
+/// Sets (or with `None` clears) the thread-local far-tier backend.
+/// Machines built on this thread whose config leaves `mem.backend` unset
+/// pick it up; an explicit config always wins.
+pub fn set_thread_backend(backend: Option<kindle_mem::Backend>) {
+    BACKEND.with(|s| s.set(backend));
+}
+
+/// The ambient far-tier backend, if one is set on this thread. Public so
+/// fork-join executors can capture the caller's choice and republish it
+/// on each worker thread (thread-locals do not cross host threads).
+pub fn thread_backend() -> Option<kindle_mem::Backend> {
+    BACKEND.with(Cell::get)
 }
 
 impl Default for MachineConfig {

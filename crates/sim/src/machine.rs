@@ -107,6 +107,9 @@ impl Machine {
         if crate::config::thread_legacy_maps() {
             cfg.mem.legacy_maps = true;
         }
+        if cfg.mem.backend.is_none() {
+            cfg.mem.backend = crate::config::thread_backend();
+        }
         let mut hw = Hw::new(&cfg);
         let kcfg = KernelConfig {
             memory_map: cfg.mem.layout.clone(),
@@ -1019,6 +1022,7 @@ impl Machine {
             daemons: self.daemons.iter().map(|s| (s.kind, s.tid)).collect(),
             ambient_faults: crate::config::thread_media_faults(),
             ambient_legacy: crate::config::thread_legacy_maps(),
+            ambient_backend: crate::config::thread_backend(),
         }
     }
 
@@ -1033,6 +1037,7 @@ impl Machine {
     pub fn restore(snap: &MachineSnapshot) -> Self {
         crate::config::set_thread_media_faults(snap.ambient_faults.clone());
         crate::config::set_thread_legacy_maps(snap.ambient_legacy);
+        crate::config::set_thread_backend(snap.ambient_backend);
         let m = Machine {
             cfg: snap.cfg.clone(),
             hw: snap.hw.clone(),
@@ -1095,6 +1100,12 @@ pub struct MachineSnapshot {
     /// reason: follow-on machines a worker builds must pick the same store
     /// layout as the golden run's.
     ambient_legacy: bool,
+    /// The capturing thread's ambient far-tier backend choice
+    /// ([`crate::config::thread_backend`]), republished for the same
+    /// reason: follow-on machines a worker builds must run the same
+    /// backend as the golden run's, or timing and fault semantics would
+    /// diverge mid-sweep.
+    ambient_backend: Option<kindle_mem::Backend>,
 }
 
 // Snapshots cross fork-join worker boundaries by shared reference, so the

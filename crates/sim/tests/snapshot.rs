@@ -158,6 +158,38 @@ fn snapshot_survives_mutation_of_the_original() {
 }
 
 #[test]
+fn snapshot_republishes_ambient_backend_on_restore() {
+    // Sweep forks restore on arbitrary worker threads: the capturer's
+    // ambient far-tier backend must travel with the snapshot (like the
+    // fault model and legacy-maps epoch) so follow-on machines a worker
+    // builds run the same backend as the golden run.
+    kindle_sim::set_thread_backend(Some(kindle_mem::Backend::SttRam));
+    let m = Machine::new(MachineConfig::small()).unwrap();
+    assert_eq!(
+        m.hw.mc.backend(),
+        kindle_mem::Backend::SttRam,
+        "machines must pick up the ambient backend when the config leaves it unset"
+    );
+    let snap = m.snapshot();
+    kindle_sim::set_thread_backend(None);
+
+    let restored = Machine::restore(&snap);
+    assert_eq!(restored.hw.mc.backend(), kindle_mem::Backend::SttRam);
+    assert_eq!(
+        kindle_sim::thread_backend(),
+        Some(kindle_mem::Backend::SttRam),
+        "restore must republish the captured ambient backend"
+    );
+    kindle_sim::set_thread_backend(None);
+
+    // An explicit config always beats the ambient choice.
+    kindle_sim::set_thread_backend(Some(kindle_mem::Backend::Numa));
+    let explicit = Machine::new(MachineConfig::small().with_backend(kindle_mem::Backend::Cxl));
+    kindle_sim::set_thread_backend(None);
+    assert_eq!(explicit.unwrap().hw.mc.backend(), kindle_mem::Backend::Cxl);
+}
+
+#[test]
 fn snapshots_are_send_and_sync() {
     // The sweep shares one snapshot pool across fork-join workers by
     // reference; this pins the auto-trait obligation at the API level.

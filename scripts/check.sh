@@ -27,7 +27,7 @@ awk '
     END { exit bad }
 ' check-allowlist.txt
 
-echo "== kindle-check (KD001-KD012) =="
+echo "== kindle-check (KD001-KD013) =="
 cargo run -q -p kindle-check -- --json CHECK_lint.json
 
 if cargo fmt --version >/dev/null 2>&1; then
